@@ -1,0 +1,29 @@
+# Convenience targets for the repro repository.
+
+.PHONY: install test test-all bench report examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/ -m "not slow"
+
+test-all:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+report: 
+	python scripts/build_report.py
+
+examples:
+	python examples/quickstart.py
+	python examples/anatomy_of_a_run.py
+	python examples/custom_graph.py
+	python examples/sparse_extension.py
+	python examples/complexity_landscape.py
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

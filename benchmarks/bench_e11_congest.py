@@ -1,0 +1,105 @@
+"""E11 — CONGEST compatibility of the substrates.
+
+The paper works in LOCAL (unbounded messages) and cites CONGEST
+Delta-coloring as related work ([MU21], [HM24]).  This experiment
+measures the *actual bandwidth* of our subroutine implementations —
+maximum message size in O(log n)-bit words — showing which of them
+already fit CONGEST (O(1) words) and which rely on LOCAL's freedom.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench import print_table, save_artifact
+from repro.local import Network
+from repro.subroutines.deg_list_coloring import _RandomTrialColoring
+from repro.subroutines.heg import Hypergraph, _ProposalHEG, _incidence_network
+from repro.subroutines.linial import LinialColoring
+from repro.subroutines.mis import _LubyMIS
+
+_ROWS: list[dict] = []
+
+
+def _random_network(
+    n: int, m: int, seed: int, *, spread_uids: bool = False
+) -> Network:
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < m:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    # A huge ID space forces Linial to do genuine reduction rounds.
+    uids = [i * 10 ** 6 + 17 for i in range(n)] if spread_uids else None
+    return Network.from_edges(n, sorted(edges), uids)
+
+
+CASES = {
+    "linial-coloring": lambda: (
+        _random_network(400, 1200, 1, spread_uids=True),
+        lambda net: LinialColoring(max(net.uids) + 1, net.max_degree),
+    ),
+    "luby-mis": lambda: (
+        _random_network(400, 1200, 2),
+        lambda net: _LubyMIS(random.Random(0)),
+    ),
+    "random-trial-coloring": lambda: (
+        _random_network(400, 1200, 3),
+        lambda net: _RandomTrialColoring(
+            [list(range(net.degree(v) + 1)) for v in range(net.n)],
+            random.Random(0),
+        ),
+    ),
+    "heg-proposals": lambda: _heg_case(),
+}
+
+
+def _heg_case():
+    n = 300
+    edges = [(i, (i + 1) % n, (i + 2) % n) for i in range(n)]
+    edges += [(i, (i + 7) % n) for i in range(n)]
+    h = Hypergraph(n, edges)
+    return _incidence_network(h), lambda net: _ProposalHEG(n, None)
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_congest_bandwidth(benchmark, once, case):
+    network, make = CASES[case]()
+    algorithm = make(network)
+
+    def run():
+        return network.run(algorithm, measure_bandwidth=True)
+
+    result = once(benchmark, run)
+    benchmark.extra_info["max_message_words"] = result.max_message_words
+    _ROWS.append(
+        {
+            "label": case,
+            "rounds": result.rounds,
+            "messages": result.messages,
+            "max_words": result.max_message_words,
+            "congest": "yes" if result.max_message_words <= 4 else "no",
+        }
+    )
+    # Every substrate we implement happens to be bandwidth-light: the
+    # LOCAL freedom is only used in gather-based O(1) steps.
+    assert result.max_message_words <= 4
+
+
+def teardown_module(module):
+    if not _ROWS:
+        return
+    print_table(
+        ["subroutine", "rounds", "messages", "max message (words)",
+         "CONGEST-compatible"],
+        [
+            [r["label"], r["rounds"], r["messages"], r["max_words"],
+             r["congest"]]
+            for r in _ROWS
+        ],
+        title="E11: message bandwidth of the substrates",
+    )
+    save_artifact("e11_congest", _ROWS)

@@ -1,0 +1,76 @@
+"""E13 — The regime frontier: where do the paper's constants break?
+
+The paper remarks (below Definition 4) that Delta < 63 dense graphs are
+trivial at epsilon = 1/63, and Lemma 11's arithmetic needs Delta large
+relative to the sub-clique count.  This experiment sweeps Delta
+downward at matched epsilon = 4/Delta (the ACD boundary for blown-up
+cliques) and records, per Delta, whether the deterministic pipeline
+succeeds or which named guarantee refuses first — the *measured* regime
+boundary of the implementation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import AlgorithmParameters
+from repro.core import delta_color_deterministic
+from repro.errors import InvariantViolation, NotDenseError, ReproError
+from repro.graphs import hard_clique_graph
+from repro.bench import print_table, save_artifact
+from repro.verify.coloring import verify_coloring
+
+_ROWS: list[dict] = []
+
+DELTAS = [6, 8, 10, 12, 16, 24, 32]
+
+
+@pytest.mark.parametrize("delta", DELTAS)
+def test_regime_boundary(benchmark, once, delta):
+    num_cliques = max(2 * delta + 2, 34)
+    if num_cliques % 2:
+        num_cliques += 1
+    instance = hard_clique_graph(num_cliques, delta, seed=1)
+    params = AlgorithmParameters(epsilon=min(0.45, 4.0 / delta))
+
+    def run():
+        try:
+            result = delta_color_deterministic(
+                instance.network, params=params
+            )
+            verify_coloring(instance.network, result.colors, delta)
+            return ("OK", result.rounds, None)
+        except (InvariantViolation, NotDenseError) as error:
+            return ("REFUSED", None, str(error).split(";")[0])
+        except ReproError as error:  # pragma: no cover - unexpected class
+            return ("ERROR", None, str(error))
+
+    status, rounds, reason = once(benchmark, run)
+    _ROWS.append(
+        {
+            "delta": delta,
+            "epsilon": round(params.epsilon, 3),
+            "n": instance.n,
+            "status": status,
+            "rounds": rounds if rounds is not None else "-",
+            "reason": reason or "-",
+        }
+    )
+    # The pipeline must never produce an unverified coloring: either OK
+    # or a typed refusal naming the broken guarantee.
+    assert status in ("OK", "REFUSED")
+
+
+def teardown_module(module):
+    if not _ROWS:
+        return
+    print_table(
+        ["Delta", "epsilon", "n", "status", "rounds", "refusal reason"],
+        [
+            [r["delta"], r["epsilon"], r["n"], r["status"], r["rounds"],
+             r["reason"]]
+            for r in sorted(_ROWS, key=lambda x: x["delta"])
+        ],
+        title="E13: the measured regime boundary of the deterministic pipeline",
+    )
+    save_artifact("e13_regime", _ROWS)

@@ -1,0 +1,84 @@
+"""E2 — Theorem 2: randomized rounds vs n, and the shattering statistic.
+
+The randomized algorithm's rounds should be essentially flat in n
+(O(Delta + log log n) with tiny constants at these scales), and the
+shattered components — hard cliques beyond the T-node slack horizon —
+must stay small (the paper: poly(Delta) * log n vertices w.h.p.).  A
+low-activation variant deliberately produces components to measure
+their size distribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    SCALING_CLIQUES,
+    bench_params,
+    hard_workload,
+    print_table,
+    record_result,
+    result_row,
+    save_artifact,
+    workload_acd,
+)
+from repro.core import delta_color_randomized
+
+_ROWS: list[dict] = []
+
+
+@pytest.mark.parametrize("num_cliques", SCALING_CLIQUES)
+def test_randomized_scaling(benchmark, once, num_cliques):
+    instance = hard_workload(num_cliques)
+    acd = workload_acd(num_cliques)
+    result = once(
+        benchmark,
+        delta_color_randomized,
+        instance.network,
+        params=bench_params(),
+        acd=acd,
+        seed=0,
+    )
+    record_result(benchmark, result)
+    row = result_row(f"t={num_cliques}", result)
+    row["shattering"] = result.stats["shattering"]
+    _ROWS.append(row)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_component_size_distribution(benchmark, once, seed):
+    """Sparse T-nodes (p = 0.02) force leftover components."""
+    num_cliques = SCALING_CLIQUES[-1]
+    instance = hard_workload(num_cliques)
+    acd = workload_acd(num_cliques)
+    result = once(
+        benchmark,
+        delta_color_randomized,
+        instance.network,
+        params=bench_params(),
+        acd=acd,
+        seed=seed,
+        activation_probability=0.02,
+    )
+    record_result(benchmark, result)
+    row = result_row(f"p=0.02 seed={seed}", result)
+    row["shattering"] = result.stats["shattering"]
+    _ROWS.append(row)
+
+
+def teardown_module(module):
+    if not _ROWS:
+        return
+    print_table(
+        ["case", "n", "rounds", "T-nodes", "bad cliques", "components",
+         "max component"],
+        [
+            [r["label"], r["n"], r["rounds"], r["shattering"].get("good"),
+             r["shattering"].get("bad_cliques"),
+             r["shattering"].get("num_components"),
+             r["shattering"].get("max_component")]
+            for r in _ROWS
+        ],
+        title="E2 / Theorem 2: randomized rounds and shattering",
+    )
+    save_artifact("e2_theorem2_scaling", _ROWS)

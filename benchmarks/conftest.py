@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark executes its pipeline once per measurement (pedantic
+mode) because a single run takes seconds; LOCAL round counts — the
+quantity the paper's theorems are about — are attached as
+``extra_info`` and printed as tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Measure one invocation and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,39 @@
+"""Quickstart: Delta-color a dense graph and inspect the cost.
+
+Generates the canonical hard instance (disjoint Delta-cliques wired by
+a matching, Figure 2 of the paper), runs both Theorem 1 (deterministic)
+and Theorem 2 (randomized), verifies the colorings, and prints the
+LOCAL round breakdown.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import delta_color, generators, verify_coloring
+
+
+def main() -> None:
+    # 34 hard cliques of size 16 -> n = 544 vertices, Delta = 16.
+    # (The paper's epsilon = 1/63 needs Delta >= 63; epsilon = 1/4 keeps
+    # the demo small while preserving every structural guarantee.)
+    instance = generators.hard_clique_graph(num_cliques=34, delta=16)
+    print(f"instance: {instance.describe()}")
+
+    for method in ("deterministic", "randomized"):
+        result = delta_color(
+            instance.network, method=method, epsilon=0.25, seed=0
+        )
+        verify_coloring(instance.network, result.colors, result.num_colors)
+        print(f"\n{method}: proper {result.num_colors}-coloring "
+              f"in {result.rounds} LOCAL rounds "
+              f"({result.messages} messages)")
+        for phase, rounds in sorted(result.phase_rounds().items()):
+            print(f"  {phase:<14} {rounds:>6} rounds")
+
+    print("\nBoth colorings verified: every vertex colored with Delta "
+          "colors, no monochromatic edge.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""repro — reproduction of "Towards Optimal Distributed Delta Coloring".
+
+Jakob & Maus, PODC 2025.  A synchronous LOCAL-model simulator plus the
+full deterministic (Theorem 1) and randomized (Theorem 2) Delta-coloring
+stack for dense graphs, every substrate it builds on, and the baselines
+it improves upon.
+
+Quickstart::
+
+    from repro import delta_color, generators, verify_coloring
+
+    instance = generators.hard_clique_graph(num_cliques=34, delta=16)
+    result = delta_color(instance.network, method="deterministic",
+                         epsilon=0.25)
+    verify_coloring(instance.network, result.colors, result.num_colors)
+    print(result.rounds, result.phase_rounds())
+"""
+
+from __future__ import annotations
+
+from repro import graphs as generators
+from repro.acd import ACD, compute_acd
+from repro.constants import PAPER_PARAMETERS, AlgorithmParameters
+from repro.core.deterministic import delta_color_deterministic
+from repro.core.randomized import delta_color_randomized
+from repro.core.sparse import delta_color_general
+from repro.errors import (
+    GraphStructureError,
+    InvalidColoringError,
+    InvariantViolation,
+    NotDenseError,
+    ReproError,
+)
+from repro.local import Network, RoundLedger, VirtualNetwork
+from repro.types import ColoringResult
+from repro.verify.coloring import verify_coloring
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACD",
+    "AlgorithmParameters",
+    "ColoringResult",
+    "GraphStructureError",
+    "InvalidColoringError",
+    "InvariantViolation",
+    "Network",
+    "NotDenseError",
+    "PAPER_PARAMETERS",
+    "ReproError",
+    "RoundLedger",
+    "VirtualNetwork",
+    "__version__",
+    "compute_acd",
+    "delta_color",
+    "delta_color_deterministic",
+    "delta_color_general",
+    "delta_color_randomized",
+    "generators",
+    "verify_coloring",
+]
+
+
+def delta_color(
+    network: Network,
+    *,
+    method: str = "deterministic",
+    epsilon: float | None = None,
+    params: AlgorithmParameters | None = None,
+    seed: int | None = None,
+    **kwargs,
+) -> ColoringResult:
+    """Delta-color a dense graph (the package's front door).
+
+    Parameters
+    ----------
+    network:
+        The input graph as a :class:`Network` (see
+        :meth:`Network.from_networkx` / :meth:`Network.from_edges`).
+    method:
+        ``"deterministic"`` (Theorem 1), ``"randomized"`` (Theorem 2),
+        or ``"general"`` — the sparse-vertex extension (the paper's
+        Section 1.1 future-work direction), which also accepts graphs
+        whose ACD contains sparse vertices.
+    epsilon:
+        ACD parameter; shorthand for ``params=AlgorithmParameters(
+        epsilon=...)``.  The paper's value 1/63 requires Delta >= 63;
+        smaller test graphs use a larger epsilon.
+    params:
+        Full parameter bundle (overrides ``epsilon``).
+    seed:
+        RNG seed for the randomized method.
+
+    Returns a verified :class:`ColoringResult`; raises
+    :class:`NotDenseError` when the graph has sparse vertices and
+    :class:`GraphStructureError` on a (Delta+1)-clique.
+    """
+    if params is None:
+        if epsilon is not None:
+            params = AlgorithmParameters(epsilon=epsilon)
+        else:
+            params = PAPER_PARAMETERS
+    if method == "deterministic":
+        return delta_color_deterministic(network, params=params, **kwargs)
+    if method == "randomized":
+        return delta_color_randomized(
+            network, params=params, seed=seed, **kwargs
+        )
+    if method == "general":
+        return delta_color_general(
+            network, params=params, seed=seed, **kwargs
+        )
+    raise ValueError(
+        f"unknown method {method!r}; use 'deterministic', 'randomized', "
+        "or 'general' (the sparse-vertex extension)"
+    )

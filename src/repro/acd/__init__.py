@@ -1,0 +1,13 @@
+"""Almost-clique decomposition (Lemma 2)."""
+
+from repro.acd.decomposition import ACD, ACD_ROUNDS, DEFAULT_ETA, compute_acd
+from repro.acd.distributed import distributed_acd, local_clique_view
+
+__all__ = [
+    "ACD",
+    "ACD_ROUNDS",
+    "DEFAULT_ETA",
+    "compute_acd",
+    "distributed_acd",
+    "local_clique_view",
+]

@@ -1,0 +1,143 @@
+"""Per-vertex (gather-based) ACD — certifying the O(1)-round claim.
+
+Lemma 2 says the ACD is computable in O(1) LOCAL rounds.  The
+production :func:`repro.acd.compute_acd` exploits that by computing the
+same decomposition centrally; this module *certifies* the claim: every
+vertex decides its own clique membership purely from its radius-3 ball
+(gatherable in 3 rounds), and the tests assert all per-vertex decisions
+are mutually consistent and identical to the centralized result.
+
+Why radius 3 suffices: friendship between u and v needs their common
+neighbors (radius 2 from either); the density of v's *neighbors* needs
+their friendships, i.e. radius 3 from v; the friend components of
+dense vertices have diameter <= 2, so a vertex sees its entire
+candidate component, and the property-(ii) peeling only ever consults
+vertices inside the component.
+"""
+
+from __future__ import annotations
+
+from repro.acd.decomposition import ACD, ACD_ROUNDS, DEFAULT_ETA
+from repro.constants import EPSILON
+from repro.errors import InvariantViolation
+from repro.local.gather import ball
+from repro.local.network import Network
+
+__all__ = ["distributed_acd", "local_clique_view"]
+
+
+def local_clique_view(
+    network: Network,
+    v: int,
+    epsilon: float = EPSILON,
+    eta: float = DEFAULT_ETA,
+) -> tuple[int, ...] | None:
+    """The almost-clique ``v`` assigns itself to, from its 3-ball only.
+
+    Returns the member tuple (sorted) or None when ``v`` classifies
+    itself as sparse.  Every quantity below is derived exclusively from
+    ``ball(network, v, 3)``.
+    """
+    delta = network.max_degree  # global knowledge in LOCAL
+    view = ball(network, v, 3)
+    inside = set(view.vertices)
+
+    def neighbors(x: int) -> list[int]:
+        # Adjacency of ball vertices is part of the gathered view.
+        return [u for u in network.adjacency[x] if u in inside]
+
+    def shared(a: int, b: int) -> int:
+        na = set(network.adjacency[a]) & inside
+        return sum(1 for w in network.adjacency[b] if w in na)
+
+    friend_threshold = (1.0 - eta) * delta
+
+    def friends_of(x: int) -> list[int]:
+        # Exact for vertices within distance 2 of v: their neighbors'
+        # neighborhoods lie inside the 3-ball.
+        return [
+            u for u in neighbors(x) if shared(x, u) >= friend_threshold
+        ]
+
+    def is_dense(x: int) -> bool:
+        return len(friends_of(x)) >= (1.0 - eta) * delta
+
+    if not is_dense(v):
+        return None
+
+    # Friend component of v among dense vertices; diameter <= 2, so two
+    # friend hops inside the ball reach every member.
+    component = {v}
+    frontier = [v]
+    for _ in range(2):
+        next_frontier = []
+        for x in frontier:
+            for u in friends_of(x):
+                if u not in component and view.distance.get(u, 4) <= 2 and (
+                    is_dense(u)
+                ):
+                    component.add(u)
+                    next_frontier.append(u)
+        frontier = next_frontier
+
+    # Property (ii) peeling, exactly as the centralized postprocessing.
+    inside_threshold = (1.0 - epsilon) * delta
+    keep = set(component)
+    changed = True
+    while changed:
+        changed = False
+        for x in list(keep):
+            degree_inside = sum(1 for u in network.adjacency[x] if u in keep)
+            if degree_inside < inside_threshold:
+                keep.discard(x)
+                changed = True
+    if v not in keep:
+        return None
+    lower = (1.0 - epsilon / 4.0) * delta
+    upper = (1.0 + epsilon) * delta
+    if not lower <= len(keep) <= upper:
+        return None
+    return tuple(sorted(keep))
+
+
+def distributed_acd(
+    network: Network,
+    epsilon: float = EPSILON,
+    *,
+    eta: float = DEFAULT_ETA,
+) -> ACD:
+    """Assemble the ACD from the per-vertex 3-ball decisions.
+
+    Raises :class:`InvariantViolation` when two vertices disagree about
+    a clique — which would falsify the O(1)-round locality claim.
+    """
+    views: dict[int, tuple[int, ...] | None] = {
+        v: local_clique_view(network, v, epsilon, eta)
+        for v in range(network.n)
+    }
+    cliques: list[list[int]] = []
+    clique_index = [-1] * network.n
+    seen: dict[tuple[int, ...], int] = {}
+    for v in range(network.n):
+        member_view = views[v]
+        if member_view is None:
+            continue
+        if member_view not in seen:
+            for u in member_view:
+                if views[u] != member_view:
+                    raise InvariantViolation(
+                        f"locality violation: vertices {v} and {u} computed "
+                        f"different cliques from their 3-balls"
+                    )
+            seen[member_view] = len(cliques)
+            cliques.append(list(member_view))
+        clique_index[v] = seen[member_view]
+    sparse = [v for v in range(network.n) if clique_index[v] == -1]
+    return ACD(
+        epsilon=epsilon,
+        cliques=cliques,
+        sparse=sparse,
+        clique_index=clique_index,
+        rounds=ACD_ROUNDS,
+        meta={"eta": eta, "delta": network.max_degree, "mode": "distributed"},
+    )

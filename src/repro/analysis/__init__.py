@@ -1,0 +1,15 @@
+"""Post-run coloring analysis."""
+
+from repro.analysis.stats import (
+    ColoringStats,
+    clique_palette_usage,
+    coloring_stats,
+    same_colored_pairs,
+)
+
+__all__ = [
+    "ColoringStats",
+    "clique_palette_usage",
+    "coloring_stats",
+    "same_colored_pairs",
+]

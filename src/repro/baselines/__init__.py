@@ -1,0 +1,14 @@
+"""Baselines: the algorithms the paper improves upon or is contrasted with."""
+
+from repro.baselines.dcc_layering import dcc_layering_coloring, lifted_clique_cycle
+from repro.baselines.ghkm_randomized import ghkm_randomized_coloring
+from repro.baselines.greedy_brooks import greedy_brooks_coloring
+from repro.baselines.greedy_deltaplus1 import greedy_delta_plus_one
+
+__all__ = [
+    "dcc_layering_coloring",
+    "ghkm_randomized_coloring",
+    "greedy_brooks_coloring",
+    "greedy_delta_plus_one",
+    "lifted_clique_cycle",
+]

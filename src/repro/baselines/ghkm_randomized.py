@@ -1,0 +1,196 @@
+"""Randomized baseline in the [GHKM21] style.
+
+The state-of-the-art randomized algorithm before this paper shatters
+with T-nodes exactly as Theorem 2 does, but colors the leftover
+components with a *suboptimal* deterministic routine of cost
+``O(log^2 N)`` on size-``N`` components — the step the paper replaces.
+This baseline mirrors that: identical pre-shattering and layering, but
+components are colored with the DCC-layering approach (loopholes of
+diameter up to the component's own clique-cycle length) instead of the
+paper's balanced-matching machinery.  Experiment E3 compares the two
+post-shattering costs directly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.acd.decomposition import ACD, ACD_ROUNDS, compute_acd
+from repro.baselines.dcc_layering import lifted_clique_cycle
+from repro.constants import AlgorithmParameters, PAPER_PARAMETERS
+from repro.core.easy_coloring import color_easy_and_loopholes
+from repro.core.finish_coloring import color_instance
+from repro.core.hardness import CLASSIFY_ROUNDS, Classification, classify_cliques
+from repro.core.loopholes import Loophole
+from repro.core.randomized import (
+    _clique_components,
+    _color_layers,
+    _shattered_cliques,
+)
+from repro.core.shattering import place_t_nodes
+from repro.errors import GraphStructureError
+from repro.graphs.validation import assert_no_delta_plus_one_clique
+from repro.local.ledger import RoundLedger
+from repro.local.network import Network
+from repro.types import ColoringResult
+from repro.verify.coloring import verify_coloring
+
+__all__ = ["ghkm_randomized_coloring"]
+
+
+def ghkm_randomized_coloring(
+    network: Network,
+    *,
+    params: AlgorithmParameters = PAPER_PARAMETERS,
+    seed: int | None = None,
+    activation_probability: float = 1.0 / 3.0,
+    acd: ACD | None = None,
+    validate_input: bool = True,
+    verify: bool = True,
+) -> ColoringResult:
+    """Randomized Delta-coloring with the pre-paper post-shattering."""
+    delta = network.max_degree
+    if delta < 3:
+        raise GraphStructureError("Delta-coloring needs Delta >= 3")
+    if validate_input:
+        assert_no_delta_plus_one_clique(network)
+    rng = random.Random(seed)
+    ledger = RoundLedger()
+    palette = list(range(delta))
+    colors: list[int | None] = [None] * network.n
+
+    if acd is None:
+        acd = compute_acd(network, params.epsilon)
+    acd.require_dense()
+    ledger.charge("acd", ACD_ROUNDS)
+    classification = classify_cliques(network, acd, delta=delta)
+    ledger.charge("classify", CLASSIFY_ROUNDS)
+
+    shattering = place_t_nodes(
+        network, classification, rng=rng,
+        activation_probability=activation_probability,
+        max_iterations=2, target_bad_fraction=0.0, ledger=ledger,
+    )
+    for triad in shattering.triads:
+        colors[triad.pair[0]] = 0
+        colors[triad.pair[1]] = 0
+
+    bad_cliques, depths, sub_mapping, fix_iterations = _shattered_cliques(
+        network, classification, shattering.triads, colors,
+        layer_depth=params.loophole_ruling_radius,
+    )
+    ledger.charge(
+        "preshatter/layering-bfs",
+        params.loophole_ruling_radius * max(fix_iterations, 1),
+    )
+    components = _clique_components(network, classification, bad_cliques)
+
+    worst: RoundLedger | None = None
+    for component in components:
+        component_ledger = RoundLedger()
+        _color_component_dcc(
+            network, classification, component, colors, palette,
+            params=params, ledger=component_ledger,
+        )
+        if worst is None or component_ledger.total_rounds > worst.total_rounds:
+            worst = component_ledger
+    if worst is not None:
+        ledger.merge(worst, prefix="post-shattering-dcc")
+
+    _color_layers(
+        network, depths, sub_mapping, colors, palette, ledger=ledger, rng=rng
+    )
+    hard_vertices = classification.hard_vertices()
+    leftovers = [v for v in sorted(hard_vertices) if colors[v] is None]
+    color_instance(
+        network, leftovers, colors, palette,
+        label="postprocess/slack-vertices", ledger=ledger,
+        deterministic=False, seed=rng.randrange(2 ** 32),
+    )
+
+    stats = {
+        "delta": delta,
+        "n": network.n,
+        "shattering": shattering.stats,
+        "bad_cliques": len(bad_cliques),
+        "components": sorted((len(c) for c in components), reverse=True),
+        "easy_phase": color_easy_and_loopholes(
+            network, classification, colors, palette,
+            params=params, ledger=ledger, deterministic=False,
+            seed=rng.randrange(2 ** 32),
+        ),
+    }
+
+    if verify:
+        verify_coloring(network, colors, delta)
+    return ColoringResult(
+        colors=[c for c in colors],  # type: ignore[misc]
+        num_colors=delta,
+        ledger=ledger,
+        algorithm="ghkm-randomized-baseline",
+        stats=stats,
+    )
+
+
+def _color_component_dcc(
+    network: Network,
+    classification: Classification,
+    component: list[int],
+    colors: list[int | None],
+    palette: list[int],
+    *,
+    params: AlgorithmParameters,
+    ledger: RoundLedger,
+) -> None:
+    """Color one bad component via DCC layering: boundary vertices (with
+    an uncolored neighbor outside) or lifted clique cycles serve as the
+    degree-choosable components."""
+    acd = classification.acd
+    component_vertices = {
+        v for index in component for v in acd.cliques[index]
+    }
+    loopholes: dict[int, Loophole] = {}
+    max_diameter = 1
+    for index in component:
+        boundary = next(
+            (
+                v
+                for v in acd.cliques[index]
+                if colors[v] is None
+                and any(
+                    colors[u] is None and u not in component_vertices
+                    for u in network.adjacency[v]
+                )
+            ),
+            None,
+        )
+        if boundary is not None:
+            loopholes[index] = Loophole((boundary,), "boundary")
+            continue
+        cycle = lifted_clique_cycle(network, acd, index)
+        if cycle is not None and (
+            not set(cycle.vertices) <= component_vertices
+            or any(colors[v] is not None for v in cycle.vertices)
+        ):
+            cycle = None
+        if cycle is None:
+            raise GraphStructureError(
+                f"component clique {index} has neither a boundary vertex "
+                "nor an uncolored lifted cycle; the DCC baseline cannot "
+                "color it"
+            )
+        loopholes[index] = cycle
+        max_diameter = max(max_diameter, len(cycle.vertices) // 2)
+    local = Classification(
+        acd=acd,
+        hard=[],
+        easy=list(component),
+        reasons={index: "dcc" for index in component},
+        loopholes=loopholes,
+    )
+    ledger.charge("dcc/detection", max_diameter)
+    color_easy_and_loopholes(
+        network, local, colors, palette,
+        params=params, ledger=ledger,
+        restrict_to=sorted(component_vertices),
+    )

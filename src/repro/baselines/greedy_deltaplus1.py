@@ -1,0 +1,50 @@
+"""(Delta+1)-coloring reference — the greedy regime.
+
+The paper's introduction contrasts Delta-coloring with greedy problems
+like (Delta+1)-coloring, solvable in Theta(log* n) deterministic rounds
+on constant-degree graphs.  This wrapper runs our (deg+1)-list coloring
+machinery with the full (Delta+1)-palette so that the landscape
+experiment (E3) can show the complexity gap between the greedy problem
+and Delta-coloring on identical instances.
+"""
+
+from __future__ import annotations
+
+from repro.local.ledger import RoundLedger
+from repro.local.network import Network
+from repro.subroutines.deg_list_coloring import (
+    deg_plus_one_list_coloring,
+    randomized_list_coloring,
+)
+from repro.types import ColoringResult
+from repro.verify.coloring import verify_coloring
+
+__all__ = ["greedy_delta_plus_one"]
+
+
+def greedy_delta_plus_one(
+    network: Network,
+    *,
+    deterministic: bool = True,
+    seed: int | None = None,
+    verify: bool = True,
+) -> ColoringResult:
+    """Color with Delta + 1 colors (always possible, greedily)."""
+    delta = network.max_degree
+    palette = list(range(delta + 1))
+    lists = [list(palette) for _ in range(network.n)]
+    if deterministic:
+        colors, result = deg_plus_one_list_coloring(network, lists)
+    else:
+        colors, result = randomized_list_coloring(network, lists, seed=seed)
+    ledger = RoundLedger()
+    ledger.charge_result("delta-plus-one", result)
+    if verify:
+        verify_coloring(network, colors, delta + 1)
+    return ColoringResult(
+        colors=colors,
+        num_colors=delta + 1,
+        ledger=ledger,
+        algorithm="greedy-delta-plus-one",
+        stats={"delta": delta, "n": network.n},
+    )

@@ -1,0 +1,44 @@
+"""Helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.types import ColoringResult
+
+__all__ = ["record_result", "result_row", "save_artifact"]
+
+#: Where benchmarks drop JSON artifacts (figure data, raw rows).
+ARTIFACT_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "artifacts"
+
+
+def result_row(label: str, result: ColoringResult) -> dict[str, Any]:
+    """Flatten a coloring result into a report row."""
+    return {
+        "label": label,
+        "algorithm": result.algorithm,
+        "n": result.stats.get("n"),
+        "delta": result.stats.get("delta"),
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "breakdown": result.phase_rounds(),
+    }
+
+
+def record_result(benchmark, result: ColoringResult) -> None:
+    """Attach LOCAL-cost numbers to a pytest-benchmark record."""
+    if benchmark is None:
+        return
+    benchmark.extra_info["rounds"] = result.rounds
+    benchmark.extra_info["messages"] = result.messages
+    benchmark.extra_info["phase_rounds"] = result.phase_rounds()
+
+
+def save_artifact(name: str, payload: Any) -> Path:
+    """Persist benchmark output as JSON for EXPERIMENTS.md regeneration."""
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    path = ARTIFACT_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=1, default=str))
+    return path

@@ -1,0 +1,176 @@
+"""Command-line interface: generate, inspect, color, and verify.
+
+Examples::
+
+    python -m repro generate --kind hard --cliques 34 --delta 16 -o g.json
+    python -m repro info g.json
+    python -m repro color g.json --method randomized --seed 0 -o c.json
+    python -m repro verify g.json c.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro import __version__, delta_color
+from repro.acd import compute_acd
+from repro.constants import AlgorithmParameters
+from repro.core import classify_cliques
+from repro.errors import ReproError
+from repro.graphs import (
+    hard_clique_graph,
+    load_coloring,
+    load_instance,
+    mixed_dense_graph,
+    projective_plane_clique_graph,
+    save_coloring,
+    save_instance,
+)
+from repro.verify import verify_coloring
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Distributed Delta-coloring of dense graphs "
+            "(Jakob & Maus, PODC 2025)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a dense benchmark instance"
+    )
+    generate.add_argument(
+        "--kind", choices=("hard", "mixed", "pg"), default="hard",
+        help="hard cliques, mixed hard/easy, or projective-plane (girth 6)",
+    )
+    generate.add_argument("--cliques", type=int, default=34)
+    generate.add_argument("--delta", type=int, default=16)
+    generate.add_argument("--easy-fraction", type=float, default=0.25)
+    generate.add_argument("--q", type=int, default=7,
+                          help="prime order for --kind pg")
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("-o", "--output", required=True)
+
+    info = commands.add_parser(
+        "info", help="print ACD and hard/easy statistics of an instance"
+    )
+    info.add_argument("instance")
+    info.add_argument("--epsilon", type=float, default=0.25)
+
+    color = commands.add_parser("color", help="Delta-color an instance")
+    color.add_argument("instance")
+    color.add_argument(
+        "--method", choices=("deterministic", "randomized"),
+        default="deterministic",
+    )
+    color.add_argument("--epsilon", type=float, default=0.25)
+    color.add_argument("--seed", type=int, default=None)
+    color.add_argument("-o", "--output", default=None,
+                       help="write the coloring as JSON")
+    color.add_argument("--json", action="store_true",
+                       help="print the full report as JSON")
+
+    verify = commands.add_parser(
+        "verify", help="check a coloring file against an instance"
+    )
+    verify.add_argument("instance")
+    verify.add_argument("coloring")
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "hard":
+        instance = hard_clique_graph(args.cliques, args.delta, seed=args.seed)
+    elif args.kind == "mixed":
+        instance = mixed_dense_graph(
+            args.cliques, args.delta,
+            easy_fraction=args.easy_fraction, seed=args.seed,
+        )
+    else:
+        instance = projective_plane_clique_graph(args.q)
+    save_instance(instance, args.output)
+    print(f"wrote {instance.describe()} to {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    acd = compute_acd(instance.network, epsilon=args.epsilon)
+    print(f"instance: {instance.describe()}")
+    print(f"ACD (epsilon={args.epsilon}): {acd.num_cliques} almost-cliques, "
+          f"{len(acd.sparse)} sparse vertices, dense={acd.is_dense}")
+    if acd.is_dense:
+        classification = classify_cliques(instance.network, acd)
+        reasons: dict[str, int] = {}
+        for reason in classification.reasons.values():
+            reasons[reason] = reasons.get(reason, 0) + 1
+        print(f"classification: {len(classification.hard)} hard, "
+              f"{len(classification.easy)} easy "
+              f"(witness kinds: {reasons or 'none'})")
+    return 0
+
+
+def _cmd_color(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    params = AlgorithmParameters(epsilon=args.epsilon)
+    result = delta_color(
+        instance.network, method=args.method, params=params, seed=args.seed
+    )
+    if args.output:
+        save_coloring(result.colors, result.num_colors, args.output)
+    report = {
+        "algorithm": result.algorithm,
+        "num_colors": result.num_colors,
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "phase_rounds": result.phase_rounds(),
+    }
+    if args.json:
+        print(json.dumps(report, indent=1))
+    else:
+        print(f"{result.algorithm}: {result.num_colors}-coloring in "
+              f"{result.rounds} LOCAL rounds ({result.messages} messages)")
+        for phase, rounds in sorted(report["phase_rounds"].items()):
+            print(f"  {phase:<14} {rounds:>7}")
+        if args.output:
+            print(f"coloring written to {args.output}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    colors, num_colors = load_coloring(args.coloring)
+    verify_coloring(instance.network, colors, num_colors)
+    print(f"OK: proper {num_colors}-coloring of {instance.describe()}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "info": _cmd_info,
+    "color": _cmd_color,
+    "verify": _cmd_verify,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""Numerical constants fixed by the paper.
+
+The paper pins several constants; changing them alters the guarantees of
+the lemmas that consume them, so they live in one module with references
+back to the statement that fixes each value.  Benchmarks (experiment E9)
+sweep some of them to show where the guarantees break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: ACD sparsity parameter (Lemma 2 fixes epsilon = 1/63).
+EPSILON: float = 1.0 / 63.0
+
+#: Number of virtual sub-cliques each hard clique is partitioned into when
+#: building the HEG hypergraph H (Section 3.3).  Lemma 11's bound
+#: ``delta_H > 1.1 r_H`` is computed for this value together with EPSILON.
+SUBCLIQUE_COUNT: int = 28
+
+#: Required HEG slack factor: Lemma 11 proves ``delta_H > 1.1 * r_H`` and
+#: Lemma 5 needs the minimum degree to exceed the rank.
+HEG_SLACK_FACTOR: float = 1.1
+
+#: Degree-splitting accuracy used in Lemma 13 (the proof applies
+#: Corollary 22 with epsilon' = 1/100 and i = 2, i.e. 4 parts).
+SPLIT_EPSILON: float = 1.0 / 100.0
+
+#: Number of recursive halvings in Phase 2 (Corollary 22 with i = 2 gives
+#: 2**2 = 4 parts, of which the first is kept).
+SPLIT_ITERATIONS: int = 2
+
+#: Number of outgoing F3 edges each Type-I+ clique keeps (Lemma 13).
+OUTGOING_KEPT: int = 2
+
+#: Maximum number of vertices in the small loopholes that define hard
+#: cliques (Definition 8: "loophole of at most 6 vertices").
+MAX_LOOPHOLE_SIZE: int = 6
+
+#: Ruling-set domination radius used on the loophole virtual graph G_L
+#: (Algorithm 3 computes a 6-ruling set).
+LOOPHOLE_RULING_RADIUS: int = 6
+
+#: BFS layering depth used by Algorithm 3.  The paper uses 25 fixed
+#: layers; we layer the full uncolored subgraph (see DESIGN.md), and this
+#: constant only bounds the depth the theory predicts, which experiment E8
+#: verifies empirically.
+PAPER_BFS_DEPTH: int = 25
+
+#: Below this maximum degree, a dense graph (with EPSILON = 1/63) can only
+#: consist of isolated cliques (remark after Definition 4).
+MIN_INTERESTING_DELTA: int = 28
+
+#: The paper's friendship parameter: u, v are friends when they share at
+#: least ``(1 - eta) * Delta`` neighbors.  The basic decomposition uses a
+#: small constant eta tied to epsilon; we keep it configurable with this
+#: default (eta = epsilon matches Lemma 2's guarantees).
+ETA_DEFAULT: float = EPSILON
+
+
+@dataclass(frozen=True)
+class AlgorithmParameters:
+    """Bundle of tunable constants, defaulting to the paper's values.
+
+    The deterministic and randomized pipelines thread one instance of this
+    class through every phase, which makes ablation experiments (E9) a
+    matter of constructing a modified bundle.
+    """
+
+    epsilon: float = EPSILON
+    subclique_count: int = SUBCLIQUE_COUNT
+    heg_slack_factor: float = HEG_SLACK_FACTOR
+    split_epsilon: float = SPLIT_EPSILON
+    split_iterations: int = SPLIT_ITERATIONS
+    outgoing_kept: int = OUTGOING_KEPT
+    max_loophole_size: int = MAX_LOOPHOLE_SIZE
+    loophole_ruling_radius: int = LOOPHOLE_RULING_RADIUS
+
+    def __post_init__(self) -> None:
+        if not 0 < self.epsilon < 1:
+            raise ValueError(f"epsilon must be in (0, 1), got {self.epsilon}")
+        if self.subclique_count < 1:
+            raise ValueError("subclique_count must be positive")
+        if self.outgoing_kept < 2:
+            raise ValueError(
+                "outgoing_kept must be at least 2: a slack triad needs the "
+                "tails of two distinct outgoing edges (Section 3.5)"
+            )
+        if self.max_loophole_size < 4:
+            raise ValueError(
+                "max_loophole_size must be at least 4 to include the "
+                "smallest non-clique even cycle (Definition 6)"
+            )
+
+
+#: The paper's parameterization, used everywhere by default.
+PAPER_PARAMETERS = AlgorithmParameters()

@@ -1,0 +1,62 @@
+"""The paper's contribution: Algorithms 1–4 and their phases."""
+
+from repro.core.deterministic import delta_color_deterministic
+from repro.core.easy_coloring import build_loophole_graph, color_easy_and_loopholes
+from repro.core.finish_coloring import color_instance, finish_hard_cliques
+from repro.core.hardness import (
+    Classification,
+    classify_cliques,
+    classify_cliques_exact,
+)
+from repro.core.loopholes import (
+    Loophole,
+    color_loophole,
+    find_small_loophole,
+    is_loophole,
+)
+from repro.core.matching_phase import BalancedMatching, compute_balanced_matching
+from repro.core.pair_coloring import build_pair_conflict_graph, color_slack_pairs
+from repro.core.randomized import delta_color_randomized, large_delta_threshold
+from repro.core.shattering import ShatteringResult, place_t_nodes
+from repro.core.sparse import (
+    SparseSlackStats,
+    delta_color_general,
+    generate_sparse_slack,
+)
+from repro.core.sparsify_phase import (
+    SparsifiedMatching,
+    incoming_bound,
+    sparsify_matching,
+)
+from repro.core.triads import SlackTriad, form_slack_triads
+
+__all__ = [
+    "BalancedMatching",
+    "Classification",
+    "Loophole",
+    "ShatteringResult",
+    "SlackTriad",
+    "SparseSlackStats",
+    "SparsifiedMatching",
+    "build_loophole_graph",
+    "build_pair_conflict_graph",
+    "classify_cliques",
+    "classify_cliques_exact",
+    "color_easy_and_loopholes",
+    "color_instance",
+    "color_loophole",
+    "color_slack_pairs",
+    "compute_balanced_matching",
+    "delta_color_deterministic",
+    "delta_color_general",
+    "delta_color_randomized",
+    "find_small_loophole",
+    "finish_hard_cliques",
+    "form_slack_triads",
+    "generate_sparse_slack",
+    "incoming_bound",
+    "is_loophole",
+    "large_delta_threshold",
+    "place_t_nodes",
+    "sparsify_matching",
+]

@@ -1,0 +1,118 @@
+"""Algorithm 1 — deterministic Delta-coloring of dense graphs (Theorem 1).
+
+Pipeline:
+
+1. ACD (Lemma 2) and hard/easy classification (Definitions 6/8).
+2. Hard cliques (Algorithm 2): balanced matching -> sparsification ->
+   slack triads -> slack-pair coloring -> two finishing instances.
+3. Easy cliques and loopholes (Algorithm 3).
+
+The returned :class:`~repro.types.ColoringResult` carries the verified
+coloring, the per-phase round ledger (Lemma 18 / experiment E7), and the
+structural statistics every experiment consumes.
+"""
+
+from __future__ import annotations
+
+from repro.acd.decomposition import ACD, ACD_ROUNDS, compute_acd
+from repro.constants import AlgorithmParameters, PAPER_PARAMETERS
+from repro.core.easy_coloring import color_easy_and_loopholes
+from repro.core.finish_coloring import finish_hard_cliques
+from repro.core.hardness import CLASSIFY_ROUNDS, classify_cliques
+from repro.core.matching_phase import compute_balanced_matching
+from repro.core.pair_coloring import color_slack_pairs
+from repro.core.sparsify_phase import sparsify_matching
+from repro.core.triads import form_slack_triads
+from repro.errors import GraphStructureError
+from repro.graphs.validation import assert_no_delta_plus_one_clique
+from repro.local.ledger import RoundLedger
+from repro.local.network import Network
+from repro.types import ColoringResult
+from repro.verify.coloring import verify_coloring
+
+__all__ = ["delta_color_deterministic"]
+
+
+def delta_color_deterministic(
+    network: Network,
+    *,
+    params: AlgorithmParameters = PAPER_PARAMETERS,
+    acd: ACD | None = None,
+    validate_input: bool = True,
+    verify: bool = True,
+) -> ColoringResult:
+    """Delta-color a dense graph deterministically (Theorem 1).
+
+    Raises :class:`~repro.errors.NotDenseError` when the ACD contains
+    sparse vertices and :class:`~repro.errors.GraphStructureError` on a
+    (Delta+1)-clique (where no Delta-coloring exists).
+    """
+    delta = network.max_degree
+    if delta < 3:
+        raise GraphStructureError(
+            f"Delta = {delta}: the Delta-coloring problem is only "
+            "considered for Delta >= 3 (Brooks' theorem handles smaller "
+            "degrees separately)"
+        )
+    if validate_input:
+        assert_no_delta_plus_one_clique(network)
+
+    ledger = RoundLedger()
+    palette = list(range(delta))
+    colors: list[int | None] = [None] * network.n
+
+    # --- Line 1: ACD and classification. --------------------------------
+    if acd is None:
+        acd = compute_acd(network, params.epsilon)
+    acd.require_dense()
+    ledger.charge("acd", ACD_ROUNDS)
+    classification = classify_cliques(network, acd, delta=delta)
+    ledger.charge("classify", CLASSIFY_ROUNDS)
+
+    stats: dict = {
+        "delta": delta,
+        "n": network.n,
+        "num_cliques": acd.num_cliques,
+        "hard_cliques": len(classification.hard),
+        "easy_cliques": len(classification.easy),
+    }
+
+    # --- Line 2: color vertices in hard cliques (Algorithm 2). ----------
+    triads = []
+    if classification.hard:
+        balanced = compute_balanced_matching(
+            network, classification, params=params, ledger=ledger
+        )
+        stats["phase1"] = balanced.stats
+        sparsified = sparsify_matching(
+            network, classification, balanced, params=params, ledger=ledger
+        )
+        stats["phase2"] = sparsified.stats
+        triads, triad_stats = form_slack_triads(
+            network, classification, sparsified, params=params, ledger=ledger
+        )
+        stats["phase3"] = triad_stats
+        pair_colors, pair_stats = color_slack_pairs(
+            network, triads, palette, ledger=ledger
+        )
+        stats["phase4a"] = pair_stats
+        for vertex, color in pair_colors.items():
+            colors[vertex] = color
+        finish_hard_cliques(
+            network, classification, triads, colors, palette, ledger=ledger
+        )
+
+    # --- Line 3: color easy cliques and loopholes (Algorithm 3). --------
+    stats["easy_phase"] = color_easy_and_loopholes(
+        network, classification, colors, palette, params=params, ledger=ledger
+    )
+
+    if verify:
+        verify_coloring(network, colors, delta)
+    return ColoringResult(
+        colors=[c for c in colors],  # type: ignore[misc]
+        num_colors=delta,
+        ledger=ledger,
+        algorithm="deterministic-delta-coloring",
+        stats=stats,
+    )

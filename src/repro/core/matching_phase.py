@@ -1,0 +1,321 @@
+"""Phase 1 — Balanced Matching (Section 3.3, Lemmas 10–12).
+
+Starting from a maximal matching ``F1`` on the inter-clique edges of the
+hard cliques, every hard clique whose vertices all have an external hard
+neighbor (the set ``C_HEG``) is partitioned into ``q = 28`` sub-cliques.
+Every vertex proposes to grab the ``F1`` edge at its *anchor* ``f(v)``
+(itself if matched, else its minimum-uid external hard neighbor, which
+is necessarily matched).  The proposals define a multihypergraph ``H``
+(one hyperedge per proposed-to ``F1`` edge, whose members are the
+proposing sub-cliques); Lemma 10 guarantees members of one sub-clique
+propose to distinct edges, and Lemma 11 shows the minimum degree of
+``H`` exceeds ``1.1 x`` its rank.  A hyperedge-grabbing solution then
+rearranges ``F1`` into an *oriented* matching ``F2`` in which every
+``C_HEG`` clique has at least ``q`` outgoing edges (Lemma 12, Type I);
+all other hard cliques have an adjacent easy clique (Type II).
+
+Every lemma consumed downstream is verified at runtime and surfaced in
+:class:`BalancedMatching.stats` (experiments E4/E5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constants import AlgorithmParameters, PAPER_PARAMETERS
+from repro.core.hardness import Classification
+from repro.errors import InvariantViolation
+from repro.local.ledger import RoundLedger
+from repro.local.network import Network
+from repro.subroutines.heg import Hypergraph, hyperedge_grabbing
+from repro.subroutines.maximal_matching import maximal_matching
+
+#: Base rounds per incidence-network round when solving HEG on H: a
+#: sub-clique has diameter 1 and proposers sit one hop from the edge.
+HEG_ROUND_SCALE = 3
+
+__all__ = ["BalancedMatching", "HEG_ROUND_SCALE", "compute_balanced_matching"]
+
+
+@dataclass
+class BalancedMatching:
+    """Output of Phase 1 (Lemma 12).
+
+    ``edges`` is the oriented matching ``F2`` as ``(tail, head)`` pairs;
+    ``type1`` lists the clique indices guaranteed >= q outgoing edges,
+    ``type2`` the hard cliques relying on an adjacent easy clique.
+    """
+
+    edges: list[tuple[int, int]]
+    f1: list[tuple[int, int]]
+    type1: list[int]
+    type2: list[int]
+    stats: dict = field(default_factory=dict)
+
+    def outgoing_per_clique(self, clique_of: dict[int, int]) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for tail, _ in self.edges:
+            index = clique_of[tail]
+            counts[index] = counts.get(index, 0) + 1
+        return counts
+
+    def incoming_per_clique(self, clique_of: dict[int, int]) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for _, head in self.edges:
+            index = clique_of[head]
+            counts[index] = counts.get(index, 0) + 1
+        return counts
+
+
+def compute_balanced_matching(
+    network: Network,
+    classification: Classification,
+    *,
+    params: AlgorithmParameters = PAPER_PARAMETERS,
+    ledger: RoundLedger | None = None,
+    deterministic: bool = True,
+    seed: int | None = None,
+    unusable_vertices: set[int] | None = None,
+) -> BalancedMatching:
+    """Run Phase 1 on the hard cliques of a classification.
+
+    ``unusable_vertices`` supports the randomized algorithm's
+    post-shattering variant (Section 4): vertices adjacent to an
+    already-colored slack pair cannot anchor proposals and are excluded
+    from sub-clique membership; at most one per clique, absorbed by the
+    slack in Lemma 11 (Equation 1).
+    """
+    if ledger is None:
+        ledger = RoundLedger()
+    unusable = unusable_vertices or set()
+    acd = classification.acd
+    clique_of = {
+        v: index
+        for index in classification.hard
+        for v in acd.cliques[index]
+    }
+    hard_vertices = set(clique_of)
+
+    # --- Step 0: peel vertices that can never anchor a proposal. -------
+    # A vertex participates in Phase 1 only if it can reach another hard
+    # clique through a *usable* vertex.  Vertices whose external hard
+    # neighbors are all unusable (e.g. colored slack-pair vertices in the
+    # randomized post-shattering, Section 4's "useless" vertices) are
+    # peeled, which may cascade.  Peeled vertices rely on their clique's
+    # slack vertex or on an uncolored neighbor outside the hard cliques,
+    # exactly like Type II members.
+    usable = hard_vertices - unusable
+    anchor_degree: dict[int, int] = {}
+    for v in usable:
+        anchor_degree[v] = sum(
+            1
+            for u in network.adjacency[v]
+            if u in usable and clique_of[u] != clique_of[v]
+        )
+    peel_queue = [v for v in usable if anchor_degree[v] == 0]
+    while peel_queue:
+        v = peel_queue.pop()
+        if v not in usable:
+            continue
+        usable.discard(v)
+        for u in network.adjacency[v]:
+            if u in usable and clique_of[u] != clique_of[v]:
+                anchor_degree[u] -= 1
+                if anchor_degree[u] == 0:
+                    peel_queue.append(u)
+
+    # --- Step 1: maximal matching F1 on inter-clique hard edges. -------
+    hard_edges = [
+        (v, u)
+        for v in sorted(usable)
+        for u in network.adjacency[v]
+        if v < u and u in usable and clique_of[u] != clique_of[v]
+    ]
+    f1, mm_result = maximal_matching(
+        network, hard_edges, deterministic=deterministic, seed=seed
+    )
+    ledger.charge_result("hard/phase1/maximal-matching", mm_result)
+
+    matched_edge: dict[int, tuple[int, int]] = {}
+    for edge in f1:
+        matched_edge[edge[0]] = edge
+        matched_edge[edge[1]] = edge
+
+    def anchor(v: int) -> int:
+        if v in matched_edge:
+            return v
+        candidates = [
+            u
+            for u in network.adjacency[v]
+            if u in usable and clique_of[u] != clique_of[v]
+        ]
+        best = min(candidates, key=lambda u: network.uids[u])
+        if best not in matched_edge:
+            raise InvariantViolation(
+                f"anchor {best} of vertex {v} is unmatched although F1 is "
+                "maximal; matching verification failed"
+            )
+        return best
+
+    # --- Step 2: proposals, then C_HEG by usable-member count. ----------
+    proposal: dict[int, tuple[int, int]] = {}  # v -> phi(v), an F1 edge
+    proposers: dict[tuple[int, int], int] = {}  # F1 edge -> #proposers
+    usable_members: dict[int, list[int]] = {index: [] for index in classification.hard}
+    for v in usable:
+        usable_members[clique_of[v]].append(v)
+    for index, members in usable_members.items():
+        # Lemma 10 (strengthened): in a hard clique, any two members
+        # propose to distinct edges — a collision witnesses a 6-vertex
+        # loophole (H3/H4), contradicting the classification.
+        seen_edges: set[tuple[int, int]] = set()
+        for v in members:
+            edge = matched_edge[anchor(v)]
+            if edge in seen_edges:
+                raise InvariantViolation(
+                    f"Lemma 10 violated in clique {index}: two members "
+                    "propose to the same F1 edge, so the clique intersects "
+                    "a 6-vertex loophole and should be easy; the hard/easy "
+                    "classification is inconsistent"
+                )
+            seen_edges.add(edge)
+            proposal[v] = edge
+            proposers[edge] = proposers.get(edge, 0) + 1
+
+    # Sub-clique count: the paper fixes q = 28 together with eps = 1/63,
+    # which satisfies Lemma 11 (delta_H > 1.1 r_H) asymptotically (its
+    # floor terms need Delta >~ 1300).  For concrete Delta we pick the
+    # largest q <= subclique_count whose sub-clique sizes still clear the
+    # measured rank — an engineering adaptation recorded in the stats
+    # and swept by experiment E9 (see DESIGN.md).  Cliques with too few
+    # usable members to host even outgoing_kept sub-cliques become Type
+    # II; admitting them would drag q below 2 for everyone.
+    rank_pred = max(proposers.values(), default=0)
+    required = int(params.heg_slack_factor * rank_pred) + 1
+    heg_cliques = [
+        index
+        for index in classification.hard
+        if len(usable_members[index]) >= params.outgoing_kept * required
+    ]
+    type2 = [index for index in classification.hard if index not in set(heg_cliques)]
+    if type2 and not classification.easy and not unusable:
+        for index in type2:
+            raise InvariantViolation(
+                f"hard clique {index} is Type II (too few usable members "
+                f"for {params.outgoing_kept} sub-cliques at rank "
+                f"{rank_pred}) but the graph has no easy cliques to lean "
+                "on; Delta is too small for the slack-triad machinery"
+            )
+    # Drop proposals of Type II cliques: their members do not take part
+    # in the HEG instance.
+    heg_set = set(heg_cliques)
+    for index, members in usable_members.items():
+        if index not in heg_set:
+            for v in members:
+                edge = proposal.pop(v, None)
+                if edge is not None:
+                    proposers[edge] -= 1
+    rank_pred = max(proposers.values(), default=0)
+    min_size = min(
+        (len(usable_members[index]) for index in heg_cliques), default=0
+    )
+    required = int(params.heg_slack_factor * rank_pred) + 1
+    q = min(params.subclique_count, min_size // max(required, 1))
+    if heg_cliques and q < params.outgoing_kept:
+        raise InvariantViolation(
+            f"cannot form {params.outgoing_kept} outgoing edges per "
+            f"clique: smallest C_HEG clique has {min_size} usable "
+            f"vertices while the hypergraph rank is {rank_pred}, allowing "
+            f"only {q} sub-cliques (Lemma 11 needs delta_H > "
+            f"{params.heg_slack_factor} * r_H)"
+        )
+
+    subcliques: list[tuple[int, list[int]]] = []  # (clique index, members)
+    subclique_of: dict[int, int] = {}
+    for index in heg_cliques:
+        members = usable_members[index]
+        parts: list[list[int]] = [[] for _ in range(q)]
+        for position, v in enumerate(sorted(members)):
+            parts[position % q].append(v)
+        for part in parts:
+            for v in part:
+                subclique_of[v] = len(subcliques)
+            subcliques.append((index, part))
+
+    # --- Step 3: the hypergraph H and its HEG solution. ----------------
+    edge_order = {edge: i for i, edge in enumerate(f1)}
+    hyper_members: list[set[int]] = [set() for _ in f1]
+    for v, edge in proposal.items():
+        hyper_members[edge_order[edge]].add(subclique_of[v])
+    hyperedges = [tuple(sorted(members)) for members in hyper_members if members]
+    proposed_edges = [f1[i] for i, members in enumerate(hyper_members) if members]
+
+    stats: dict = {
+        "f1_size": len(f1),
+        "heg_cliques": len(heg_cliques),
+        "type2_cliques": len(type2),
+        "subclique_count_effective": q if heg_cliques else 0,
+        "rank_predicted": rank_pred,
+    }
+    balanced_edges: list[tuple[int, int]] = []
+    if subcliques:
+        vertex_uids = [
+            min(network.uids[v] for v in part) for _, part in subcliques
+        ]
+        hypergraph = Hypergraph(len(subcliques), list(hyperedges), vertex_uids)
+        rank = hypergraph.rank
+        min_degree = hypergraph.min_degree
+        stats["rank_H"] = rank
+        stats["min_degree_H"] = min_degree
+        stats["heg_ratio"] = min_degree / rank if rank else float("inf")
+        if min_degree <= rank:
+            raise InvariantViolation(
+                f"Lemma 11 failed: delta_H = {min_degree} <= r_H = {rank}; "
+                "HEG is not guaranteed solvable (check epsilon and "
+                "subclique_count)"
+            )
+        stats["lemma11_satisfied"] = min_degree > params.heg_slack_factor * rank
+
+        grab, heg_result = hyperedge_grabbing(
+            hypergraph, deterministic=deterministic, seed=seed
+        )
+        ledger.charge("hard/phase1/heg", heg_result.rounds * HEG_ROUND_SCALE,
+                      heg_result.messages)
+
+        # --- Step 4: rearrange F1 into the oriented matching F2. -------
+        phi_of = {(subclique_of[v], proposal[v]): v for v in proposal}
+        for sub_index, hyper_index in enumerate(grab):
+            edge = proposed_edges[hyper_index]
+            grabber = phi_of[(sub_index, edge)]
+            anchor_vertex = anchor(grabber)
+            if anchor_vertex == grabber:
+                head = edge[1] if edge[0] == grabber else edge[0]
+            else:
+                head = anchor_vertex
+            balanced_edges.append((grabber, head))
+
+    _verify_is_matching(balanced_edges)
+    matching = BalancedMatching(
+        edges=balanced_edges, f1=f1, type1=list(heg_cliques), type2=type2,
+        stats=stats,
+    )
+    outgoing = matching.outgoing_per_clique(clique_of)
+    for index in heg_cliques:
+        if outgoing.get(index, 0) < q:
+            raise InvariantViolation(
+                f"Lemma 12 failed: Type I clique {index} has only "
+                f"{outgoing.get(index, 0)} outgoing F2 edges "
+                f"(expected >= {q})"
+            )
+    return matching
+
+
+def _verify_is_matching(edges: list[tuple[int, int]]) -> None:
+    used: set[int] = set()
+    for tail, head in edges:
+        if tail in used or head in used or tail == head:
+            raise InvariantViolation(
+                f"F2 is not a matching at edge ({tail}, {head}); "
+                "Lemma 12's case analysis was violated"
+            )
+        used.add(tail)
+        used.add(head)

@@ -1,0 +1,111 @@
+"""Phase 4A — Coloring slack pairs (Section 3.6, Lemma 16).
+
+Each slack pair {v, w} must receive one common color.  The virtual
+conflict graph ``G_V`` has one node per pair and an edge whenever any
+base edge connects two pairs; Lemma 16 bounds its maximum degree by
+``Delta - 2``, so assigning colors is a (deg+1)-list coloring with
+palette ``[Delta]`` (or ``Delta - 1`` colors in the randomized variant,
+where color 0 is reserved for pre-shattering pairs).
+
+The degree bound is re-checked against the *actual* palette before
+coloring; a violation names Lemma 16 so scaled-down parameter choices
+fail loudly instead of producing an improper coloring.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.triads import SlackTriad
+from repro.errors import InvariantViolation
+from repro.local.ledger import RoundLedger
+from repro.local.network import Network
+from repro.local.virtual import VirtualNetwork
+from repro.subroutines.deg_list_coloring import (
+    deg_plus_one_list_coloring,
+    randomized_list_coloring,
+)
+
+#: Base rounds per G_V round: pairs have diameter 2 through their slack
+#: vertex, plus the virtual hop.
+PAIR_ROUND_SCALE = 5
+
+__all__ = ["PAIR_ROUND_SCALE", "build_pair_conflict_graph", "color_slack_pairs"]
+
+
+def build_pair_conflict_graph(
+    network: Network, triads: Sequence[SlackTriad]
+) -> VirtualNetwork:
+    """The virtual graph ``G_V`` over the slack pairs (Figure 3)."""
+    return VirtualNetwork(
+        network,
+        [list(triad.pair) for triad in triads],
+        round_scale=PAIR_ROUND_SCALE,
+        name="G_V",
+    )
+
+
+def color_slack_pairs(
+    network: Network,
+    triads: Sequence[SlackTriad],
+    palette: Sequence[int],
+    *,
+    existing_colors: Sequence[int | None] | None = None,
+    ledger: RoundLedger | None = None,
+    deterministic: bool = True,
+    seed: int | None = None,
+) -> tuple[dict[int, int], dict]:
+    """Same-color every slack pair; returns vertex -> color and stats.
+
+    ``existing_colors`` restricts each pair's list by the colors of
+    already-colored base neighbors (used by the randomized algorithm's
+    post-shattering, where pre-shattering pairs carry color 0).
+    """
+    if ledger is None:
+        ledger = RoundLedger()
+    if not triads:
+        return {}, {"gv_nodes": 0, "gv_max_degree": 0}
+
+    virtual = build_pair_conflict_graph(network, triads)
+    lists: list[list[int]] = []
+    palette = list(palette)
+    for triad in triads:
+        forbidden: set[int] = set()
+        if existing_colors is not None:
+            for member in triad.pair:
+                for u in network.adjacency[member]:
+                    color = existing_colors[u]
+                    if color is not None:
+                        forbidden.add(color)
+        lists.append([c for c in palette if c not in forbidden])
+
+    for index in range(virtual.n):
+        if len(lists[index]) <= virtual.degree(index):
+            raise InvariantViolation(
+                f"Lemma 16 violated for slack pair {triads[index].pair}: "
+                f"virtual degree {virtual.degree(index)} with only "
+                f"{len(lists[index])} available colors (palette "
+                f"{len(palette)}); expected degree <= Delta - 2"
+            )
+
+    if deterministic:
+        colors, result = deg_plus_one_list_coloring(virtual, lists)
+    else:
+        colors, result = randomized_list_coloring(virtual, lists, seed=seed)
+    ledger.charge(
+        "hard/phase4a/pair-coloring",
+        virtual.base_rounds(result.rounds),
+        result.messages,
+    )
+
+    assignment: dict[int, int] = {}
+    for index, triad in enumerate(triads):
+        assignment[triad.pair[0]] = colors[index]
+        assignment[triad.pair[1]] = colors[index]
+    stats = {
+        "gv_nodes": virtual.n,
+        "gv_max_degree": virtual.max_degree,
+        "gv_degree_bound": max(len(palette) - 1, 0),
+    }
+    return assignment, stats

@@ -1,0 +1,65 @@
+"""Graph substrate: instance generators, density measures, validation, IO."""
+
+from repro.graphs.adversarial import (
+    brooks_obstruction,
+    plant_external_edge,
+    plant_nonclique_pair,
+    plant_shared_outside_neighbor,
+)
+from repro.graphs.dense import (
+    friend_count,
+    friend_neighbors,
+    is_eta_dense,
+    neighborhood_edge_count,
+    non_edges_in_neighborhood,
+    shared_neighbor_count,
+)
+from repro.graphs.generators import (
+    clique_blowup,
+    hard_clique_graph,
+    hard_clique_torus,
+    heterogeneous_hard_cliques,
+    isolated_cliques,
+    mixed_dense_graph,
+    projective_plane_clique_graph,
+    regular_bipartite_graph,
+    sparse_dense_mix,
+)
+from repro.graphs.instance import DenseInstance
+from repro.graphs.io import load_coloring, load_instance, save_coloring, save_instance
+from repro.graphs.validation import (
+    assert_no_delta_plus_one_clique,
+    assert_regular,
+    check_instance,
+    count_inter_clique_multiplicity,
+)
+
+__all__ = [
+    "DenseInstance",
+    "brooks_obstruction",
+    "assert_no_delta_plus_one_clique",
+    "assert_regular",
+    "check_instance",
+    "clique_blowup",
+    "count_inter_clique_multiplicity",
+    "friend_count",
+    "friend_neighbors",
+    "hard_clique_graph",
+    "hard_clique_torus",
+    "heterogeneous_hard_cliques",
+    "is_eta_dense",
+    "isolated_cliques",
+    "load_coloring",
+    "load_instance",
+    "mixed_dense_graph",
+    "neighborhood_edge_count",
+    "non_edges_in_neighborhood",
+    "plant_external_edge",
+    "plant_nonclique_pair",
+    "plant_shared_outside_neighbor",
+    "projective_plane_clique_graph",
+    "regular_bipartite_graph",
+    "save_coloring",
+    "save_instance",
+    "sparse_dense_mix",
+]

@@ -1,0 +1,72 @@
+"""Sparsity/density measures from Section 2 of the paper.
+
+Two adjacent vertices are *friends* when they share at least
+``(1 - eta) * Delta`` neighbors; a vertex is *eta-dense* when at least
+``(1 - eta) * Delta`` of its neighbors are friends, else *eta-sparse*
+(Claim 1 bounds the neighborhood edge count of sparse vertices).  These
+are the primitives the ACD (Lemma 2) builds on.
+"""
+
+from __future__ import annotations
+
+from repro.local.network import Network
+
+__all__ = [
+    "friend_count",
+    "friend_neighbors",
+    "is_eta_dense",
+    "neighborhood_edge_count",
+    "non_edges_in_neighborhood",
+    "shared_neighbor_count",
+]
+
+
+def shared_neighbor_count(network: Network, u: int, v: int) -> int:
+    """``|N(u) ∩ N(v)|``."""
+    nu = network.neighbor_set(u)
+    return sum(1 for w in network.adjacency[v] if w in nu)
+
+
+def friend_neighbors(
+    network: Network, v: int, eta: float, delta: int | None = None
+) -> list[int]:
+    """Neighbors ``u`` of ``v`` with ``|N(u) ∩ N(v)| >= (1 - eta) * Delta``."""
+    if delta is None:
+        delta = network.max_degree
+    threshold = (1.0 - eta) * delta
+    return [
+        u
+        for u in network.adjacency[v]
+        if shared_neighbor_count(network, v, u) >= threshold
+    ]
+
+
+def friend_count(network: Network, v: int, eta: float, delta: int | None = None) -> int:
+    return len(friend_neighbors(network, v, eta, delta))
+
+
+def is_eta_dense(
+    network: Network, v: int, eta: float, delta: int | None = None
+) -> bool:
+    """Whether ``v`` is eta-dense: at least ``(1 - eta) * Delta`` friends."""
+    if delta is None:
+        delta = network.max_degree
+    return friend_count(network, v, eta, delta) >= (1.0 - eta) * delta
+
+
+def neighborhood_edge_count(network: Network, v: int) -> int:
+    """Number of edges inside ``N(v)``."""
+    neighbors = network.adjacency[v]
+    count = 0
+    for i, u in enumerate(neighbors):
+        nu = network.neighbor_set(u)
+        for w in neighbors[i + 1:]:
+            if w in nu:
+                count += 1
+    return count
+
+
+def non_edges_in_neighborhood(network: Network, v: int) -> int:
+    """Number of non-adjacent pairs inside ``N(v)`` (sparsity measure)."""
+    d = network.degree(v)
+    return d * (d - 1) // 2 - neighborhood_edge_count(network, v)

@@ -1,0 +1,64 @@
+"""Instance container for generated dense graphs.
+
+A :class:`DenseInstance` bundles the communication network with the
+ground-truth structure the generator planted (the cliques and the clique
+graph), which tests and benchmarks use as an oracle for what the ACD and
+the hard/easy classification should recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.local.network import Network
+
+
+@dataclass
+class DenseInstance:
+    """A generated dense graph together with its planted structure.
+
+    Attributes
+    ----------
+    network:
+        The simulated LOCAL network.
+    cliques:
+        Planted cliques as vertex lists; ``cliques[i]`` are the vertices
+        of clique ``i``.  Every vertex belongs to exactly one clique.
+    clique_graph:
+        Adjacency between planted cliques: ``clique_graph[i]`` lists the
+        cliques that share at least one edge with clique ``i``.
+    delta:
+        Maximum degree of the network (every vertex of a hard instance
+        has degree exactly ``delta``).
+    meta:
+        Generator name and parameters, for bench provenance.
+    """
+
+    network: Network
+    cliques: list[list[int]]
+    clique_graph: list[list[int]]
+    delta: int
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return self.network.n
+
+    @property
+    def num_cliques(self) -> int:
+        return len(self.cliques)
+
+    def clique_of(self) -> list[int]:
+        """Map vertex -> planted clique index."""
+        owner = [-1] * self.network.n
+        for index, members in enumerate(self.cliques):
+            for v in members:
+                owner[v] = index
+        return owner
+
+    def describe(self) -> str:
+        return (
+            f"{self.meta.get('generator', 'instance')}: n={self.n}, "
+            f"Delta={self.delta}, cliques={self.num_cliques}"
+        )

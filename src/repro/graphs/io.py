@@ -1,0 +1,68 @@
+"""JSON (de)serialization for instances and colorings.
+
+Benchmarks persist generated instances and produced colorings so that
+experiments are replayable and figures can be regenerated without
+re-running the pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import GraphStructureError
+from repro.graphs.instance import DenseInstance
+from repro.local.network import Network
+
+FORMAT_VERSION = 1
+
+__all__ = ["load_instance", "save_instance", "load_coloring", "save_coloring"]
+
+
+def save_instance(instance: DenseInstance, path: str | Path) -> None:
+    """Write an instance (topology + planted structure) as JSON."""
+    payload = {
+        "format": FORMAT_VERSION,
+        "n": instance.network.n,
+        "uids": instance.network.uids,
+        "edges": instance.network.edges(),
+        "cliques": instance.cliques,
+        "clique_graph": instance.clique_graph,
+        "delta": instance.delta,
+        "meta": instance.meta,
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_instance(path: str | Path) -> DenseInstance:
+    """Read an instance written by :func:`save_instance`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != FORMAT_VERSION:
+        raise GraphStructureError(
+            f"unsupported instance format {payload.get('format')!r}"
+        )
+    network = Network.from_edges(
+        payload["n"],
+        [tuple(edge) for edge in payload["edges"]],
+        payload["uids"],
+        name="loaded-instance",
+    )
+    return DenseInstance(
+        network=network,
+        cliques=[list(c) for c in payload["cliques"]],
+        clique_graph=[list(c) for c in payload["clique_graph"]],
+        delta=payload["delta"],
+        meta=payload.get("meta", {}),
+    )
+
+
+def save_coloring(colors: list[int], num_colors: int, path: str | Path) -> None:
+    Path(path).write_text(
+        json.dumps({"format": FORMAT_VERSION, "num_colors": num_colors,
+                    "colors": colors})
+    )
+
+
+def load_coloring(path: str | Path) -> tuple[list[int], int]:
+    payload = json.loads(Path(path).read_text())
+    return list(payload["colors"]), int(payload["num_colors"])

@@ -1,0 +1,96 @@
+"""Base class for message-passing algorithms run by the simulator.
+
+An algorithm is written from the point of view of a single node, in the
+classic synchronous LOCAL style:
+
+* :meth:`on_start` runs once for every node in round 0.  It typically
+  sends the node's initial messages and/or sets an alarm.
+* :meth:`on_round` runs for a node in every round in which the node is
+  *scheduled*: it received at least one message in the previous round, or
+  an alarm it set is due.  Unscheduled nodes cost nothing, which lets the
+  engine fast-forward through quiet rounds (e.g. empty color classes of a
+  color-class sweep) without losing round-count fidelity.
+
+Nodes communicate only with neighbors; the engine raises
+:class:`repro.errors.SimulationError` on any attempt to send elsewhere,
+which keeps the implementations honest to the LOCAL model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+from repro.local.node import Node
+
+
+class Api:
+    """Per-run facade the engine hands to algorithm callbacks.
+
+    The same instance is reused across callbacks; it always refers to the
+    node currently being scheduled.
+    """
+
+    __slots__ = ("_network", "_node", "_outbox", "_alarms", "round")
+
+    def __init__(self, network) -> None:
+        self._network = network
+        self._node: Node | None = None
+        self._outbox: list[tuple[int, int, Any]] = []
+        self._alarms: list[tuple[int, int]] = []
+        self.round = 0
+
+    def _bind(self, node: Node, rnd: int) -> None:
+        self._node = node
+        self.round = rnd
+
+    def send(self, neighbor: int, message: Any) -> None:
+        """Send a message to one neighbor, delivered next round."""
+        self._outbox.append((self._node.index, neighbor, message))
+
+    def broadcast(self, message: Any) -> None:
+        """Send the same message to every neighbor."""
+        src = self._node.index
+        for neighbor in self._node.neighbors:
+            self._outbox.append((src, neighbor, message))
+
+    def set_alarm(self, rnd: int) -> None:
+        """Request to be scheduled (again) in round ``rnd`` (> current)."""
+        if rnd <= self.round:
+            raise ValueError(f"alarm round {rnd} not in the future (now {self.round})")
+        self._alarms.append((rnd, self._node.index))
+
+    def output(self, value: Any) -> None:
+        """Publish this node's output value."""
+        self._node.output = value
+
+    def halt(self, value: Any = None) -> None:
+        """Publish an output (if given) and stop participating."""
+        if value is not None:
+            self._node.output = value
+        self._node.halted = True
+
+
+class DistributedAlgorithm(ABC):
+    """A synchronous message-passing algorithm.
+
+    Subclasses may keep global *read-only* configuration (palettes,
+    parameters, RNG seeds) as attributes, but all per-node mutable state
+    must live in ``node.state`` — this mirrors the fact that in the LOCAL
+    model there is no shared memory.
+    """
+
+    #: Human-readable name used in ledgers and errors.
+    name: str = "algorithm"
+
+    def on_start(self, node: Node, api: Api) -> None:
+        """Round-0 hook; default does nothing."""
+
+    @abstractmethod
+    def on_round(self, node: Node, api: Api, inbox: Sequence[tuple[int, Any]]) -> None:
+        """Handle one scheduled round.
+
+        ``inbox`` is a sequence of ``(sender_index, message)`` pairs for
+        messages sent to this node in the previous round (possibly empty
+        when the node was scheduled by an alarm only).
+        """

@@ -1,0 +1,83 @@
+"""Round and message accounting for composed LOCAL algorithms.
+
+The pipelines in this package execute many subroutines in sequence, some
+on the input graph and some on virtual graphs whose rounds cost a constant
+factor more on the real network.  A :class:`RoundLedger` records one entry
+per (sub)phase so that experiment E7 can reproduce the decomposition of
+Lemma 18 and every result can report a faithful total round count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One charged phase: a label, its LOCAL rounds, and messages sent."""
+
+    label: str
+    rounds: int
+    messages: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rounds < 0 or self.messages < 0:
+            raise ValueError("rounds and messages must be non-negative")
+
+
+@dataclass
+class RoundLedger:
+    """Accumulates the LOCAL-model cost of a composed algorithm.
+
+    Rounds charged to the ledger always refer to rounds *on the base
+    network*.  When a subroutine runs on a virtual graph, the caller
+    charges ``virtual_rounds * scale`` where ``scale`` is the number of
+    base rounds needed to simulate one virtual round (see
+    :class:`repro.local.virtual.VirtualNetwork`).
+    """
+
+    entries: list[LedgerEntry] = field(default_factory=list)
+
+    def charge(self, label: str, rounds: int, messages: int = 0) -> None:
+        """Append one accounting entry."""
+        self.entries.append(LedgerEntry(label, rounds, messages))
+
+    def charge_result(self, label: str, result: "RunResult", scale: int = 1) -> None:
+        """Charge a simulator :class:`RunResult`, scaling virtual rounds."""
+        self.charge(label, result.rounds * scale, result.messages)
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(entry.rounds for entry in self.entries)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(entry.messages for entry in self.entries)
+
+    def rounds_for(self, label_prefix: str) -> int:
+        """Total rounds of all entries whose label starts with the prefix."""
+        return sum(
+            entry.rounds
+            for entry in self.entries
+            if entry.label.startswith(label_prefix)
+        )
+
+    def breakdown(self) -> dict[str, int]:
+        """Rounds per top-level label (text before the first '/')."""
+        table: dict[str, int] = {}
+        for entry in self.entries:
+            key = entry.label.split("/", 1)[0]
+            table[key] = table.get(key, 0) + entry.rounds
+        return table
+
+    def merge(self, other: "RoundLedger", prefix: str = "", scale: int = 1) -> None:
+        """Fold another ledger into this one, optionally scaled/prefixed."""
+        for entry in other.entries:
+            label = f"{prefix}/{entry.label}" if prefix else entry.label
+            self.charge(label, entry.rounds * scale, entry.messages)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        lines = [f"{entry.label}: {entry.rounds} rounds, {entry.messages} msgs"
+                 for entry in self.entries]
+        lines.append(f"TOTAL: {self.total_rounds} rounds, {self.total_messages} msgs")
+        return "\n".join(lines)

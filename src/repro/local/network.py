@@ -1,0 +1,321 @@
+"""The synchronous LOCAL network simulator.
+
+A :class:`Network` owns the communication graph and executes
+:class:`~repro.local.algorithm.DistributedAlgorithm` instances round by
+round.  The engine is event driven: only nodes that received a message or
+whose alarm is due are scheduled, and rounds in which nothing happens are
+fast-forwarded while still being counted — so a color-class sweep over
+``O(Delta^2)`` classes is cheap to simulate but reports its true LOCAL
+round cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, Sequence
+
+from repro.errors import RoundLimitExceeded, SimulationError
+from repro.local.algorithm import Api, DistributedAlgorithm
+from repro.local.node import Node
+from repro.local.result import RunResult
+
+#: Default safety cap on simulated rounds.
+DEFAULT_MAX_ROUNDS = 2_000_000
+
+
+def message_words(payload) -> int:
+    """Size of a message in machine words (CONGEST accounting).
+
+    Scalars (ints, floats, bools, None) and short strings count one word
+    each — every quantity an algorithm sends here fits O(log n) bits;
+    containers count the sum of their items.  Used by
+    :meth:`Network.run` when ``measure_bandwidth`` is on.
+    """
+    if payload is None or isinstance(payload, (int, float, bool)):
+        return 1
+    if isinstance(payload, str):
+        return max(1, (len(payload) + 7) // 8)
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        return sum(message_words(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(
+            message_words(k) + message_words(v) for k, v in payload.items()
+        )
+    return 1
+
+
+def _adjacency_from_edges(n: int, edges: Iterable[tuple[int, int]]) -> list[list[int]]:
+    adjacency: list[list[int]] = [[] for _ in range(n)]
+    seen: set[tuple[int, int]] = set()
+    for u, v in edges:
+        if u == v:
+            raise SimulationError(f"self loop at vertex {u}")
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    return adjacency
+
+
+class Network:
+    """An n-node communication network with synchronous rounds.
+
+    Parameters
+    ----------
+    adjacency:
+        ``adjacency[v]`` lists the neighbors of vertex ``v``.  The graph
+        must be simple and undirected (``u in adjacency[v]`` iff
+        ``v in adjacency[u]``); this is validated on construction.
+    uids:
+        Unique identifiers, one per vertex.  Defaults to the identity.
+        Algorithms must break symmetry through these, never through the
+        vertex indices, so shuffling ``uids`` exercises ID independence.
+    validate:
+        When True (default) the adjacency structure is checked and every
+        ``send`` is verified to target a neighbor.
+    """
+
+    def __init__(
+        self,
+        adjacency: Sequence[Sequence[int]],
+        uids: Sequence[int] | None = None,
+        *,
+        name: str = "network",
+        validate: bool = True,
+    ):
+        self.name = name
+        self.adjacency: list[tuple[int, ...]] = [tuple(nbrs) for nbrs in adjacency]
+        self.n = len(self.adjacency)
+        if uids is None:
+            uids = list(range(self.n))
+        if len(uids) != self.n:
+            raise SimulationError("uids length must equal the number of vertices")
+        if len(set(uids)) != self.n:
+            raise SimulationError("uids must be unique")
+        self.uids = list(uids)
+        self._validate_sends = validate
+        if validate:
+            self._check_adjacency()
+        self._neighbor_sets: list[frozenset[int]] | None = None
+        self.nodes = [
+            Node(index, self.uids[index], self.adjacency[index])
+            for index in range(self.n)
+        ]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls, n: int, edges: Iterable[tuple[int, int]], uids: Sequence[int] | None = None,
+        *, name: str = "network",
+    ) -> "Network":
+        """Build a network from an edge list on vertices ``0..n-1``."""
+        return cls(_adjacency_from_edges(n, edges), uids, name=name)
+
+    @classmethod
+    def from_networkx(cls, graph, *, name: str = "network") -> "Network":
+        """Build a network from a networkx graph with hashable nodes.
+
+        Nodes are relabeled to ``0..n-1`` in sorted order; the original
+        labels become the uids when they are integers, otherwise the
+        identity uids are used and the mapping is discarded.
+        """
+        ordered = sorted(graph.nodes())
+        position = {label: index for index, label in enumerate(ordered)}
+        edges = [(position[u], position[v]) for u, v in graph.edges()]
+        uids = ordered if all(isinstance(label, int) for label in ordered) else None
+        return cls.from_edges(len(ordered), edges, uids, name=name)
+
+    def _check_adjacency(self) -> None:
+        for v, neighbors in enumerate(self.adjacency):
+            if len(set(neighbors)) != len(neighbors):
+                raise SimulationError(f"duplicate neighbor entries at vertex {v}")
+            for u in neighbors:
+                if u == v:
+                    raise SimulationError(f"self loop at vertex {v}")
+                if not 0 <= u < self.n:
+                    raise SimulationError(f"neighbor {u} of vertex {v} out of range")
+                if v not in self.adjacency[u]:
+                    raise SimulationError(
+                        f"asymmetric adjacency: {u} in N({v}) but not vice versa"
+                    )
+
+    # ------------------------------------------------------------------
+    # Graph accessors
+    # ------------------------------------------------------------------
+
+    def degree(self, v: int) -> int:
+        return len(self.adjacency[v])
+
+    @property
+    def max_degree(self) -> int:
+        """Delta, the maximum degree of the network."""
+        return max((len(nbrs) for nbrs in self.adjacency), default=0)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(nbrs) for nbrs in self.adjacency) // 2
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All edges as ``(u, v)`` with ``u < v``."""
+        return [
+            (v, u)
+            for v in range(self.n)
+            for u in self.adjacency[v]
+            if v < u
+        ]
+
+    def neighbor_set(self, v: int) -> frozenset[int]:
+        if self._neighbor_sets is None:
+            self._neighbor_sets = [frozenset(nbrs) for nbrs in self.adjacency]
+        return self._neighbor_sets[v]
+
+    def subnetwork(
+        self, vertices: Iterable[int], *, name: str | None = None
+    ) -> tuple["Network", list[int]]:
+        """Induced subnetwork; returns it plus the original-vertex list.
+
+        Node ``i`` of the subnetwork corresponds to ``mapping[i]`` here and
+        inherits its uid, so symmetry breaking remains consistent.
+        """
+        mapping = sorted(set(vertices))
+        position = {v: i for i, v in enumerate(mapping)}
+        adjacency = [
+            tuple(position[u] for u in self.adjacency[v] if u in position)
+            for v in mapping
+        ]
+        sub = Network(
+            adjacency,
+            [self.uids[v] for v in mapping],
+            name=name or f"{self.name}[induced]",
+            validate=False,
+        )
+        return sub, mapping
+
+    # ------------------------------------------------------------------
+    # Execution engine
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        algorithm: DistributedAlgorithm,
+        *,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        measure_bandwidth: bool = False,
+        bandwidth_limit: int | None = None,
+        tracer=None,
+    ) -> RunResult:
+        """Execute an algorithm to quiescence and return its result.
+
+        The run terminates when no messages are in flight and no alarms
+        are pending (halted or not, a silent node stays silent forever in
+        a deterministic synchronous system).  The round count includes
+        fast-forwarded quiet rounds up to the last activity.
+
+        With ``measure_bandwidth`` the per-message size in words is
+        tracked (see :func:`message_words`), which tells whether the
+        algorithm would also run in CONGEST; ``bandwidth_limit`` turns
+        the simulator into a CONGEST(limit-words) model — any larger
+        message raises :class:`SimulationError`.
+        """
+        for node in self.nodes:
+            node.reset()
+
+        api = Api(self)
+        alarms: list[tuple[int, int]] = []
+        messages_sent = 0
+        max_words = 0
+        total_words = 0
+        validate = self._validate_sends
+
+        def flush_outbox(current_round: int) -> dict[int, list[tuple[int, Any]]]:
+            nonlocal messages_sent, max_words, total_words
+            inboxes: dict[int, list[tuple[int, Any]]] = {}
+            for src, dst, payload in api._outbox:
+                if validate and dst not in self.neighbor_set(src):
+                    raise SimulationError(
+                        f"{algorithm.name}: node {src} sent to non-neighbor {dst}"
+                    )
+                messages_sent += 1
+                if measure_bandwidth or bandwidth_limit is not None:
+                    words = message_words(payload)
+                    total_words += words
+                    if words > max_words:
+                        max_words = words
+                    if bandwidth_limit is not None and words > bandwidth_limit:
+                        raise SimulationError(
+                            f"{algorithm.name}: message of {words} words "
+                            f"from {src} exceeds the CONGEST limit of "
+                            f"{bandwidth_limit}"
+                        )
+                # Messages to halted nodes can never influence any output,
+                # so they are dropped eagerly; this keeps the reported
+                # round count equal to the round in which the last output
+                # was fixed rather than counting trailing noise rounds.
+                if self.nodes[dst].halted:
+                    continue
+                inboxes.setdefault(dst, []).append((src, payload))
+            api._outbox.clear()
+            for rnd, index in api._alarms:
+                heapq.heappush(alarms, (rnd, index))
+            api._alarms.clear()
+            return inboxes
+
+        # Round 0: initialization.
+        api.round = 0
+        for node in self.nodes:
+            api._bind(node, 0)
+            algorithm.on_start(node, api)
+        pending = flush_outbox(0)
+
+        rnd = 0
+        last_activity_round = 0
+        while pending or alarms:
+            if pending:
+                rnd += 1
+            else:
+                # Fast-forward to the next alarm; those quiet rounds elapse.
+                rnd = max(rnd + 1, alarms[0][0])
+            if rnd > max_rounds:
+                raise RoundLimitExceeded(
+                    f"{algorithm.name} exceeded {max_rounds} rounds on {self.name}"
+                )
+            due: set[int] = set(pending)
+            while alarms and alarms[0][0] <= rnd:
+                index = heapq.heappop(alarms)[1]
+                if not self.nodes[index].halted:
+                    due.add(index)
+            if not due:
+                continue
+            api.round = rnd
+            empty: tuple = ()
+            scheduled = 0
+            for index in sorted(due):
+                node = self.nodes[index]
+                if node.halted:
+                    continue
+                api._bind(node, rnd)
+                algorithm.on_round(node, api, pending.get(index, empty))
+                scheduled += 1
+            if tracer is not None:
+                tracer.record(
+                    rnd,
+                    scheduled,
+                    sum(len(box) for box in pending.values()),
+                    sum(1 for node in self.nodes if node.halted),
+                )
+            pending = flush_outbox(rnd)
+            last_activity_round = rnd
+
+        return RunResult(
+            rounds=last_activity_round,
+            messages=messages_sent,
+            outputs=[node.output for node in self.nodes],
+            halted=[node.halted for node in self.nodes],
+            max_message_words=max_words,
+            total_message_words=total_words,
+        )

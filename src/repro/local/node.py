@@ -1,0 +1,39 @@
+"""Node objects of the simulated LOCAL network."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Node:
+    """One computing entity of the network.
+
+    A node knows its unique identifier, its position in the network's
+    vertex numbering, and its neighbor list.  Algorithm-specific state is
+    kept in :attr:`state` (a plain dict) so that several algorithms can run
+    over the same network in sequence without interfering: the network
+    clears the state dicts at the start of every run.
+    """
+
+    __slots__ = ("index", "uid", "neighbors", "state", "halted", "output")
+
+    def __init__(self, index: int, uid: int, neighbors: tuple[int, ...]):
+        self.index = index
+        self.uid = uid
+        self.neighbors = neighbors
+        self.state: dict[str, Any] = {}
+        self.halted = False
+        self.output: Any = None
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+    def reset(self) -> None:
+        """Clear per-algorithm state before a new run."""
+        self.state = {}
+        self.halted = False
+        self.output = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Node(index={self.index}, uid={self.uid}, deg={self.degree})"

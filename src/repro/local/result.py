@@ -1,0 +1,44 @@
+"""Result record for one simulated LOCAL algorithm execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`repro.local.network.Network.run`.
+
+    Attributes
+    ----------
+    rounds:
+        Number of synchronous rounds that elapsed, including quiet rounds
+        that were fast-forwarded over (a LOCAL algorithm idling until an
+        alarm still spends those rounds).
+    messages:
+        Total number of point-to-point messages delivered.
+    outputs:
+        Per-node outputs indexed by node index, as published via
+        ``api.output(value)``; ``None`` for nodes that never published.
+    halted:
+        Per-node halt flags at termination.
+    max_message_words:
+        Largest message observed, in machine words (only measured when
+        the run was started with ``measure_bandwidth=True``; 0
+        otherwise).  A LOCAL algorithm is CONGEST-compatible when this
+        stays O(1) — each word is an O(log n)-bit quantity.
+    total_message_words:
+        Sum of message sizes in words (same caveat).
+    """
+
+    rounds: int
+    messages: int
+    outputs: list[Any]
+    halted: list[bool] = field(default_factory=list)
+    max_message_words: int = 0
+    total_message_words: int = 0
+
+    @property
+    def all_halted(self) -> bool:
+        return all(self.halted) if self.halted else True

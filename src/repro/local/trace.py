@@ -1,0 +1,55 @@
+"""Execution tracing: per-round activity profiles of a simulated run.
+
+A :class:`Tracer` passed to :meth:`Network.run` records, for every
+executed round, how many nodes were scheduled, how many messages were
+delivered, and how many nodes halted — the raw material for activity
+profiles (e.g. the burst/quiet structure of color-class sweeps vs. the
+uniform activity of Luby-style algorithms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RoundSample", "Tracer"]
+
+
+@dataclass(frozen=True)
+class RoundSample:
+    """Activity of one executed (non-fast-forwarded) round."""
+
+    round: int
+    scheduled: int
+    delivered: int
+    halted_total: int
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`RoundSample` records during a run."""
+
+    samples: list[RoundSample] = field(default_factory=list)
+
+    def record(
+        self, rnd: int, scheduled: int, delivered: int, halted_total: int
+    ) -> None:
+        self.samples.append(RoundSample(rnd, scheduled, delivered, halted_total))
+
+    @property
+    def executed_rounds(self) -> int:
+        """Rounds in which at least one node ran (quiet rounds excluded)."""
+        return len(self.samples)
+
+    @property
+    def peak_scheduled(self) -> int:
+        return max((s.scheduled for s in self.samples), default=0)
+
+    def activity_profile(self) -> list[tuple[int, int]]:
+        """(round, scheduled) series, for plotting."""
+        return [(s.round, s.scheduled) for s in self.samples]
+
+    def quiet_fraction(self, total_rounds: int) -> float:
+        """Fraction of LOCAL rounds in which nothing executed."""
+        if total_rounds <= 0:
+            return 0.0
+        return 1.0 - self.executed_rounds / total_rounds

@@ -1,0 +1,5 @@
+"""Figure/report exports (Graphviz DOT)."""
+
+from repro.report.figures import coloring_to_dot, pair_graph_to_dot, triads_to_dot
+
+__all__ = ["coloring_to_dot", "pair_graph_to_dot", "triads_to_dot"]

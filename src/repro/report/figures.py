@@ -1,0 +1,131 @@
+"""Figure exports: Graphviz DOT renderings of the paper's structures.
+
+Produces the data behind the paper's illustrations from live pipeline
+objects: colored instances, slack triads over their cliques (Figure 2),
+and the slack-pair conflict graph G_V (Figure 3).  DOT output renders
+with any Graphviz (``dot -Tsvg``), keeping the repository free of
+plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.acd.decomposition import ACD
+from repro.core.triads import SlackTriad
+from repro.local.network import Network
+from repro.local.virtual import VirtualNetwork
+
+__all__ = ["coloring_to_dot", "pair_graph_to_dot", "triads_to_dot"]
+
+#: A categorical palette; colors cycle for larger Delta.
+_PALETTE = (
+    "#4c72b0", "#dd8452", "#55a868", "#c44e52", "#8172b3",
+    "#937860", "#da8bc3", "#8c8c8c", "#ccb974", "#64b5cd",
+)
+
+
+def _fill(color: int | None) -> str:
+    if color is None:
+        return "white"
+    return _PALETTE[color % len(_PALETTE)]
+
+
+def coloring_to_dot(
+    network: Network,
+    colors: Sequence[int | None] | None = None,
+    *,
+    cliques: Sequence[Sequence[int]] = (),
+    name: str = "coloring",
+) -> str:
+    """The whole graph, vertices filled by color, cliques as clusters."""
+    lines = [f"graph {name} {{", "  node [style=filled, shape=circle];"]
+    clustered: set[int] = set()
+    for index, members in enumerate(cliques):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f'    label="C{index}";')
+        for v in members:
+            color = colors[v] if colors is not None else None
+            lines.append(f'    {v} [fillcolor="{_fill(color)}"];')
+            clustered.add(v)
+        lines.append("  }")
+    for v in range(network.n):
+        if v not in clustered:
+            color = colors[v] if colors is not None else None
+            lines.append(f'  {v} [fillcolor="{_fill(color)}"];')
+    for u, v in network.edges():
+        lines.append(f"  {u} -- {v};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def triads_to_dot(
+    network: Network,
+    triads: Sequence[SlackTriad],
+    acd: ACD,
+    *,
+    name: str = "figure2",
+) -> str:
+    """Figure 2: slack triads over their cliques.
+
+    Slack vertices render as checkerboard-style doublecircles, pair
+    vertices as orange boxes, exactly as in the paper's figure; only the
+    cliques hosting triad vertices are drawn, with their inter-clique
+    edges.
+    """
+    slack = {t.slack for t in triads}
+    pairs = {v for t in triads for v in t.pair}
+    shown_cliques = sorted(
+        {acd.clique_index[v] for t in triads for v in t.vertices} - {-1}
+    )
+    shown_vertices = {
+        v for index in shown_cliques for v in acd.cliques[index]
+    }
+    lines = [f"graph {name} {{", "  node [shape=circle];"]
+    for index in shown_cliques:
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f'    label="C{index}";')
+        for v in acd.cliques[index]:
+            if v in slack:
+                lines.append(
+                    f'    {v} [shape=doublecircle, style=filled, '
+                    f'fillcolor="#dddddd"];'
+                )
+            elif v in pairs:
+                lines.append(
+                    f'    {v} [shape=box, style=filled, fillcolor="#f28e2b"];'
+                )
+            else:
+                lines.append(f"    {v};")
+        lines.append("  }")
+    for u, v in network.edges():
+        if u in shown_vertices and v in shown_vertices:
+            lines.append(f"  {u} -- {v};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pair_graph_to_dot(
+    virtual: VirtualNetwork,
+    pair_colors: Mapping[int, int] | None = None,
+    *,
+    name: str = "figure3",
+) -> str:
+    """Figure 3: the slack-pair conflict graph G_V.
+
+    Each node is one slack pair (labeled by its base vertices); edges
+    are the conflicts; fills show the common color when given.
+    """
+    lines = [f"graph {name} {{", "  node [shape=box, style=filled];"]
+    for index, group in enumerate(virtual.groups):
+        label = "{" + ",".join(str(v) for v in group) + "}"
+        color = None
+        if pair_colors is not None:
+            color = pair_colors.get(group[0])
+        lines.append(
+            f'  p{index} [label="{label}", fillcolor="{_fill(color)}"];'
+        )
+    for a, b in virtual.edges():
+        lines.append(f"  p{a} -- p{b};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Multi-source BFS layering — the coloring-order scaffold.
+
+Both the easy-clique phase (Algorithm 3, Line 4) and the layering around
+slack vertices organize coloring by hop distance from a source set:
+layers are colored outermost-first so that every vertex keeps an
+uncolored neighbor one layer down (slack) until its own turn.  This
+module computes the layering as an honest message-passing flood.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.local.algorithm import Api, DistributedAlgorithm
+from repro.local.network import Network
+from repro.local.node import Node
+from repro.local.result import RunResult
+
+__all__ = ["bfs_layers", "layers_to_lists"]
+
+
+class _Flood(DistributedAlgorithm):
+    name = "bfs-flood"
+
+    def __init__(self, sources: set[int], max_depth: int | None):
+        self.sources = sources
+        self.max_depth = max_depth
+
+    def on_start(self, node: Node, api: Api) -> None:
+        if node.index in self.sources:
+            api.broadcast(0)
+            api.halt(0)
+
+    def on_round(self, node: Node, api: Api, inbox: Sequence[tuple[int, int]]) -> None:
+        depth = min(m for _, m in inbox) + 1
+        if self.max_depth is None or depth < self.max_depth:
+            api.broadcast(depth)
+        api.halt(depth)
+
+
+def bfs_layers(
+    network: Network,
+    sources: Sequence[int],
+    *,
+    max_depth: int | None = None,
+) -> tuple[list[int | None], RunResult]:
+    """Hop distance of every vertex from the source set.
+
+    Returns per-vertex depth (None for unreachable or beyond
+    ``max_depth``) and the flood's cost (rounds = covered eccentricity).
+    """
+    result = network.run(_Flood(set(sources), max_depth))
+    return [node.output for node in network.nodes], result
+
+
+def layers_to_lists(depths: Sequence[int | None]) -> list[list[int]]:
+    """Group vertices by depth: ``layers[d]`` lists depth-d vertices."""
+    max_depth = max((d for d in depths if d is not None), default=-1)
+    layers: list[list[int]] = [[] for _ in range(max_depth + 1)]
+    for v, d in enumerate(depths):
+        if d is not None:
+            layers[d].append(v)
+    return layers

@@ -1,0 +1,335 @@
+"""Hyperedge grabbing (HEG) — Lemma 5's substrate from [BMN+25].
+
+Given a multihypergraph with minimum degree ``delta`` and maximum rank
+``r < delta``, every vertex must *grab* one incident hyperedge such that
+no hyperedge is grabbed twice.  Feasibility for ``r < delta`` follows
+from Hall's theorem: any vertex set ``S`` touches at least
+``|S| * delta / r >= |S|`` hyperedges.
+
+[BMN+25] solve this deterministically in ``O(log_{delta/r} n)`` LOCAL
+rounds via hypergraph sinkless orientation.  We implement the same
+output contract with a two-stage solver (see DESIGN.md substitutions):
+
+1. *Proposal stage* (distributed, message passing on the bipartite
+   incidence network): each unassigned vertex proposes to one incident
+   unclaimed hyperedge per cycle, rotating deterministically (or
+   uniformly at random); every proposed-to unclaimed hyperedge grants
+   its minimum-uid proposer.  Each cycle claims every contested edge, so
+   the stage terminates, and empirically finishes in O(log n) cycles on
+   Lemma 11-style instances.
+2. *Augmentation stage* (fallback, rarely triggered): vertices whose
+   incident hyperedges were all claimed by others re-acquire one via an
+   alternating augmenting path; the charged round cost is twice the path
+   length per augmentation, mirroring a distributed path search.
+
+The result is always verified, and :func:`heg_feasible` provides an
+independent Hall certificate through Hopcroft–Karp matching.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import SubroutineError
+from repro.local.algorithm import Api, DistributedAlgorithm
+from repro.local.network import Network
+from repro.local.node import Node
+from repro.local.result import RunResult
+
+__all__ = [
+    "Hypergraph",
+    "heg_feasible",
+    "hyperedge_grabbing",
+    "verify_heg",
+]
+
+
+@dataclass
+class Hypergraph:
+    """A multihypergraph given by its hyperedges' member lists."""
+
+    num_vertices: int
+    edges: list[tuple[int, ...]]
+    vertex_uids: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.vertex_uids:
+            self.vertex_uids = list(range(self.num_vertices))
+        if len(self.vertex_uids) != self.num_vertices:
+            raise SubroutineError("vertex_uids length mismatch")
+        self.edges = [tuple(sorted(set(e))) for e in self.edges]
+        for members in self.edges:
+            for v in members:
+                if not 0 <= v < self.num_vertices:
+                    raise SubroutineError(f"hyperedge member {v} out of range")
+        self._incidence: list[list[int]] = [[] for _ in range(self.num_vertices)]
+        for index, members in enumerate(self.edges):
+            for v in members:
+                self._incidence[v].append(index)
+
+    def incident(self, v: int) -> list[int]:
+        return self._incidence[v]
+
+    @property
+    def rank(self) -> int:
+        """Maximum number of vertices in any hyperedge."""
+        return max((len(e) for e in self.edges), default=0)
+
+    @property
+    def min_degree(self) -> int:
+        """Minimum number of hyperedges incident to any vertex."""
+        return min((len(inc) for inc in self._incidence), default=0)
+
+
+class _ProposalHEG(DistributedAlgorithm):
+    """Proposal stage on the bipartite incidence network.
+
+    Node indices ``0 .. V-1`` are hypergraph vertices, ``V .. V+E-1`` are
+    hyperedges.  A cycle takes two rounds: vertices propose on odd
+    rounds; edges grant/announce on even rounds.
+    """
+
+    name = "heg-proposals"
+
+    def __init__(self, num_vertices: int, rng: random.Random | None):
+        self.num_vertices = num_vertices
+        self.rng = rng
+
+    def _is_vertex(self, node: Node) -> bool:
+        return node.index < self.num_vertices
+
+    def on_start(self, node: Node, api: Api) -> None:
+        if self._is_vertex(node):
+            node.state["candidates"] = list(node.neighbors)
+            node.state["turn"] = 0
+            self._propose(node, api)
+        else:
+            node.state["claimed"] = False
+
+    def _propose(self, node: Node, api: Api) -> None:
+        candidates = node.state["candidates"]
+        if not candidates:
+            api.halt(None)  # stuck: resolved by the augmentation stage
+            return
+        if self.rng is not None:
+            target = self.rng.choice(candidates)
+        else:
+            target = candidates[(node.state["turn"] + node.uid) % len(candidates)]
+            node.state["turn"] += 1
+        api.send(target, ("propose", node.uid))
+
+    def on_round(self, node: Node, api: Api, inbox: Sequence[tuple[int, tuple]]) -> None:
+        if self._is_vertex(node):
+            candidates = node.state["candidates"]
+            for sender, (kind, _) in inbox:
+                if kind == "grant":
+                    api.halt(sender)
+                    return
+                if kind == "claimed" and sender in candidates:
+                    candidates.remove(sender)
+            self._propose(node, api)
+            return
+        # Hyperedge node.
+        if node.state["claimed"]:
+            return
+        proposers = [
+            (payload, sender)
+            for sender, (kind, payload) in inbox
+            if kind == "propose"
+        ]
+        if not proposers:
+            return
+        winner = min(proposers)[1]
+        node.state["claimed"] = True
+        api.send(winner, ("grant", None))
+        for member in node.neighbors:
+            if member != winner:
+                api.send(member, ("claimed", None))
+        api.halt(winner)
+
+
+def _incidence_network(h: Hypergraph) -> Network:
+    num_nodes = h.num_vertices + len(h.edges)
+    adjacency: list[list[int]] = [[] for _ in range(num_nodes)]
+    for index, members in enumerate(h.edges):
+        edge_node = h.num_vertices + index
+        for v in members:
+            adjacency[v].append(edge_node)
+            adjacency[edge_node].append(v)
+    id_space = max(h.vertex_uids) + 1 if h.vertex_uids else 1
+    uids = list(h.vertex_uids) + [id_space + i for i in range(len(h.edges))]
+    return Network(adjacency, uids, name="heg-incidence", validate=False)
+
+
+def hyperedge_grabbing(
+    h: Hypergraph,
+    *,
+    deterministic: bool = True,
+    seed: int | None = None,
+    rng: random.Random | None = None,
+    require_slack: bool = True,
+) -> tuple[list[int], RunResult]:
+    """Solve HEG; returns ``grab`` (vertex -> hyperedge index) and the cost.
+
+    ``require_slack`` enforces the Lemma 5 precondition ``rank <
+    min_degree`` up front; disable it only in experiments that probe the
+    infeasible regime (they will then see SubroutineError from the
+    verification or the augmentation stage instead).
+    """
+    if h.num_vertices == 0:
+        return [], RunResult(rounds=0, messages=0, outputs=[])
+    if h.min_degree == 0:
+        raise SubroutineError("HEG needs every vertex to have an incident hyperedge")
+    if require_slack and h.rank >= h.min_degree:
+        raise SubroutineError(
+            f"HEG precondition violated: rank {h.rank} >= min degree "
+            f"{h.min_degree} (Lemma 5 needs r < delta)"
+        )
+
+    if rng is None and not deterministic:
+        rng = random.Random(seed)
+    network = _incidence_network(h)
+    result = network.run(_ProposalHEG(h.num_vertices, rng))
+
+    grab: list[int | None] = [None] * h.num_vertices
+    claimed_by: dict[int, int] = {}
+    for index in range(len(h.edges)):
+        # Edge nodes output the *node index* of the winning vertex, which
+        # equals its hypergraph vertex index on the incidence network.
+        owner = network.nodes[h.num_vertices + index].output
+        if owner is not None:
+            claimed_by[index] = owner
+    for edge_index, vertex in claimed_by.items():
+        grab[vertex] = edge_index
+
+    extra_rounds = _augment_stuck(h, grab, claimed_by)
+
+    final = [g for g in grab]
+    verify_heg(h, final)  # also rejects residual None entries
+    return final, RunResult(
+        rounds=result.rounds + extra_rounds,
+        messages=result.messages,
+        outputs=final,
+    )
+
+
+def _augment_stuck(
+    h: Hypergraph, grab: list[int | None], claimed_by: dict[int, int]
+) -> int:
+    """Resolve stuck vertices via alternating augmenting paths.
+
+    Returns the charged LOCAL round cost: twice the path length per
+    augmentation (the distributed search explores alternating paths in
+    lockstep, one edge per round in each direction).
+    """
+    rounds = 0
+    for v in range(h.num_vertices):
+        if grab[v] is not None:
+            continue
+        # BFS over vertices through claimed hyperedges.
+        parent: dict[int, tuple[int, int]] = {}  # vertex -> (prev vertex, via edge)
+        visited = {v}
+        frontier = deque([v])
+        free_edge: int | None = None
+        end_vertex: int | None = None
+        while frontier and free_edge is None:
+            current = frontier.popleft()
+            for edge_index in h.incident(current):
+                owner = claimed_by.get(edge_index)
+                if owner is None:
+                    free_edge = edge_index
+                    end_vertex = current
+                    break
+                if owner not in visited:
+                    visited.add(owner)
+                    parent[owner] = (current, edge_index)
+                    frontier.append(owner)
+        if free_edge is None:
+            raise SubroutineError(
+                f"HEG infeasible: no augmenting path for vertex {v} "
+                "(Hall's condition violated)"
+            )
+        # Unwind: end_vertex takes the free edge; each ancestor takes the
+        # edge it reached its child through.
+        length = 0
+        claimed_by[free_edge] = end_vertex
+        grab[end_vertex] = free_edge
+        current = end_vertex
+        while current != v:
+            prev, via_edge = parent[current]
+            claimed_by[via_edge] = prev
+            grab[prev] = via_edge
+            current = prev
+            length += 1
+        rounds += 2 * (length + 1)
+    return rounds
+
+
+def verify_heg(h: Hypergraph, grab: Sequence[int | None]) -> None:
+    """Raise unless every vertex grabbed a distinct incident hyperedge."""
+    seen: set[int] = set()
+    for v, edge_index in enumerate(grab):
+        if edge_index is None:
+            raise SubroutineError(f"vertex {v} grabbed no hyperedge")
+        if v not in h.edges[edge_index]:
+            raise SubroutineError(
+                f"vertex {v} grabbed non-incident hyperedge {edge_index}"
+            )
+        if edge_index in seen:
+            raise SubroutineError(f"hyperedge {edge_index} grabbed twice")
+        seen.add(edge_index)
+
+
+def heg_feasible(h: Hypergraph) -> bool:
+    """Hall certificate: does a valid grabbing exist at all?
+
+    Computes a maximum bipartite matching (vertices vs. hyperedges) with
+    Hopcroft–Karp and checks it saturates the vertex side.
+    """
+    matching_size = _hopcroft_karp(h)
+    return matching_size == h.num_vertices
+
+
+def _hopcroft_karp(h: Hypergraph) -> int:
+    """Maximum matching size between vertices and their incident edges."""
+    infinity = float("inf")
+    match_v: list[int | None] = [None] * h.num_vertices
+    match_e: list[int | None] = [None] * len(h.edges)
+    size = 0
+    while True:
+        # BFS phase: layer free vertices.
+        dist = [infinity] * h.num_vertices
+        queue = deque()
+        for v in range(h.num_vertices):
+            if match_v[v] is None:
+                dist[v] = 0
+                queue.append(v)
+        found_free = False
+        while queue:
+            v = queue.popleft()
+            for e in h.incident(v):
+                owner = match_e[e]
+                if owner is None:
+                    found_free = True
+                elif dist[owner] == infinity:
+                    dist[owner] = dist[v] + 1
+                    queue.append(owner)
+        if not found_free:
+            return size
+
+        def dfs(v: int) -> bool:
+            for e in h.incident(v):
+                owner = match_e[e]
+                if owner is None or (dist[owner] == dist[v] + 1 and dfs(owner)):
+                    match_v[v] = e
+                    match_e[e] = v
+                    return True
+            dist[v] = infinity
+            return False
+
+        for v in range(h.num_vertices):
+            if match_v[v] is None and dfs(v):
+                size += 1

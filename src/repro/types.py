@@ -1,0 +1,51 @@
+"""Public result types shared across the package."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.local.ledger import RoundLedger
+
+
+@dataclass
+class ColoringResult:
+    """Outcome of a Delta-coloring run.
+
+    Attributes
+    ----------
+    colors:
+        Color of every vertex, indexed by vertex; colors are integers in
+        ``range(num_colors)``.
+    num_colors:
+        Size of the palette (Delta for the paper's algorithms).
+    ledger:
+        Per-phase round/message accounting (see Lemma 18 and experiment
+        E7).  ``ledger.total_rounds`` is the LOCAL round complexity of the
+        run on the base network.
+    algorithm:
+        Name of the algorithm that produced the coloring.
+    stats:
+        Free-form per-run statistics (clique counts, triad counts,
+        hypergraph delta/rank, shattering component sizes, ...), used by
+        the benchmark harness.
+    """
+
+    colors: list[int]
+    num_colors: int
+    ledger: RoundLedger
+    algorithm: str
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def rounds(self) -> int:
+        """Total LOCAL rounds of the run."""
+        return self.ledger.total_rounds
+
+    @property
+    def messages(self) -> int:
+        return self.ledger.total_messages
+
+    def phase_rounds(self) -> dict[str, int]:
+        """Round breakdown by top-level phase label."""
+        return self.ledger.breakdown()

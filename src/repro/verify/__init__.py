@@ -1,0 +1,31 @@
+"""Validation: proper-coloring checks and per-lemma invariant checkers."""
+
+from repro.verify.coloring import (
+    coloring_violations,
+    is_proper_coloring,
+    verify_coloring,
+)
+from repro.verify.properties import (
+    check_lemma2,
+    check_lemma9,
+    check_lemma12,
+    check_lemma13,
+    check_lemma15,
+    check_lemma16,
+    check_observation3,
+    check_oriented_matching,
+)
+
+__all__ = [
+    "check_lemma2",
+    "check_lemma9",
+    "check_lemma12",
+    "check_lemma13",
+    "check_lemma15",
+    "check_lemma16",
+    "check_observation3",
+    "check_oriented_matching",
+    "coloring_violations",
+    "is_proper_coloring",
+    "verify_coloring",
+]

@@ -1,0 +1,155 @@
+"""Tests for the almost-clique decomposition (Lemma 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.acd import compute_acd
+from repro.errors import NotDenseError
+from repro.graphs import hard_clique_graph, mixed_dense_graph
+from tests.conftest import random_network
+
+
+class TestRecovery:
+    def test_planted_cliques_recovered(self, hard_instance, hard_acd):
+        assert hard_acd.is_dense
+        assert sorted(map(tuple, hard_acd.cliques)) == sorted(
+            map(tuple, hard_instance.cliques)
+        )
+
+    def test_clique_index_consistent(self, hard_acd):
+        for index, members in enumerate(hard_acd.cliques):
+            for v in members:
+                assert hard_acd.clique_index[v] == index
+
+    def test_mixed_instance_still_dense(self, mixed_acd):
+        assert mixed_acd.is_dense
+        assert mixed_acd.num_cliques == 34
+
+    def test_seeded_instance(self):
+        instance = hard_clique_graph(34, 16, seed=11)
+        acd = compute_acd(instance.network, epsilon=0.25)
+        assert acd.is_dense and acd.num_cliques == 34
+
+
+class TestProperties:
+    def test_lemma2_size_bounds(self, hard_instance, hard_acd):
+        delta = hard_instance.delta
+        eps = hard_acd.epsilon
+        for members in hard_acd.cliques:
+            assert (1 - eps / 4) * delta <= len(members) <= (1 + eps) * delta
+
+    def test_lemma2_inside_degree(self, hard_instance, hard_acd):
+        net = hard_instance.network
+        delta = hard_instance.delta
+        eps = hard_acd.epsilon
+        for members in hard_acd.cliques:
+            member_set = set(members)
+            for v in members:
+                inside = sum(1 for u in net.adjacency[v] if u in member_set)
+                assert inside >= (1 - eps) * delta
+
+    def test_lemma2_outsider_bound(self, hard_instance, hard_acd):
+        net = hard_instance.network
+        delta = hard_instance.delta
+        eps = hard_acd.epsilon
+        for v in range(net.n):
+            counts: dict[int, int] = {}
+            own = hard_acd.clique_index[v]
+            for u in net.adjacency[v]:
+                other = hard_acd.clique_index[u]
+                if other != -1 and other != own:
+                    counts[other] = counts.get(other, 0) + 1
+            assert all(c <= (1 - eps / 2) * delta for c in counts.values())
+
+    def test_external_neighbors_helper(self, hard_instance, hard_acd):
+        net = hard_instance.network
+        for v in range(0, net.n, 61):
+            external = hard_acd.external_neighbors(net, v)
+            assert len(external) == 1  # k = 1 instances
+
+
+class TestSparseInputs:
+    def test_random_graph_is_sparse(self):
+        net = random_network(100, 300, seed=0)
+        acd = compute_acd(net, epsilon=0.25)
+        assert not acd.is_dense
+        with pytest.raises(NotDenseError):
+            acd.require_dense()
+
+    def test_require_dense_passes_on_dense(self, hard_acd):
+        hard_acd.require_dense()
+
+    def test_mixed_easy_vertices_stay_in_cliques(self, mixed_instance):
+        acd = compute_acd(mixed_instance.network, epsilon=0.25)
+        # The two degree-15 vertices of each easy clique must still be
+        # assigned to their clique, not dropped as sparse.
+        assert not acd.sparse
+
+
+class TestDistributedACD:
+    """The O(1)-round locality certification: every vertex decides its
+    clique from its radius-3 ball, and all decisions agree with the
+    centralized computation."""
+
+    def test_matches_centralized_on_hard(self, hard_instance, hard_acd):
+        from repro.acd import distributed_acd
+
+        local = distributed_acd(hard_instance.network, epsilon=0.25)
+        assert sorted(map(tuple, local.cliques)) == sorted(
+            map(tuple, hard_acd.cliques)
+        )
+        assert local.sparse == hard_acd.sparse
+
+    def test_matches_centralized_on_mixed(self, mixed_instance, mixed_acd):
+        from repro.acd import distributed_acd
+
+        local = distributed_acd(mixed_instance.network, epsilon=0.25)
+        assert sorted(map(tuple, local.cliques)) == sorted(
+            map(tuple, mixed_acd.cliques)
+        )
+
+    def test_sparse_vertices_classify_themselves(self):
+        from repro.acd import local_clique_view
+        from repro.graphs import sparse_dense_mix
+
+        instance = sparse_dense_mix(34, 16, seed=1)
+        blob = instance.meta["blob_vertices"]
+        for v in blob[:5]:
+            assert local_clique_view(instance.network, v, 0.25) is None
+
+    def test_clique_members_agree(self, hard_instance):
+        from repro.acd import local_clique_view
+
+        members = hard_instance.cliques[0]
+        views = {
+            local_clique_view(hard_instance.network, v, 0.25)
+            for v in members[:4]
+        }
+        assert len(views) == 1
+
+
+class TestLemma2Checkers:
+    def test_check_lemma2_passes(self, hard_instance, hard_acd):
+        from repro.verify import check_lemma2
+
+        check_lemma2(hard_instance.network, hard_acd)
+
+    def test_observation3_bound(self, hard_instance, hard_acd):
+        from repro.verify import check_observation3
+
+        worst = check_observation3(hard_instance.network, hard_acd)
+        assert worst == 1  # k = 1 instances
+
+    def test_check_lemma2_catches_tampering(self, hard_instance, hard_acd):
+        import dataclasses
+
+        from repro.errors import InvariantViolation
+        from repro.verify import check_lemma2
+
+        broken = dataclasses.replace(
+            hard_acd,
+            cliques=[hard_acd.cliques[0][:4]] + hard_acd.cliques[1:],
+        )
+        with pytest.raises(InvariantViolation, match="Lemma 2"):
+            check_lemma2(hard_instance.network, broken)

@@ -1,0 +1,90 @@
+"""Tests for adversarial instance surgery and the pipeline's responses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import delta_color, verify_coloring
+from repro.acd import compute_acd
+from repro.constants import AlgorithmParameters
+from repro.core import classify_cliques
+from repro.errors import GraphStructureError
+from repro.graphs import (
+    brooks_obstruction,
+    hard_clique_graph,
+    plant_external_edge,
+    plant_nonclique_pair,
+    plant_shared_outside_neighbor,
+)
+
+PARAMS = AlgorithmParameters(epsilon=0.25)
+
+
+@pytest.fixture(scope="module")
+def base():
+    return hard_clique_graph(34, 16, seed=3)
+
+
+def classify(instance):
+    acd = compute_acd(instance.network, epsilon=0.25)
+    return classify_cliques(instance.network, acd)
+
+
+class TestSurgery:
+    def test_shared_outside_neighbor_flips_to_easy(self, base):
+        tampered = plant_shared_outside_neighbor(base, clique=0)
+        net = tampered.network
+        assert all(net.degree(v) == 16 for v in range(net.n))
+        classification = classify(tampered)
+        assert 0 in classification.easy
+        assert classification.reasons[0] == "H3"
+
+    def test_external_edge_flips_to_easy(self, base):
+        tampered = plant_external_edge(base, clique=0)
+        net = tampered.network
+        assert all(net.degree(v) == 16 for v in range(net.n))
+        classification = classify(tampered)
+        assert 0 in classification.easy
+        assert classification.reasons[0] == "H4"
+
+    def test_nonclique_pair_keeps_degrees(self, base):
+        tampered = plant_nonclique_pair(base, clique=0)
+        net = tampered.network
+        assert all(net.degree(v) == 16 for v in range(net.n))
+
+    def test_nonclique_pair_flips_to_easy(self, base):
+        tampered = plant_nonclique_pair(base, clique=0)
+        classification = classify(tampered)
+        assert 0 in classification.easy
+
+    def test_original_untouched(self, base):
+        edges_before = base.network.edges()
+        plant_shared_outside_neighbor(base, clique=0)
+        assert base.network.edges() == edges_before
+
+
+class TestPipelineOnAdversarial:
+    """Every surgically-violated instance must still be colored (the
+    violation only moves cliques from hard to easy)."""
+
+    def test_colors_after_h3_surgery(self, base):
+        tampered = plant_shared_outside_neighbor(base, clique=0)
+        result = delta_color(tampered.network, epsilon=0.25)
+        assert result.num_colors == 16  # degrees preserved: still Delta
+        verify_coloring(tampered.network, result.colors, 16)
+
+    def test_colors_after_h2_surgery(self, base):
+        tampered = plant_nonclique_pair(base, clique=0)
+        result = delta_color(tampered.network, epsilon=0.25)
+        verify_coloring(tampered.network, result.colors, 16)
+
+    def test_colors_after_h4_surgery(self, base):
+        tampered = plant_external_edge(base, clique=0)
+        result = delta_color(tampered.network, epsilon=0.25)
+        assert result.num_colors == 16
+        verify_coloring(tampered.network, result.colors, 16)
+
+    def test_brooks_obstruction_rejected(self):
+        net = brooks_obstruction(5)
+        with pytest.raises(GraphStructureError, match="Brooks|clique"):
+            delta_color(net, epsilon=0.25)

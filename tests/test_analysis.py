@@ -1,0 +1,65 @@
+"""Tests for the post-run analysis module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    clique_palette_usage,
+    coloring_stats,
+    same_colored_pairs,
+)
+from repro.constants import AlgorithmParameters
+from repro.core import delta_color_deterministic
+from repro.local import Network
+
+PARAMS = AlgorithmParameters(epsilon=0.25)
+
+
+@pytest.fixture(scope="module")
+def colored(hard_instance):
+    result = delta_color_deterministic(hard_instance.network, params=PARAMS)
+    return hard_instance, result
+
+
+class TestColoringStats:
+    def test_basic_shape(self, colored):
+        instance, result = colored
+        stats = coloring_stats(instance.network, result.colors, 16)
+        assert stats.num_colors == 16
+        assert stats.used_colors == 16  # cliques of size 16 need them all
+        assert sum(stats.histogram.values()) == instance.n
+        assert 0 < stats.balance <= 1.0
+
+    def test_slack_vertices_have_duplicates(self, colored):
+        instance, result = colored
+        stats = coloring_stats(instance.network, result.colors, 16)
+        # Every clique had one slack vertex whose pair was same-colored.
+        assert stats.vertices_with_duplicate_neighbors >= 34
+
+    def test_path_graph(self):
+        net = Network.from_edges(3, [(0, 1), (1, 2)])
+        stats = coloring_stats(net, [0, 1, 0], 2)
+        assert stats.histogram == {0: 2, 1: 1}
+        assert stats.vertices_with_duplicate_neighbors == 1  # the middle
+
+
+class TestCliquePalette:
+    def test_full_cliques_use_size_many_colors(self, colored, hard_acd):
+        instance, result = colored
+        usage = clique_palette_usage(instance.network, hard_acd, result.colors)
+        assert all(count == 16 for count in usage.values())
+
+
+class TestSameColoredPairs:
+    def test_planted_pairs_recovered(self, colored):
+        instance, result = colored
+        pairs = same_colored_pairs(instance.network, result.colors)
+        assert len(pairs) >= 34
+        for via, a, b in pairs[:10]:
+            assert result.colors[a] == result.colors[b]
+            assert b not in instance.network.neighbor_set(a)
+
+    def test_none_on_rainbow_neighborhoods(self):
+        net = Network.from_edges(3, [(0, 1), (1, 2)])
+        assert same_colored_pairs(net, [0, 1, 2]) == []

@@ -1,0 +1,135 @@
+"""Tests for the baseline algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import verify_coloring
+from repro.baselines import (
+    dcc_layering_coloring,
+    ghkm_randomized_coloring,
+    greedy_brooks_coloring,
+    greedy_delta_plus_one,
+    lifted_clique_cycle,
+)
+from repro.acd import compute_acd
+from repro.constants import AlgorithmParameters
+from repro.core import is_loophole
+from repro.errors import GraphStructureError
+from repro.graphs import hard_clique_graph
+from repro.local import Network
+from tests.conftest import random_network
+
+PARAMS = AlgorithmParameters(epsilon=0.25)
+
+
+class TestBrooksOracle:
+    def test_hard_instance(self, hard_instance):
+        colors = greedy_brooks_coloring(hard_instance.network)
+        verify_coloring(hard_instance.network, colors, hard_instance.delta)
+
+    def test_mixed_instance(self, mixed_instance):
+        colors = greedy_brooks_coloring(mixed_instance.network)
+        verify_coloring(mixed_instance.network, colors, mixed_instance.delta)
+
+    def test_random_sparse_graph(self):
+        net = random_network(80, 200, seed=1)
+        colors = greedy_brooks_coloring(net)
+        verify_coloring(net, colors, net.max_degree)
+
+    def test_even_cycle(self):
+        net = Network.from_edges(6, [(i, (i + 1) % 6) for i in range(6)])
+        colors = greedy_brooks_coloring(net)
+        verify_coloring(net, colors, 2)
+
+    def test_odd_cycle_rejected(self):
+        net = Network.from_edges(5, [(i, (i + 1) % 5) for i in range(5)])
+        with pytest.raises(GraphStructureError, match="Brooks"):
+            greedy_brooks_coloring(net)
+
+    def test_complete_graph_rejected(self):
+        net = Network.from_edges(
+            5, [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        )
+        with pytest.raises(GraphStructureError, match="Brooks"):
+            greedy_brooks_coloring(net)
+
+    def test_disconnected_components(self):
+        # A 4-cycle plus a path: two components, both colorable.
+        net = Network.from_edges(
+            7, [(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6)]
+        )
+        colors = greedy_brooks_coloring(net)
+        verify_coloring(net, colors, 2)
+
+    def test_regular_component_with_root_triple(self):
+        # Petersen graph: 3-regular, 3-chromatic, no K4, not a cycle.
+        outer = [(i, (i + 1) % 5) for i in range(5)]
+        inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+        spokes = [(i, i + 5) for i in range(5)]
+        net = Network.from_edges(10, outer + inner + spokes)
+        colors = greedy_brooks_coloring(net)
+        verify_coloring(net, colors, 3)
+
+
+class TestDccBaseline:
+    def test_colors_hard_instance(self, hard_instance):
+        result = dcc_layering_coloring(hard_instance.network, params=PARAMS)
+        verify_coloring(hard_instance.network, result.colors, 16)
+        assert result.stats["max_dcc_size"] >= 8
+
+    def test_colors_mixed_instance(self, mixed_instance):
+        result = dcc_layering_coloring(mixed_instance.network, params=PARAMS)
+        verify_coloring(mixed_instance.network, result.colors, 16)
+
+    def test_lifted_cycle_is_loophole(self, hard_instance, hard_acd):
+        cycle = lifted_clique_cycle(hard_instance.network, hard_acd, 0)
+        assert cycle is not None
+        assert is_loophole(hard_instance.network, cycle, hard_instance.delta)
+        # Lifted from a girth-4 clique graph: 8 vertices.
+        assert len(cycle.vertices) >= 8
+
+    def test_ledger_contains_dcc_detection(self, hard_instance):
+        result = dcc_layering_coloring(hard_instance.network, params=PARAMS)
+        assert any(
+            entry.label.startswith("dcc/") for entry in result.ledger.entries
+        )
+
+
+class TestGhkmBaseline:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_colors_hard_instance(self, hard_instance, seed):
+        result = ghkm_randomized_coloring(
+            hard_instance.network, params=PARAMS, seed=seed
+        )
+        verify_coloring(hard_instance.network, result.colors, 16)
+
+    def test_component_path(self, hard_instance):
+        exercised = False
+        for seed in range(8):
+            result = ghkm_randomized_coloring(
+                hard_instance.network, params=PARAMS, seed=seed,
+                activation_probability=0.02,
+            )
+            verify_coloring(hard_instance.network, result.colors, 16)
+            if result.stats["bad_cliques"]:
+                exercised = True
+        assert exercised
+
+
+class TestDeltaPlusOne:
+    def test_deterministic(self, hard_instance):
+        result = greedy_delta_plus_one(hard_instance.network)
+        verify_coloring(hard_instance.network, result.colors, 17)
+
+    def test_randomized(self, hard_instance):
+        result = greedy_delta_plus_one(
+            hard_instance.network, deterministic=False, seed=1
+        )
+        verify_coloring(hard_instance.network, result.colors, 17)
+        assert result.num_colors == 17
+
+    def test_works_on_sparse_graphs_too(self):
+        net = random_network(60, 150, seed=2)
+        result = greedy_delta_plus_one(net, deterministic=False, seed=3)
+        verify_coloring(net, result.colors, net.max_degree + 1)

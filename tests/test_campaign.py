@@ -1,0 +1,76 @@
+"""Campaign matrix: every generator family x every pipeline.
+
+A single parametrized safety net that catches cross-cutting
+regressions: any instance family the package can generate must be
+colorable by every applicable entry point, and the coloring must
+verify.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import delta_color, verify_coloring
+from repro.constants import AlgorithmParameters
+from repro.graphs import (
+    hard_clique_graph,
+    heterogeneous_hard_cliques,
+    mixed_dense_graph,
+    projective_plane_clique_graph,
+    sparse_dense_mix,
+)
+
+FAMILIES = {
+    "hard-circulant": lambda: (
+        hard_clique_graph(34, 16, seed=5), AlgorithmParameters(epsilon=0.25)
+    ),
+    "hard-k2": lambda: (
+        hard_clique_graph(64, 16, external_per_vertex=2, seed=5),
+        AlgorithmParameters(epsilon=0.25),
+    ),
+    "mixed-30": lambda: (
+        mixed_dense_graph(34, 16, easy_fraction=0.3, seed=5),
+        AlgorithmParameters(epsilon=0.25),
+    ),
+    "all-easy": lambda: (
+        mixed_dense_graph(34, 16, easy_fraction=1.0, seed=5),
+        AlgorithmParameters(epsilon=0.25),
+    ),
+    "pg-girth6": lambda: (
+        projective_plane_clique_graph(13), AlgorithmParameters(epsilon=1 / 8)
+    ),
+    "heterogeneous": lambda: (
+        heterogeneous_hard_cliques(1, 16, seed=5),
+        AlgorithmParameters(epsilon=0.25),
+    ),
+}
+
+METHODS = ["deterministic", "randomized", "general"]
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("method", METHODS)
+def test_campaign(family, method):
+    instance, params = FAMILIES[family]()
+    result = delta_color(
+        instance.network, method=method, params=params, seed=3
+    )
+    verify_coloring(instance.network, result.colors, instance.delta)
+    assert result.num_colors == instance.delta
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_campaign_sparse_mix(method):
+    """The sparse mix is only accepted by the general method."""
+    instance = sparse_dense_mix(34, 16, seed=5)
+    params = AlgorithmParameters(epsilon=0.25)
+    if method == "general":
+        result = delta_color(
+            instance.network, method=method, params=params, seed=3
+        )
+        verify_coloring(instance.network, result.colors, 16)
+    else:
+        from repro.errors import NotDenseError
+
+        with pytest.raises(NotDenseError):
+            delta_color(instance.network, method=method, params=params, seed=3)

@@ -1,0 +1,60 @@
+"""Tests for the constants bundle and public result types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import (
+    EPSILON,
+    PAPER_PARAMETERS,
+    SUBCLIQUE_COUNT,
+    AlgorithmParameters,
+)
+from repro.local import RoundLedger
+from repro.types import ColoringResult
+
+
+class TestPaperConstants:
+    def test_paper_values(self):
+        assert EPSILON == pytest.approx(1 / 63)
+        assert SUBCLIQUE_COUNT == 28
+        assert PAPER_PARAMETERS.epsilon == EPSILON
+        assert PAPER_PARAMETERS.subclique_count == SUBCLIQUE_COUNT
+
+    def test_epsilon_bounds(self):
+        with pytest.raises(ValueError):
+            AlgorithmParameters(epsilon=0)
+        with pytest.raises(ValueError):
+            AlgorithmParameters(epsilon=1.5)
+
+    def test_outgoing_kept_minimum(self):
+        # A slack triad needs two outgoing edges (Section 3.5).
+        with pytest.raises(ValueError, match="outgoing_kept"):
+            AlgorithmParameters(outgoing_kept=1)
+
+    def test_loophole_size_minimum(self):
+        with pytest.raises(ValueError, match="max_loophole_size"):
+            AlgorithmParameters(max_loophole_size=3)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PAPER_PARAMETERS.epsilon = 0.5  # type: ignore[misc]
+
+
+class TestColoringResult:
+    def test_round_accessors(self):
+        ledger = RoundLedger()
+        ledger.charge("hard/x", 10, 3)
+        ledger.charge("easy/y", 5, 2)
+        result = ColoringResult(
+            colors=[0, 1], num_colors=2, ledger=ledger, algorithm="t"
+        )
+        assert result.rounds == 15
+        assert result.messages == 5
+        assert result.phase_rounds() == {"hard": 10, "easy": 5}
+
+    def test_stats_default(self):
+        result = ColoringResult(
+            colors=[], num_colors=0, ledger=RoundLedger(), algorithm="t"
+        )
+        assert result.stats == {}

@@ -1,0 +1,146 @@
+"""Tests for Algorithm 3 (easy cliques and loopholes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.acd import compute_acd
+from repro.constants import AlgorithmParameters
+from repro.core import (
+    Loophole,
+    build_loophole_graph,
+    classify_cliques,
+    color_easy_and_loopholes,
+)
+from repro.core.hardness import Classification
+from repro.errors import InvariantViolation
+from repro.graphs import mixed_dense_graph
+from repro.local import Network, RoundLedger
+from repro.verify import verify_coloring
+
+PARAMS = AlgorithmParameters(epsilon=0.25)
+
+
+class TestLoopholeGraph:
+    def test_disjoint_far_loopholes_unconnected(self):
+        net = Network.from_edges(6, [(0, 1), (2, 3), (4, 5)])
+        loopholes = [Loophole((0,), "low-degree"), Loophole((4,), "low-degree")]
+        virtual = build_loophole_graph(net, loopholes)
+        assert virtual.edges() == []
+
+    def test_adjacent_loopholes_connected(self):
+        net = Network.from_edges(3, [(0, 1), (1, 2)])
+        loopholes = [Loophole((0,), "low-degree"), Loophole((1,), "low-degree")]
+        virtual = build_loophole_graph(net, loopholes)
+        assert virtual.edges() == [(0, 1)]
+
+    def test_intersecting_loopholes_connected(self):
+        net = Network.from_edges(
+            5, [(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 1)]
+        )
+        loopholes = [
+            Loophole((0, 1, 2, 3), "even-cycle"),
+            Loophole((2,), "low-degree"),
+        ]
+        virtual = build_loophole_graph(net, loopholes)
+        assert virtual.edges() == [(0, 1)]
+
+    def test_duplicate_min_uids_disambiguated(self):
+        net = Network.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        loopholes = [
+            Loophole((0, 1, 2, 3), "even-cycle"),
+            Loophole((0,), "low-degree"),
+        ]
+        virtual = build_loophole_graph(net, loopholes)
+        assert len(set(virtual.uids)) == 2
+
+
+class TestEasyPhase:
+    def test_colors_all_easy_vertices(self, mixed_instance, mixed_acd):
+        classification = classify_cliques(mixed_instance.network, mixed_acd)
+        colors: list[int | None] = [None] * mixed_instance.n
+        # Pretend the hard phase ran: color hard vertices by a greedy
+        # oracle restricted to hard cliques.
+        from repro.baselines import greedy_brooks_coloring
+
+        oracle = greedy_brooks_coloring(mixed_instance.network)
+        for v in classification.hard_vertices():
+            colors[v] = oracle[v]
+        stats = color_easy_and_loopholes(
+            mixed_instance.network, classification, colors,
+            list(range(16)), params=PARAMS, ledger=RoundLedger(),
+        )
+        verify_coloring(mixed_instance.network, colors, 16)
+        assert stats["loopholes"] == len(classification.easy)
+
+    def test_nothing_to_do_when_all_colored(self, mixed_instance, mixed_acd):
+        classification = classify_cliques(mixed_instance.network, mixed_acd)
+        from repro.baselines import greedy_brooks_coloring
+
+        colors = list(greedy_brooks_coloring(mixed_instance.network))
+        stats = color_easy_and_loopholes(
+            mixed_instance.network, classification, colors,
+            list(range(16)), params=PARAMS,
+        )
+        assert stats == {"loopholes": 0, "selected": 0, "layers": 0}
+
+    def test_missing_loopholes_raise(self, mixed_instance, mixed_acd):
+        classification = Classification(
+            acd=mixed_acd, hard=[], easy=[], reasons={}, loopholes={},
+        )
+        colors: list[int | None] = [None] * mixed_instance.n
+        with pytest.raises(InvariantViolation, match="no loopholes"):
+            color_easy_and_loopholes(
+                mixed_instance.network, classification, colors,
+                list(range(16)), params=PARAMS,
+            )
+
+    def test_colored_witness_vertex_raises(self, mixed_instance, mixed_acd):
+        classification = classify_cliques(mixed_instance.network, mixed_acd)
+        colors: list[int | None] = [None] * mixed_instance.n
+        witness = next(iter(classification.loopholes.values()))
+        colors[witness.vertices[0]] = 0
+        with pytest.raises(InvariantViolation, match="propagation"):
+            color_easy_and_loopholes(
+                mixed_instance.network, classification, colors,
+                list(range(16)), params=PARAMS,
+            )
+
+    def test_restrict_to_limits_scope(self):
+        """Two disjoint easy regions; restricting colors only one."""
+        instance = mixed_dense_graph(34, 16, easy_fraction=1.0, seed=5)
+        acd = compute_acd(instance.network, epsilon=0.25)
+        classification = classify_cliques(instance.network, acd)
+        half = set()
+        for index in classification.easy[:17]:
+            half.update(acd.cliques[index])
+        colors: list[int | None] = [None] * instance.n
+        local = Classification(
+            acd=acd,
+            hard=[],
+            easy=classification.easy[:17],
+            reasons={},
+            loopholes={
+                index: classification.loopholes[index]
+                for index in classification.easy[:17]
+            },
+        )
+        color_easy_and_loopholes(
+            instance.network, local, colors, list(range(16)),
+            params=PARAMS, restrict_to=sorted(half),
+        )
+        assert all(colors[v] is not None for v in half)
+        assert all(
+            colors[v] is None for v in range(instance.n) if v not in half
+        )
+
+    def test_all_easy_instance_end_to_end(self):
+        instance = mixed_dense_graph(34, 16, easy_fraction=1.0, seed=6)
+        acd = compute_acd(instance.network, epsilon=0.25)
+        classification = classify_cliques(instance.network, acd)
+        colors: list[int | None] = [None] * instance.n
+        color_easy_and_loopholes(
+            instance.network, classification, colors, list(range(16)),
+            params=PARAMS,
+        )
+        verify_coloring(instance.network, colors, 16)

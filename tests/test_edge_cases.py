@@ -1,0 +1,134 @@
+"""Edge-case battery across modules: small, degenerate, and boundary
+inputs that the main suites do not reach."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AlgorithmParameters, Network
+from repro.core import (
+    Loophole,
+    build_pair_conflict_graph,
+    color_slack_pairs,
+    form_slack_triads,
+)
+from repro.core.sparsify_phase import incoming_bound
+from repro.core.triads import SlackTriad
+from repro.errors import InvariantViolation, SubroutineError
+from repro.local import RoundLedger, VirtualNetwork
+
+
+class TestPairColoringEdges:
+    def test_empty_triads(self):
+        net = Network.from_edges(2, [(0, 1)])
+        assignment, stats = color_slack_pairs(net, [], [0, 1])
+        assert assignment == {}
+        assert stats["gv_nodes"] == 0
+
+    def test_single_pair_gets_first_color(self):
+        # Path 1-0-2: vertex 0's neighbors 1, 2 are non-adjacent.
+        net = Network.from_edges(3, [(0, 1), (0, 2)])
+        triad = SlackTriad(clique=0, slack=0, pair=(1, 2))
+        assignment, _ = color_slack_pairs(net, [triad], [0, 1])
+        assert assignment[1] == assignment[2]
+
+    def test_round_scale_charged(self):
+        net = Network.from_edges(3, [(0, 1), (0, 2)])
+        triad = SlackTriad(clique=0, slack=0, pair=(1, 2))
+        ledger = RoundLedger()
+        color_slack_pairs(net, [triad], [0, 1], ledger=ledger)
+        from repro.core.pair_coloring import PAIR_ROUND_SCALE
+
+        entry = ledger.entries[0]
+        assert entry.rounds % PAIR_ROUND_SCALE == 0
+
+
+class TestVirtualRoundScale:
+    def test_pair_graph_scale_constant(self):
+        net = Network.from_edges(4, [(0, 1), (0, 2), (2, 3)])
+        triad = SlackTriad(clique=0, slack=0, pair=(1, 2))
+        virtual = build_pair_conflict_graph(net, [triad])
+        assert isinstance(virtual, VirtualNetwork)
+        assert virtual.base_rounds(2) == 2 * virtual.round_scale
+
+
+class TestIncomingBound:
+    @pytest.mark.parametrize(
+        "delta, epsilon, expected",
+        [(63, 1 / 63, 0.5 * (63 - 2 - 1)), (32, 1 / 8, 0.5 * (32 - 8 - 1))],
+    )
+    def test_formula(self, delta, epsilon, expected):
+        assert incoming_bound(delta, epsilon) == pytest.approx(expected)
+
+
+class TestTriadEdgeCases:
+    def test_no_type1plus_cliques_yields_no_triads(
+        self, hard_instance, hard_acd
+    ):
+        from repro.core import classify_cliques
+        from repro.core.sparsify_phase import SparsifiedMatching
+
+        classification = classify_cliques(hard_instance.network, hard_acd)
+        empty = SparsifiedMatching(edges=[], type1plus=[], type2=[])
+        triads, stats = form_slack_triads(
+            hard_instance.network, classification, empty,
+            params=AlgorithmParameters(epsilon=0.25),
+        )
+        assert triads == []
+        assert stats["num_triads"] == 0
+
+    def test_missing_outgoing_edges_raise(self, hard_instance, hard_acd):
+        from repro.core import classify_cliques
+        from repro.core.sparsify_phase import SparsifiedMatching
+
+        classification = classify_cliques(hard_instance.network, hard_acd)
+        broken = SparsifiedMatching(edges=[], type1plus=[0], type2=[])
+        with pytest.raises(InvariantViolation, match="outgoing"):
+            form_slack_triads(
+                hard_instance.network, classification, broken,
+                params=AlgorithmParameters(epsilon=0.25),
+            )
+
+
+class TestLoopholeEdgeCases:
+    def test_six_cycle_loophole_is_valid(self):
+        net = Network.from_edges(6, [(i, (i + 1) % 6) for i in range(6)])
+        from repro.core import is_loophole
+
+        assert is_loophole(net, Loophole(tuple(range(6)), "even-cycle"), 2)
+
+    def test_duplicate_vertices_rejected(self):
+        net = Network.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        from repro.core import is_loophole
+
+        assert not is_loophole(net, Loophole((0, 1, 0, 1), "even-cycle"), 2)
+
+
+class TestLedgerResultInterplay:
+    def test_nested_component_merge(self):
+        outer = RoundLedger()
+        inner = RoundLedger()
+        inner.charge("component/v-rest", 7, 2)
+        inner.charge("component/remaining", 5, 1)
+        outer.merge(inner, prefix="post-shattering")
+        assert outer.rounds_for("post-shattering/component") == 12
+        assert outer.breakdown() == {"post-shattering": 12}
+
+
+class TestNetworkMisc:
+    def test_max_degree_empty(self):
+        assert Network.from_edges(0, []).max_degree == 0
+
+    def test_subnetwork_of_virtual(self):
+        base = Network.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        virtual = VirtualNetwork(base, [[0, 1], [2, 3]])
+        sub, mapping = virtual.subnetwork([0, 1])
+        assert sub.n == 2 and sub.edges() == [(0, 1)]
+
+    def test_gather_charges_through_ledger_conventions(self):
+        from repro.local import ball
+
+        net = Network.from_edges(5, [(i, i + 1) for i in range(4)])
+        view = ball(net, 2, 2)
+        assert view.radius == 2
+        assert set(view.boundary()) == {0, 4}

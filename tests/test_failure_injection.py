@@ -1,0 +1,156 @@
+"""Failure injection: tampered pipeline outputs must be caught.
+
+The pipelines verify their lemmas at runtime; these tests corrupt
+intermediate objects and assert the matching checker fires, i.e. no
+tampering can silently produce an improper coloring.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.constants import AlgorithmParameters
+from repro.core import (
+    SlackTriad,
+    classify_cliques,
+    color_slack_pairs,
+    compute_balanced_matching,
+    form_slack_triads,
+    sparsify_matching,
+)
+from repro.core.matching_phase import BalancedMatching
+from repro.errors import InvalidColoringError, InvariantViolation
+from repro.local import RoundLedger
+from repro.verify import (
+    check_lemma12,
+    check_lemma13,
+    check_lemma15,
+    verify_coloring,
+)
+
+PARAMS = AlgorithmParameters(epsilon=0.25)
+
+
+@pytest.fixture(scope="module")
+def pipeline(hard_instance, hard_acd):
+    network = hard_instance.network
+    classification = classify_cliques(network, hard_acd)
+    balanced = compute_balanced_matching(
+        network, classification, params=PARAMS, ledger=RoundLedger()
+    )
+    sparsified = sparsify_matching(
+        network, classification, balanced, params=PARAMS, ledger=RoundLedger()
+    )
+    triads, _ = form_slack_triads(
+        network, classification, sparsified, params=PARAMS,
+        ledger=RoundLedger(),
+    )
+    return network, classification, balanced, sparsified, triads
+
+
+class TestMatchingTampering:
+    def test_dropped_outgoing_edge_detected(self, pipeline):
+        network, classification, balanced, _, _ = pipeline
+        tampered = BalancedMatching(
+            edges=balanced.edges[1:],
+            f1=balanced.f1,
+            type1=balanced.type1,
+            type2=balanced.type2,
+            stats=balanced.stats,
+        )
+        with pytest.raises(InvariantViolation, match="Lemma 12"):
+            check_lemma12(network, classification, tampered)
+
+    def test_duplicated_endpoint_detected(self, pipeline):
+        network, classification, balanced, _, _ = pipeline
+        tail, head = balanced.edges[0]
+        other = next(
+            u for u in network.adjacency[tail] if u != head
+        )
+        tampered = BalancedMatching(
+            edges=balanced.edges + [(tail, other)],
+            f1=balanced.f1,
+            type1=balanced.type1,
+            type2=balanced.type2,
+            stats=balanced.stats,
+        )
+        with pytest.raises(InvariantViolation, match="matching"):
+            check_lemma12(network, classification, tampered)
+
+    def test_wrong_outgoing_count_in_f3_detected(self, pipeline):
+        network, classification, _, sparsified, _ = pipeline
+        tampered = dataclasses.replace(
+            sparsified, edges=sparsified.edges[:-1]
+        )
+        with pytest.raises(InvariantViolation, match="Lemma 13"):
+            check_lemma13(
+                network, classification, tampered, params=PARAMS,
+                strict_incoming=False,
+            )
+
+
+class TestTriadTampering:
+    def test_overlapping_triads_detected(self, pipeline):
+        network, classification, _, _, triads = pipeline
+        with pytest.raises(InvariantViolation, match="ii"):
+            check_lemma15(network, classification, [triads[0], triads[0]])
+
+    def test_misplaced_slack_vertex_detected(self, pipeline):
+        network, classification, _, _, triads = pipeline
+        moved = SlackTriad(
+            clique=triads[1].clique, slack=triads[0].slack,
+            pair=triads[0].pair,
+        )
+        with pytest.raises(InvariantViolation, match="not in clique"):
+            check_lemma15(network, classification, [moved])
+
+    def test_pair_not_neighboring_slack_detected(self, pipeline):
+        network, classification, _, _, triads = pipeline
+        far = next(
+            v
+            for v in range(network.n)
+            if v not in network.neighbor_set(triads[0].slack)
+            and v != triads[0].slack
+        )
+        bad = SlackTriad(
+            clique=triads[0].clique, slack=triads[0].slack,
+            pair=(far, triads[0].pair[1]),
+        )
+        with pytest.raises(InvariantViolation, match="neighbor"):
+            check_lemma15(network, classification, [bad])
+
+
+class TestPairColoringTampering:
+    def test_undersized_palette_detected(self, pipeline):
+        network, _, _, _, triads = pipeline
+        # One color for everyone cannot work once pairs conflict.
+        with pytest.raises(InvariantViolation, match="Lemma 16"):
+            color_slack_pairs(network, triads, [0], ledger=RoundLedger())
+
+
+class TestColoringTampering:
+    def test_flipped_color_detected(self, hard_instance):
+        from repro.core import delta_color_deterministic
+
+        result = delta_color_deterministic(
+            hard_instance.network, params=PARAMS
+        )
+        colors = list(result.colors)
+        v = 0
+        u = hard_instance.network.adjacency[v][0]
+        colors[v] = colors[u]
+        with pytest.raises(InvalidColoringError):
+            verify_coloring(hard_instance.network, colors, 16)
+
+    def test_erased_color_detected(self, hard_instance):
+        from repro.core import delta_color_deterministic
+
+        result = delta_color_deterministic(
+            hard_instance.network, params=PARAMS
+        )
+        colors: list = list(result.colors)
+        colors[5] = None
+        with pytest.raises(InvalidColoringError, match="uncolored"):
+            verify_coloring(hard_instance.network, colors, 16)

@@ -1,0 +1,105 @@
+"""Tests for Cole-Vishkin forest 3-coloring."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SubroutineError
+from repro.local import Network
+from repro.subroutines import (
+    cv_forest_coloring,
+    forest_decomposition,
+    verify_forest_coloring,
+)
+
+
+def random_forest(n: int, seed: int) -> tuple[Network, list[int]]:
+    rng = random.Random(seed)
+    parent = [-1]
+    edges = []
+    for v in range(1, n):
+        if rng.random() < 0.1:
+            parent.append(-1)
+        else:
+            p = rng.randrange(v)
+            parent.append(p)
+            edges.append((v, p))
+    uids = list(range(n))
+    rng.shuffle(uids)
+    return Network.from_edges(n, edges, uids), parent
+
+
+class TestColeVishkin:
+    def test_three_colors_on_random_forests(self):
+        net, parent = random_forest(400, 1)
+        colors, result = cv_forest_coloring(net, parent)
+        verify_forest_coloring(parent, colors)
+        assert max(colors) <= 2
+
+    def test_log_star_rounds(self):
+        """Rounds barely move across four orders of magnitude of IDs."""
+        rounds = []
+        for exponent in (3, 6, 12):
+            net, parent = random_forest(100, 2)
+            spread = Network(
+                net.adjacency, [u * 10 ** exponent + 3 for u in net.uids]
+            )
+            _, result = cv_forest_coloring(
+                spread, parent, id_space=100 * 10 ** exponent + 4
+            )
+            rounds.append(result.rounds)
+        assert rounds[-1] - rounds[0] <= 3
+
+    def test_path_and_star(self):
+        path = Network.from_edges(6, [(i, i + 1) for i in range(5)])
+        colors, _ = cv_forest_coloring(path, [-1, 0, 1, 2, 3, 4])
+        verify_forest_coloring([-1, 0, 1, 2, 3, 4], colors)
+
+        star = Network.from_edges(6, [(0, i) for i in range(1, 6)])
+        colors, _ = cv_forest_coloring(star, [-1, 0, 0, 0, 0, 0])
+        assert len({colors[i] for i in range(1, 6)} | {colors[0]}) >= 2
+
+    def test_single_vertex(self):
+        net = Network.from_edges(1, [])
+        colors, _ = cv_forest_coloring(net, [-1])
+        assert colors[0] in (0, 1, 2)
+
+    def test_non_forest_network_rejected(self):
+        net = Network.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        with pytest.raises(SubroutineError, match="forest"):
+            cv_forest_coloring(net, [-1, 0, 1])
+
+    def test_bad_parent_rejected(self):
+        net = Network.from_edges(3, [(0, 1), (1, 2)])
+        with pytest.raises(SubroutineError, match="neighbor"):
+            cv_forest_coloring(net, [-1, 0, 0])
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10 ** 6))
+    def test_property_always_three_colors(self, seed):
+        net, parent = random_forest(60, seed)
+        colors, _ = cv_forest_coloring(net, parent)
+        verify_forest_coloring(parent, colors)
+
+
+class TestComposition:
+    def test_forest_decomposition_then_cv(self, hard_instance):
+        """Arboricity route end-to-end: decompose the dense instance
+        into forests and 3-color one of them."""
+        net = hard_instance.network
+        forest_of, oriented, _ = forest_decomposition(net, 8)
+        # Extract forest 0 as a rooted structure (edges point tail->head;
+        # heads are parents).
+        parent = [-1] * net.n
+        edges = []
+        for (tail, head), forest in zip(oriented, forest_of):
+            if forest == 0:
+                parent[tail] = head
+                edges.append((tail, head))
+        sub = Network.from_edges(net.n, edges, net.uids)
+        colors, _ = cv_forest_coloring(sub, parent)
+        verify_forest_coloring(parent, colors)

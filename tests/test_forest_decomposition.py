@@ -1,0 +1,99 @@
+"""Tests for the H-partition and forest decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SubroutineError
+from repro.local import Network
+from repro.subroutines import (
+    acyclic_orientation,
+    estimate_arboricity,
+    forest_decomposition,
+    h_partition,
+    verify_forests,
+)
+from tests.conftest import random_network
+
+
+def tree_network(n: int) -> Network:
+    return Network.from_edges(n, [(i, (i - 1) // 2) for i in range(1, n)])
+
+
+class TestHPartition:
+    def test_tree_is_arboricity_one(self):
+        net = tree_network(63)
+        partition = h_partition(net, 1)
+        assert partition.num_classes >= 1
+        # Up-degree bound: every vertex has <= (2.5) neighbors in its
+        # own or higher classes.
+        for v in range(net.n):
+            up = sum(
+                1
+                for u in net.adjacency[v]
+                if partition.class_of[u] >= partition.class_of[v]
+            )
+            assert up <= 2.5
+
+    def test_logarithmically_many_classes(self):
+        net = random_network(300, 900, seed=1)
+        partition = h_partition(net, 3)
+        assert partition.num_classes <= partition.meta["max_phases"]
+
+    def test_underestimated_arboricity_rejected(self):
+        # A clique on 12 vertices has arboricity 6; bound 1 cannot work.
+        net = Network.from_edges(
+            12, [(i, j) for i in range(12) for j in range(i + 1, 12)]
+        )
+        with pytest.raises(SubroutineError, match="arboricity"):
+            h_partition(net, 1)
+
+    def test_bad_parameters(self):
+        net = tree_network(7)
+        with pytest.raises(SubroutineError):
+            h_partition(net, 0)
+        with pytest.raises(SubroutineError):
+            h_partition(net, 1, epsilon=0)
+
+
+class TestEstimate:
+    def test_tree(self):
+        assert estimate_arboricity(tree_network(63)) == 1
+
+    def test_dense_instance(self, hard_instance):
+        bound = estimate_arboricity(hard_instance.network)
+        # Arboricity of a 16-clique blowup is ~8; doubling finds 8 or 16.
+        assert bound in (8, 16)
+
+
+class TestForests:
+    def test_tree_single_forest(self):
+        net = tree_network(31)
+        forest_of, oriented, _ = forest_decomposition(net, 1)
+        count = verify_forests(net, forest_of, oriented)
+        assert count <= 2  # (2 + eps) * 1 rounded down
+
+    def test_random_graph(self):
+        net = random_network(200, 600, seed=2)
+        forest_of, oriented, partition = forest_decomposition(net)
+        count = verify_forests(net, forest_of, oriented)
+        assert count <= (2 + 0.5) * partition.arboricity_bound
+
+    def test_orientation_acyclic_by_rank(self, hard_instance):
+        net = hard_instance.network
+        partition = h_partition(net, 8)
+        oriented = acyclic_orientation(net, partition)
+        for tail, head in oriented:
+            assert (
+                partition.class_of[tail], net.uids[tail]
+            ) < (partition.class_of[head], net.uids[head])
+
+    def test_verify_catches_double_out_edge(self):
+        net = Network.from_edges(3, [(0, 1), (0, 2)])
+        with pytest.raises(SubroutineError, match="two out-edges"):
+            verify_forests(net, [0, 0], [(0, 1), (0, 2)])
+
+    def test_verify_catches_cycle(self):
+        net = Network.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        with pytest.raises(SubroutineError, match="cycle"):
+            verify_forests(net, [0, 0, 0], [(0, 1), (1, 2), (2, 0)])

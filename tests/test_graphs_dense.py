@@ -1,0 +1,77 @@
+"""Tests for the sparsity/density measures of Section 2."""
+
+from __future__ import annotations
+
+from repro.graphs import (
+    friend_count,
+    is_eta_dense,
+    neighborhood_edge_count,
+    non_edges_in_neighborhood,
+    shared_neighbor_count,
+)
+from repro.local import Network
+
+
+def complete_graph(n: int) -> Network:
+    return Network.from_edges(
+        n, [(i, j) for i in range(n) for j in range(i + 1, n)]
+    )
+
+
+def star_graph(leaves: int) -> Network:
+    return Network.from_edges(leaves + 1, [(0, i + 1) for i in range(leaves)])
+
+
+class TestSharedNeighbors:
+    def test_clique_members_share_everything(self):
+        net = complete_graph(6)
+        assert shared_neighbor_count(net, 0, 1) == 4
+
+    def test_star_leaves_share_only_center(self):
+        net = star_graph(5)
+        assert shared_neighbor_count(net, 1, 2) == 1
+
+    def test_disjoint_neighborhoods(self):
+        net = Network.from_edges(4, [(0, 1), (2, 3)])
+        assert shared_neighbor_count(net, 0, 2) == 0
+
+
+class TestDensity:
+    def test_clique_vertices_are_dense(self):
+        net = complete_graph(8)
+        for v in range(8):
+            assert is_eta_dense(net, v, eta=0.3)
+
+    def test_star_center_is_sparse(self):
+        net = star_graph(8)
+        assert not is_eta_dense(net, 0, eta=0.3)
+        assert friend_count(net, 0, eta=0.3) == 0
+
+    def test_hard_instance_all_dense(self, hard_instance):
+        net = hard_instance.network
+        for v in range(0, net.n, 37):
+            assert is_eta_dense(net, v, eta=0.3, delta=hard_instance.delta)
+
+
+class TestNeighborhoodEdges:
+    def test_clique_neighborhood_is_complete(self):
+        net = complete_graph(5)
+        assert neighborhood_edge_count(net, 0) == 6  # C(4, 2)
+        assert non_edges_in_neighborhood(net, 0) == 0
+
+    def test_star_neighborhood_is_empty(self):
+        net = star_graph(5)
+        assert neighborhood_edge_count(net, 0) == 0
+        assert non_edges_in_neighborhood(net, 0) == 10  # C(5, 2)
+
+    def test_claim1_sparse_vertex_bound(self, hard_instance):
+        """Claim 1 direction check on a hard instance: eta-dense vertices
+        have nearly complete neighborhoods."""
+        net = hard_instance.network
+        delta = hard_instance.delta
+        eta = 0.3
+        for v in range(0, net.n, 53):
+            if is_eta_dense(net, v, eta, delta):
+                non_edges = non_edges_in_neighborhood(net, v)
+                # Dense vertices avoid the Claim 1 sparse-vertex bound.
+                assert non_edges < (eta ** 2) * delta * (delta - 1) / 2 + delta

@@ -1,0 +1,48 @@
+"""Tests for instance/coloring (de)serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.graphs import (
+    hard_clique_graph,
+    load_coloring,
+    load_instance,
+    save_coloring,
+    save_instance,
+)
+
+
+class TestInstanceIO:
+    def test_roundtrip(self, tmp_path):
+        instance = hard_clique_graph(34, 16, seed=3)
+        path = tmp_path / "instance.json"
+        save_instance(instance, path)
+        loaded = load_instance(path)
+        assert loaded.network.edges() == instance.network.edges()
+        assert loaded.cliques == instance.cliques
+        assert loaded.delta == instance.delta
+        assert loaded.meta["seed"] == 3
+
+    def test_uids_preserved(self, tmp_path):
+        instance = hard_clique_graph(34, 16)
+        instance.network.uids.reverse()
+        path = tmp_path / "instance.json"
+        save_instance(instance, path)
+        assert load_instance(path).network.uids == instance.network.uids
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": 999}')
+        with pytest.raises(GraphStructureError, match="format"):
+            load_instance(path)
+
+
+class TestColoringIO:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "coloring.json"
+        save_coloring([0, 1, 2, 0], 3, path)
+        colors, num_colors = load_coloring(path)
+        assert colors == [0, 1, 2, 0]
+        assert num_colors == 3

@@ -1,0 +1,65 @@
+"""Tests for structural validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.graphs import (
+    assert_no_delta_plus_one_clique,
+    assert_regular,
+    check_instance,
+    hard_clique_graph,
+)
+from repro.local import Network
+
+
+def complete_graph(n: int) -> Network:
+    return Network.from_edges(
+        n, [(i, j) for i in range(n) for j in range(i + 1, n)]
+    )
+
+
+class TestDeltaPlusOneClique:
+    def test_complete_graph_detected(self):
+        with pytest.raises(GraphStructureError, match="Delta\\+1|clique"):
+            assert_no_delta_plus_one_clique(complete_graph(5))
+
+    def test_clique_plus_pendant_is_fine(self):
+        # K4 with a pendant vertex: Delta = 4, largest clique has 4 < 5.
+        net = Network.from_edges(
+            5, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4)]
+        )
+        assert_no_delta_plus_one_clique(net)
+
+    def test_hard_instance_is_clean(self, hard_instance):
+        assert_no_delta_plus_one_clique(hard_instance.network)
+
+    def test_triangle_detected(self):
+        # A triangle is a (Delta+1)-clique for Delta = 2.
+        with pytest.raises(GraphStructureError):
+            assert_no_delta_plus_one_clique(complete_graph(3))
+
+    def test_even_cycle_is_fine(self):
+        net = Network.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert_no_delta_plus_one_clique(net)
+
+
+class TestRegularity:
+    def test_regular_passes(self, hard_instance):
+        assert_regular(hard_instance.network, 16)
+
+    def test_irregular_fails(self, mixed_instance):
+        with pytest.raises(GraphStructureError):
+            assert_regular(mixed_instance.network, 16)
+
+
+class TestCheckInstance:
+    def test_tampered_clique_detected(self):
+        instance = hard_clique_graph(34, 16)
+        instance.cliques[0][0], instance.cliques[1][0] = (
+            instance.cliques[1][0],
+            instance.cliques[0][0],
+        )
+        with pytest.raises(GraphStructureError):
+            check_instance(instance)

@@ -1,0 +1,130 @@
+"""Tests for the hard/easy classification (Definitions 6/8, Lemma 9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.acd import compute_acd
+from repro.core import classify_cliques, classify_cliques_exact, is_loophole
+from repro.graphs import hard_clique_graph, mixed_dense_graph
+from repro.local import Network
+from repro.verify import check_lemma9
+
+
+class TestAllHard:
+    def test_everything_hard(self, hard_instance, hard_acd):
+        cls = classify_cliques(hard_instance.network, hard_acd)
+        assert len(cls.hard) == 34
+        assert not cls.easy
+
+    def test_lemma9_holds(self, hard_instance, hard_acd):
+        cls = classify_cliques(hard_instance.network, hard_acd)
+        check_lemma9(hard_instance.network, cls)
+
+    def test_hard_vertices_cover_everything(self, hard_instance, hard_acd):
+        cls = classify_cliques(hard_instance.network, hard_acd)
+        assert len(cls.hard_vertices()) == hard_instance.n
+
+
+class TestEasyDetection:
+    def test_h1_low_degree(self, mixed_instance, mixed_acd):
+        cls = classify_cliques(mixed_instance.network, mixed_acd)
+        planted = set(mixed_instance.meta["easy_cliques"])
+        assert set(cls.easy) == planted
+        assert set(cls.reasons.values()) == {"H1"}
+
+    def test_witness_loopholes_are_real(self, mixed_instance, mixed_acd):
+        cls = classify_cliques(mixed_instance.network, mixed_acd)
+        for index, loophole in cls.loopholes.items():
+            assert is_loophole(
+                mixed_instance.network, loophole, mixed_instance.delta
+            )
+            members = set(mixed_instance.cliques[index])
+            assert members & set(loophole.vertices)
+
+    def test_h3_shared_outside_neighbor(self):
+        """Wire one extra edge so an outside vertex sees two clique
+        members -> H3 with a 4-cycle witness."""
+        instance = hard_clique_graph(34, 16)
+        net = instance.network
+        # Add an edge from clique 1's vertex to a second vertex of
+        # clique 0 (it already has one neighbor there via the matching).
+        owner = instance.clique_of()
+        partner = instance.clique_graph[0][0]
+        u, w = next(
+            (a, b) if owner[a] == 0 else (b, a)
+            for a, b in net.edges()
+            if {owner[a], owner[b]} == {0, partner}
+        )
+        second = next(
+            v for v in instance.cliques[0]
+            if v != u and w not in net.neighbor_set(v)
+        )
+        edges = net.edges() + [(second, w)]
+        tampered = Network.from_edges(net.n, edges)
+        acd = compute_acd(tampered, epsilon=0.25)
+        cls = classify_cliques(tampered, acd)
+        assert 0 in cls.easy
+        reason = cls.reasons[0]
+        assert reason in ("H1", "H3")  # degree bump may trip H1 first
+
+    def test_h4_external_edge(self):
+        """Connect the external neighbors of two members of one clique:
+        the paper's Lemma 10 collision configuration."""
+        instance = hard_clique_graph(34, 16)
+        net = instance.network
+        owner = instance.clique_of()
+        externals = []
+        for v in instance.cliques[0][:2]:
+            w = next(u for u in net.adjacency[v] if owner[u] != 0)
+            externals.append(w)
+        x, y = externals
+        if y in net.neighbor_set(x):
+            pytest.skip("random instance already had the edge")
+        edges = net.edges() + [(x, y)]
+        tampered = Network.from_edges(net.n, edges)
+        acd = compute_acd(tampered, epsilon=0.25)
+        cls = classify_cliques(tampered, acd)
+        assert 0 in cls.easy
+        assert cls.reasons[0] in ("H1", "H4")
+
+
+class TestPropagation:
+    def test_shared_witness_propagates(self):
+        """An H3 witness contains an outside vertex; its clique must be
+        classified easy too so the loophole survives the hard phase."""
+        instance = hard_clique_graph(34, 16)
+        net = instance.network
+        owner = instance.clique_of()
+        partner = instance.clique_graph[0][0]
+        u, w = next(
+            (a, b) if owner[a] == 0 else (b, a)
+            for a, b in net.edges()
+            if {owner[a], owner[b]} == {0, partner}
+        )
+        second = next(
+            v for v in instance.cliques[0]
+            if v != u and w not in net.neighbor_set(v)
+        )
+        tampered = Network.from_edges(net.n, net.edges() + [(second, w)])
+        acd = compute_acd(tampered, epsilon=0.25)
+        cls = classify_cliques(tampered, acd)
+        for index, loophole in cls.loopholes.items():
+            for v in loophole.vertices:
+                assert acd.clique_index[v] not in cls.hard_set
+
+
+class TestExactCrossValidation:
+    def test_structural_matches_exact_on_tiny_instances(self):
+        for seed in (4, 9):
+            instance = mixed_dense_graph(18, 8, easy_fraction=0.3, seed=seed)
+            acd = compute_acd(instance.network, epsilon=0.3)
+            structural = classify_cliques(instance.network, acd)
+            exact = classify_cliques_exact(instance.network, acd)
+            assert sorted(structural.hard) == sorted(exact.hard)
+
+    def test_exact_on_all_hard(self):
+        instance = hard_clique_graph(18, 8)
+        acd = compute_acd(instance.network, epsilon=0.3)
+        exact = classify_cliques_exact(instance.network, acd)
+        assert len(exact.hard) == 18

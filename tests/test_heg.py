@@ -1,0 +1,145 @@
+"""Tests for hyperedge grabbing (Lemma 5)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SubroutineError
+from repro.subroutines import (
+    Hypergraph,
+    heg_feasible,
+    hyperedge_grabbing,
+    verify_heg,
+)
+
+
+def ring_hypergraph(n: int, extra_shift: int = 7) -> Hypergraph:
+    """Rank 3 hyperedges along a ring plus rank-2 chords: min degree 5."""
+    edges = [(i, (i + 1) % n, (i + 2) % n) for i in range(n)]
+    edges += [(i, (i + extra_shift) % n) for i in range(n)]
+    return Hypergraph(n, edges)
+
+
+class TestHypergraph:
+    def test_rank_and_degree(self):
+        h = ring_hypergraph(20)
+        assert h.rank == 3
+        assert h.min_degree == 5
+
+    def test_incidence(self):
+        h = Hypergraph(3, [(0, 1), (1, 2)])
+        assert h.incident(1) == [0, 1]
+
+    def test_out_of_range_member_rejected(self):
+        with pytest.raises(SubroutineError):
+            Hypergraph(2, [(0, 5)])
+
+    def test_duplicate_members_deduplicated(self):
+        h = Hypergraph(3, [(0, 0, 1)])
+        assert h.edges[0] == (0, 1)
+
+
+class TestGrabbing:
+    def test_deterministic(self):
+        h = ring_hypergraph(40)
+        grab, result = hyperedge_grabbing(h)
+        verify_heg(h, grab)
+
+    def test_randomized(self):
+        h = ring_hypergraph(40)
+        grab, result = hyperedge_grabbing(h, deterministic=False, seed=1)
+        verify_heg(h, grab)
+
+    def test_empty(self):
+        grab, result = hyperedge_grabbing(Hypergraph(0, []))
+        assert grab == [] and result.rounds == 0
+
+    def test_slack_precondition_enforced(self):
+        # rank = min degree = 2: Lemma 5's r < delta fails.
+        h = Hypergraph(3, [(0, 1), (1, 2), (0, 2)])
+        with pytest.raises(SubroutineError, match="precondition"):
+            hyperedge_grabbing(h)
+
+    def test_tight_instance_solvable_without_slack(self):
+        # A perfect-matching-like instance: each vertex has its own edge.
+        h = Hypergraph(4, [(0,), (1,), (2,), (3,), (0, 1), (2, 3)])
+        grab, _ = hyperedge_grabbing(h, require_slack=False)
+        verify_heg(h, grab)
+
+    def test_infeasible_raises(self):
+        # 3 vertices, 2 hyperedges: pigeonhole makes HEG impossible.
+        h = Hypergraph(3, [(0, 1, 2), (0, 1, 2)])
+        with pytest.raises(SubroutineError, match="infeasible|Hall"):
+            hyperedge_grabbing(h, require_slack=False)
+
+    def test_isolated_vertex_rejected(self):
+        h = Hypergraph(2, [(0,)])
+        with pytest.raises(SubroutineError, match="incident"):
+            hyperedge_grabbing(h, require_slack=False)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10 ** 6),
+        n=st.integers(min_value=10, max_value=40),
+    )
+    def test_property_random_feasible_instances(self, seed, n):
+        rng = random.Random(seed)
+        edges = [(i, (i + 1) % n, (i + 2) % n) for i in range(n)]
+        edges += [
+            (i, (i + rng.randrange(3, n - 1)) % n) for i in range(n)
+        ]
+        h = Hypergraph(n, edges)
+        if h.min_degree > h.rank:
+            grab, _ = hyperedge_grabbing(h)
+            verify_heg(h, grab)
+
+
+class TestFeasibility:
+    def test_feasible_certificate(self):
+        assert heg_feasible(ring_hypergraph(20))
+
+    def test_infeasible_certificate(self):
+        h = Hypergraph(3, [(0, 1, 2), (0, 1, 2)])
+        assert not heg_feasible(h)
+
+    def test_exactly_matching_edges(self):
+        h = Hypergraph(3, [(0,), (1,), (2,)])
+        assert heg_feasible(h)
+
+
+class TestAugmentation:
+    def test_augment_stuck_reassigns_via_alternating_path(self):
+        """Directly exercise the augmenting-path fallback: vertex 0's
+        only hyperedge is pre-claimed, forcing a chain reassignment."""
+        from repro.subroutines.heg import _augment_stuck
+
+        h = Hypergraph(3, [(0, 1), (1, 2), (2,)])
+        # Adversarial partial state: 1 grabbed edge 0 (vertex 0's only
+        # option), 2 grabbed edge 1 (vertex 1's alternative).
+        grab: list = [None, 0, 1]
+        claimed = {0: 1, 1: 2}
+        rounds = _augment_stuck(h, grab, claimed)
+        verify_heg(h, grab)
+        assert rounds > 0
+        assert grab[0] == 0  # the chain freed vertex 0's only edge
+
+    def test_augment_infeasible_raises(self):
+        from repro.errors import SubroutineError
+        from repro.subroutines.heg import _augment_stuck
+
+        h = Hypergraph(2, [(0, 1)])
+        grab: list = [None, 0]
+        claimed = {0: 1}
+        with pytest.raises(SubroutineError, match="Hall|infeasible"):
+            _augment_stuck(h, grab, claimed)
+
+    def test_augment_noop_when_complete(self):
+        from repro.subroutines.heg import _augment_stuck
+
+        h = Hypergraph(2, [(0,), (1,)])
+        grab: list = [0, 1]
+        assert _augment_stuck(h, grab, {0: 0, 1: 1}) == 0

@@ -1,0 +1,75 @@
+"""Tests for Linial's color reduction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.local import Network
+from repro.subroutines import linial_coloring, linial_palette_bound, next_prime
+from tests.conftest import random_network
+
+
+class TestPrimes:
+    @pytest.mark.parametrize(
+        "x, expected", [(1, 2), (2, 3), (3, 5), (10, 11), (13, 17), (100, 101)]
+    )
+    def test_next_prime(self, x, expected):
+        assert next_prime(x) == expected
+
+
+class TestLinial:
+    def test_proper_on_random_graph(self):
+        net = random_network(200, 600, seed=1)
+        colors, result = linial_coloring(net)
+        for u, v in net.edges():
+            assert colors[u] != colors[v]
+
+    def test_palette_bound_respected(self):
+        net = random_network(150, 450, seed=2)
+        colors, _ = linial_coloring(net)
+        assert max(colors) < linial_palette_bound(net.max_degree)
+
+    def test_large_id_space_reduced(self):
+        # uids spread over a huge space force genuine reduction rounds.
+        net = Network.from_edges(
+            8,
+            [(i, (i + 1) % 8) for i in range(8)],
+            uids=[i * 10 ** 6 + 17 for i in range(8)],
+        )
+        colors, result = linial_coloring(net, id_space=10 ** 7)
+        assert max(colors) < linial_palette_bound(2)
+        assert result.rounds >= 2  # several reduction steps happened
+        for u, v in net.edges():
+            assert colors[u] != colors[v]
+
+    def test_rounds_grow_very_slowly(self):
+        """log* behavior: huge ID spaces only add a couple of rounds."""
+        cycle = [(i, (i + 1) % 20) for i in range(20)]
+        rounds = []
+        for exponent in (3, 6, 12):
+            uids = [i * 10 ** exponent + 7 for i in range(20)]
+            net = Network.from_edges(20, cycle, uids=uids)
+            _, result = linial_coloring(net, id_space=10 ** (exponent + 2))
+            rounds.append(result.rounds)
+        assert rounds[-1] - rounds[0] <= 3
+
+    def test_isolated_vertices(self):
+        net = Network.from_edges(3, [])
+        colors, result = linial_coloring(net)
+        assert len(colors) == 3
+        assert result.rounds == 0
+
+    def test_single_edge(self):
+        net = Network.from_edges(2, [(0, 1)])
+        colors, _ = linial_coloring(net)
+        assert colors[0] != colors[1]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    def test_property_proper_on_random_graphs(self, seed):
+        net = random_network(40, 100, seed=seed)
+        colors, _ = linial_coloring(net)
+        assert all(colors[u] != colors[v] for u, v in net.edges())
+        assert max(colors) < linial_palette_bound(net.max_degree)

@@ -1,0 +1,43 @@
+"""Tests for radius-k neighborhood gathering."""
+
+from __future__ import annotations
+
+from repro.local import Network, ball, ball_vertices, gather_balls
+
+
+def path_network(n: int) -> Network:
+    return Network.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestBall:
+    def test_radius_zero(self):
+        net = path_network(5)
+        b = ball(net, 2, 0)
+        assert b.vertices == (2,)
+        assert b.distance == {2: 0}
+
+    def test_radius_two_on_path(self):
+        net = path_network(6)
+        b = ball(net, 2, 2)
+        assert set(b.vertices) == {0, 1, 2, 3, 4}
+        assert b.distance[0] == 2
+        assert b.boundary() == [0, 4]
+
+    def test_radius_exceeding_diameter(self):
+        net = path_network(4)
+        b = ball(net, 0, 10)
+        assert set(b.vertices) == {0, 1, 2, 3}
+
+    def test_gather_balls_covers_every_vertex(self):
+        net = path_network(5)
+        balls = gather_balls(net, 1)
+        assert len(balls) == 5
+        assert set(balls[1].vertices) == {0, 1, 2}
+
+    def test_ball_vertices_shortcut(self):
+        net = path_network(5)
+        assert ball_vertices(net, 4, 1) == {3, 4}
+
+    def test_disconnected_ball_stays_in_component(self):
+        net = Network.from_edges(4, [(0, 1), (2, 3)])
+        assert ball_vertices(net, 0, 5) == {0, 1}

@@ -1,0 +1,54 @@
+"""Tests for round/message accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.local import LedgerEntry, RoundLedger
+from repro.local.result import RunResult
+
+
+class TestLedger:
+    def test_totals(self):
+        ledger = RoundLedger()
+        ledger.charge("a", 5, 10)
+        ledger.charge("b", 7, 20)
+        assert ledger.total_rounds == 12
+        assert ledger.total_messages == 30
+
+    def test_breakdown_groups_by_top_level_label(self):
+        ledger = RoundLedger()
+        ledger.charge("hard/phase1/mm", 3)
+        ledger.charge("hard/phase2/split", 4)
+        ledger.charge("easy/layer-1", 2)
+        assert ledger.breakdown() == {"hard": 7, "easy": 2}
+
+    def test_rounds_for_prefix(self):
+        ledger = RoundLedger()
+        ledger.charge("hard/phase1/mm", 3)
+        ledger.charge("hard/phase1/heg", 4)
+        ledger.charge("hard/phase2/split", 5)
+        assert ledger.rounds_for("hard/phase1") == 7
+
+    def test_charge_result_scales_rounds_not_messages(self):
+        ledger = RoundLedger()
+        result = RunResult(rounds=4, messages=9, outputs=[])
+        ledger.charge_result("virtual", result, scale=3)
+        assert ledger.total_rounds == 12
+        assert ledger.total_messages == 9
+
+    def test_merge_with_prefix_and_scale(self):
+        inner = RoundLedger()
+        inner.charge("mm", 2, 5)
+        outer = RoundLedger()
+        outer.merge(inner, prefix="component", scale=2)
+        assert outer.entries == [LedgerEntry("component/mm", 4, 5)]
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            LedgerEntry("bad", -1)
+
+    def test_empty_ledger(self):
+        ledger = RoundLedger()
+        assert ledger.total_rounds == 0
+        assert ledger.breakdown() == {}

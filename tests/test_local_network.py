@@ -1,0 +1,231 @@
+"""Tests for the LOCAL simulator engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoundLimitExceeded, SimulationError
+from repro.local import DistributedAlgorithm, Network
+
+
+class Flood(DistributedAlgorithm):
+    """Min-distance flood from the uid-0 node."""
+
+    name = "flood"
+
+    def on_start(self, node, api):
+        if node.uid == 0:
+            node.state["dist"] = 0
+            api.broadcast(0)
+            api.halt(0)
+
+    def on_round(self, node, api, inbox):
+        if "dist" in node.state:
+            return
+        dist = min(message for _, message in inbox) + 1
+        node.state["dist"] = dist
+        api.broadcast(dist)
+        api.halt(dist)
+
+
+class Silent(DistributedAlgorithm):
+    name = "silent"
+
+    def on_round(self, node, api, inbox):  # pragma: no cover
+        raise AssertionError("silent algorithm must never be scheduled")
+
+
+class AlarmClock(DistributedAlgorithm):
+    name = "alarm"
+
+    def __init__(self, when):
+        self.when = when
+
+    def on_start(self, node, api):
+        api.set_alarm(self.when[node.index])
+
+    def on_round(self, node, api, inbox):
+        api.halt(api.round)
+
+
+def path_network(n: int) -> Network:
+    return Network.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestEngine:
+    def test_flood_rounds_equal_eccentricity(self):
+        net = path_network(6)
+        result = net.run(Flood())
+        assert result.outputs == [0, 1, 2, 3, 4, 5]
+        assert result.rounds == 5
+
+    def test_flood_messages_counted(self):
+        net = path_network(3)
+        result = net.run(Flood())
+        assert result.messages > 0
+
+    def test_silent_network_terminates_immediately(self):
+        net = path_network(4)
+        result = net.run(Silent())
+        assert result.rounds == 0
+        assert result.outputs == [None] * 4
+
+    def test_alarm_fast_forward(self):
+        net = path_network(3)
+        result = net.run(AlarmClock([100, 200, 300]))
+        assert result.outputs == [100, 200, 300]
+        assert result.rounds == 300
+
+    def test_round_limit_enforced(self):
+        class Forever(DistributedAlgorithm):
+            name = "forever"
+
+            def on_start(self, node, api):
+                api.set_alarm(1)
+
+            def on_round(self, node, api, inbox):
+                api.set_alarm(api.round + 1)
+
+        net = path_network(2)
+        with pytest.raises(RoundLimitExceeded):
+            net.run(Forever(), max_rounds=50)
+
+    def test_send_to_non_neighbor_rejected(self):
+        class Bad(DistributedAlgorithm):
+            name = "bad"
+
+            def on_start(self, node, api):
+                if node.index == 0:
+                    api.send(2, "hi")
+
+            def on_round(self, node, api, inbox):  # pragma: no cover
+                pass
+
+        net = path_network(3)
+        with pytest.raises(SimulationError, match="non-neighbor"):
+            net.run(Bad())
+
+    def test_messages_to_halted_nodes_are_dropped(self):
+        class PingHalted(DistributedAlgorithm):
+            name = "ping-halted"
+
+            def on_start(self, node, api):
+                if node.index == 0:
+                    api.halt("done")
+                else:
+                    api.send(0, "ping")
+                    api.halt("sent")
+
+            def on_round(self, node, api, inbox):  # pragma: no cover
+                raise AssertionError("halted node scheduled")
+
+        net = path_network(2)
+        result = net.run(PingHalted())
+        assert result.rounds == 0
+        assert result.all_halted
+
+    def test_state_reset_between_runs(self):
+        net = path_network(4)
+        first = net.run(Flood())
+        second = net.run(Flood())
+        assert first.outputs == second.outputs
+
+
+class TestConstruction:
+    def test_duplicate_uids_rejected(self):
+        with pytest.raises(SimulationError, match="unique"):
+            Network([[1], [0]], uids=[5, 5])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(SimulationError, match="self loop"):
+            Network.from_edges(2, [(0, 0)])
+
+    def test_asymmetric_adjacency_rejected(self):
+        with pytest.raises(SimulationError, match="asymmetric"):
+            Network([[1], []])
+
+    def test_parallel_edges_deduplicated(self):
+        net = Network.from_edges(2, [(0, 1), (1, 0), (0, 1)])
+        assert net.edge_count == 1
+
+    def test_from_networkx(self):
+        nx = pytest.importorskip("networkx")
+        graph = nx.cycle_graph(5)
+        net = Network.from_networkx(graph)
+        assert net.n == 5
+        assert net.edge_count == 5
+        assert net.max_degree == 2
+
+    def test_edges_are_canonical(self):
+        net = path_network(4)
+        assert net.edges() == [(0, 1), (1, 2), (2, 3)]
+
+    def test_degree_and_neighbor_set(self):
+        net = path_network(3)
+        assert net.degree(1) == 2
+        assert net.neighbor_set(1) == frozenset({0, 2})
+
+
+class TestSubnetwork:
+    def test_induced_structure(self):
+        net = Network.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        sub, mapping = net.subnetwork([0, 1, 2])
+        assert mapping == [0, 1, 2]
+        assert sub.edges() == [(0, 1), (1, 2)]
+
+    def test_uids_inherited(self):
+        net = Network.from_edges(4, [(0, 1), (2, 3)], uids=[10, 11, 12, 13])
+        sub, mapping = net.subnetwork([2, 3])
+        assert sub.uids == [12, 13]
+
+    def test_empty_subnetwork(self):
+        net = path_network(3)
+        sub, mapping = net.subnetwork([])
+        assert sub.n == 0 and mapping == []
+
+
+class TestBandwidthAccounting:
+    def test_message_words_scalars(self):
+        from repro.local import message_words
+
+        assert message_words(7) == 1
+        assert message_words(None) == 1
+        assert message_words(3.5) == 1
+
+    def test_message_words_containers(self):
+        from repro.local import message_words
+
+        assert message_words((1, 2, 3)) == 3
+        assert message_words({"a": 1}) == 2
+        assert message_words(("x", (1, 2))) == 3
+
+    def test_flood_is_congest_friendly(self):
+        net = path_network(5)
+        result = net.run(Flood(), measure_bandwidth=True)
+        assert result.max_message_words == 1
+        assert result.total_message_words == result.messages
+
+    def test_bandwidth_off_by_default(self):
+        net = path_network(4)
+        result = net.run(Flood())
+        assert result.max_message_words == 0
+
+    def test_bandwidth_limit_enforced(self):
+        class Fat(DistributedAlgorithm):
+            name = "fat"
+
+            def on_start(self, node, api):
+                if node.index == 0:
+                    api.send(1, tuple(range(100)))
+
+            def on_round(self, node, api, inbox):  # pragma: no cover
+                pass
+
+        net = path_network(2)
+        with pytest.raises(SimulationError, match="CONGEST"):
+            net.run(Fat(), bandwidth_limit=4)
+
+    def test_bandwidth_limit_allows_small_messages(self):
+        net = path_network(5)
+        result = net.run(Flood(), bandwidth_limit=2)
+        assert result.outputs == [0, 1, 2, 3, 4]

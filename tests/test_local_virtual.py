@@ -1,0 +1,58 @@
+"""Tests for virtual-graph adapters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.local import Network, VirtualNetwork
+
+
+def base() -> Network:
+    # Two triangles joined by one edge: 0-1-2 and 3-4-5, edge 2-3.
+    return Network.from_edges(
+        6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+    )
+
+
+class TestVirtualNetwork:
+    def test_edges_induced_by_base_edges(self):
+        virtual = VirtualNetwork(base(), [[0, 1, 2], [3, 4, 5]])
+        assert virtual.n == 2
+        assert virtual.edges() == [(0, 1)]
+
+    def test_no_edge_between_disconnected_groups(self):
+        virtual = VirtualNetwork(base(), [[0, 1], [4, 5]])
+        assert virtual.edges() == []
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(SimulationError, match="belongs to virtual nodes"):
+            VirtualNetwork(base(), [[0, 1], [1, 2]])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(SimulationError, match="empty group"):
+            VirtualNetwork(base(), [[0], []])
+
+    def test_extra_edges(self):
+        virtual = VirtualNetwork(
+            base(), [[0], [5]], extra_edges=[(0, 1)]
+        )
+        assert virtual.edges() == [(0, 1)]
+
+    def test_round_scaling(self):
+        virtual = VirtualNetwork(base(), [[0, 1, 2], [3, 4, 5]], round_scale=4)
+        assert virtual.base_rounds(5) == 20
+
+    def test_virtual_uids_are_group_minimum(self):
+        net = Network.from_edges(4, [(0, 1), (2, 3), (1, 2)], uids=[9, 4, 7, 2])
+        virtual = VirtualNetwork(net, [[0, 1], [2, 3]])
+        assert virtual.uids == [4, 2]
+
+    def test_group_of(self):
+        virtual = VirtualNetwork(base(), [[0, 1, 2], [3, 4]])
+        assert virtual.group_of(4) == 1
+        assert virtual.group_of(5) is None
+
+    def test_intra_group_edges_do_not_create_loops(self):
+        virtual = VirtualNetwork(base(), [[0, 1, 2]])
+        assert virtual.edges() == []

@@ -1,0 +1,138 @@
+"""Tests for loopholes (Definition 6, Lemma 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Loophole, color_loophole, find_small_loophole, is_loophole
+from repro.errors import InvariantViolation
+from repro.local import Network
+
+
+def cycle_network(n: int) -> Network:
+    return Network.from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def complete_graph(n: int) -> Network:
+    return Network.from_edges(
+        n, [(i, j) for i in range(n) for j in range(i + 1, n)]
+    )
+
+
+class TestLoopholeObject:
+    def test_low_degree_must_be_single_vertex(self):
+        with pytest.raises(InvariantViolation):
+            Loophole((0, 1), "low-degree")
+
+    def test_even_cycle_must_be_even(self):
+        with pytest.raises(InvariantViolation):
+            Loophole((0, 1, 2, 3, 4), "even-cycle")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvariantViolation):
+            Loophole((0,), "mystery")
+
+    def test_boundary_kind(self):
+        lh = Loophole((3,), "boundary")
+        assert lh.kind == "boundary"
+
+
+class TestIsLoophole:
+    def test_low_degree(self):
+        net = Network.from_edges(3, [(0, 1), (1, 2)])
+        # Delta = 2; vertex 0 has degree 1 < 2.
+        assert is_loophole(net, Loophole((0,), "low-degree"), 2)
+        assert not is_loophole(net, Loophole((1,), "low-degree"), 2)
+
+    def test_non_clique_four_cycle(self):
+        net = cycle_network(4)
+        assert is_loophole(net, Loophole((0, 1, 2, 3), "even-cycle"), 2)
+
+    def test_clique_cycle_is_not_loophole(self):
+        net = complete_graph(4)
+        assert not is_loophole(net, Loophole((0, 1, 2, 3), "even-cycle"), 3)
+
+    def test_missing_edge_rejected(self):
+        net = Network.from_edges(4, [(0, 1), (1, 2), (2, 3)])  # path, no cycle
+        assert not is_loophole(net, Loophole((0, 1, 2, 3), "even-cycle"), 2)
+
+    def test_boundary_relative_to_uncolored_set(self):
+        net = Network.from_edges(2, [(0, 1)])
+        lh = Loophole((0,), "boundary")
+        assert is_loophole(net, lh, 1, uncolored_outside={1})
+        assert not is_loophole(net, lh, 1, uncolored_outside=set())
+
+
+class TestFindSmallLoophole:
+    def test_low_degree_found_first(self):
+        net = Network.from_edges(3, [(0, 1), (1, 2)])
+        lh = find_small_loophole(net, 0, delta=2)
+        assert lh.kind == "low-degree"
+
+    def test_four_cycle_found(self):
+        net = cycle_network(4)
+        # Every vertex has degree 2 = Delta; the 4-cycle is the loophole.
+        lh = find_small_loophole(net, 0, delta=2)
+        assert lh is not None and lh.kind == "even-cycle"
+        assert len(lh.vertices) == 4
+
+    def test_six_cycle_found(self):
+        net = cycle_network(6)
+        lh = find_small_loophole(net, 0, delta=2, max_size=6)
+        assert lh is not None and len(lh.vertices) == 6
+
+    def test_six_cycle_missed_with_small_budget(self):
+        net = cycle_network(6)
+        assert find_small_loophole(net, 0, delta=2, max_size=4) is None
+
+    def test_odd_cycle_has_none(self):
+        net = cycle_network(5)
+        assert find_small_loophole(net, 0, delta=2, max_size=6) is None
+
+    def test_hard_instance_has_none(self, hard_instance):
+        net = hard_instance.network
+        for v in (0, 17, 100):
+            assert find_small_loophole(net, v, delta=16) is None
+
+    def test_mixed_instance_easy_vertex_found(self, mixed_instance):
+        easy = mixed_instance.meta["easy_cliques"][0]
+        v = mixed_instance.cliques[easy][0]  # one deleted-edge endpoint
+        lh = find_small_loophole(mixed_instance.network, v, delta=16)
+        assert lh is not None
+
+
+class TestColorLoophole:
+    def test_single_vertex(self):
+        net = Network.from_edges(2, [(0, 1)])
+        assignment = color_loophole(net, [0], {0: [5]})
+        assert assignment == {0: 5}
+
+    def test_even_cycle_with_two_lists(self):
+        net = cycle_network(4)
+        lists = {0: [0, 1], 1: [0, 1], 2: [0, 1], 3: [0, 1]}
+        assignment = color_loophole(net, [0, 1, 2, 3], lists)
+        for i in range(4):
+            assert assignment[i] != assignment[(i + 1) % 4]
+
+    def test_heterogeneous_lists(self):
+        net = cycle_network(4)
+        lists = {0: [0, 1], 1: [1, 2], 2: [2, 3], 3: [3, 0]}
+        assignment = color_loophole(net, [0, 1, 2, 3], lists)
+        for v in range(4):
+            assert assignment[v] in lists[v]
+
+    def test_k4_minus_edge(self):
+        net = Network.from_edges(
+            4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+        )  # diagonal 0-2; 1-3 missing
+        lists = {0: [0, 1, 2], 1: [0, 1], 2: [0, 1, 2], 3: [0, 1]}
+        assignment = color_loophole(net, [0, 1, 2, 3], lists)
+        for u, v in net.edges():
+            assert assignment[u] != assignment[v]
+
+    def test_impossible_instance_raises(self):
+        # Odd cycle with identical 2-lists is not list-colorable.
+        net = cycle_network(3)
+        lists = {0: [0, 1], 1: [0, 1], 2: [0, 1]}
+        with pytest.raises(InvariantViolation, match="Lemma 7"):
+            color_loophole(net, [0, 1, 2], lists)

@@ -1,0 +1,126 @@
+"""Tests for MIS and maximal matching."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SubroutineError
+from repro.local import Network
+from repro.subroutines import (
+    line_network,
+    luby_mis,
+    maximal_independent_set,
+    maximal_matching,
+    verify_matching,
+    verify_mis,
+)
+from tests.conftest import random_network
+
+
+class TestMIS:
+    def test_deterministic_on_random_graph(self):
+        net = random_network(150, 450, seed=1)
+        membership, _ = maximal_independent_set(net)
+        verify_mis(net, membership)
+
+    def test_luby_on_random_graph(self):
+        net = random_network(150, 450, seed=2)
+        membership, result = luby_mis(net, seed=3)
+        verify_mis(net, membership)
+        assert result.rounds <= 30  # O(log n) w.h.p.
+
+    def test_complete_graph_single_winner(self):
+        net = Network.from_edges(
+            6, [(i, j) for i in range(6) for j in range(i + 1, 6)]
+        )
+        membership, _ = maximal_independent_set(net)
+        assert sum(membership) == 1
+
+    def test_empty_graph_everyone_joins(self):
+        net = Network.from_edges(5, [])
+        membership, _ = maximal_independent_set(net)
+        assert all(membership)
+
+    def test_verify_rejects_non_independent(self):
+        net = Network.from_edges(2, [(0, 1)])
+        with pytest.raises(SubroutineError, match="independent"):
+            verify_mis(net, [True, True])
+
+    def test_verify_rejects_non_maximal(self):
+        net = Network.from_edges(3, [(0, 1)])
+        with pytest.raises(SubroutineError, match="maximal"):
+            verify_mis(net, [True, False, False])
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10 ** 6))
+    def test_property_luby_valid(self, seed):
+        net = random_network(40, 90, seed=seed)
+        membership, _ = luby_mis(net, seed=seed)
+        verify_mis(net, membership)
+
+
+class TestLineNetwork:
+    def test_structure(self):
+        net = Network.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        line, edge_list = line_network(net)
+        assert line.n == 3
+        assert line.edges() == [(0, 1), (1, 2)]
+        assert edge_list == [(0, 1), (1, 2), (2, 3)]
+
+    def test_subset(self):
+        net = Network.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        line, edge_list = line_network(net, [(0, 1), (2, 3)])
+        assert line.n == 2
+        assert line.edges() == []
+
+    def test_non_edge_rejected(self):
+        net = Network.from_edges(3, [(0, 1)])
+        with pytest.raises(SubroutineError, match="not an edge"):
+            line_network(net, [(0, 2)])
+
+    def test_duplicate_rejected(self):
+        net = Network.from_edges(2, [(0, 1)])
+        with pytest.raises(SubroutineError, match="duplicate"):
+            line_network(net, [(0, 1), (1, 0)])
+
+
+class TestMatching:
+    def test_deterministic(self):
+        net = random_network(120, 300, seed=4)
+        matching, _ = maximal_matching(net)
+        verify_matching(net, matching, net.edges())
+
+    def test_randomized(self):
+        net = random_network(120, 300, seed=5)
+        matching, result = maximal_matching(net, deterministic=False, seed=6)
+        verify_matching(net, matching, net.edges())
+
+    def test_subset_maximality(self):
+        net = random_network(60, 150, seed=7)
+        subset = net.edges()[::2]
+        matching, _ = maximal_matching(net, subset)
+        verify_matching(net, matching, subset)
+
+    def test_perfect_on_disjoint_edges(self):
+        net = Network.from_edges(6, [(0, 1), (2, 3), (4, 5)])
+        matching, _ = maximal_matching(net)
+        assert len(matching) == 3
+
+    def test_verify_rejects_shared_endpoint(self):
+        net = Network.from_edges(3, [(0, 1), (1, 2)])
+        with pytest.raises(SubroutineError, match="not a matching"):
+            verify_matching(net, [(0, 1), (1, 2)])
+
+    def test_verify_rejects_non_maximal(self):
+        net = Network.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(SubroutineError, match="not maximal"):
+            verify_matching(net, [(0, 1)], [(0, 1), (2, 3)])
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10 ** 6))
+    def test_property_matching_valid(self, seed):
+        net = random_network(30, 60, seed=seed)
+        matching, _ = maximal_matching(net)
+        verify_matching(net, matching, net.edges())

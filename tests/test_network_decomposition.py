@@ -1,0 +1,110 @@
+"""Tests for the Linial–Saks network decomposition."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SubroutineError
+from repro.local import Network
+from repro.subroutines.network_decomposition import (
+    Decomposition,
+    decomposition_list_coloring,
+    network_decomposition,
+    verify_decomposition,
+)
+from tests.conftest import random_network
+
+
+def long_cycle(n: int, chord: int = 0) -> Network:
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    if chord:
+        edges += [(i, (i + chord) % n) for i in range(n)]
+    return Network.from_edges(n, edges)
+
+
+class TestDecomposition:
+    def test_random_graph(self):
+        net = random_network(200, 600, seed=1)
+        decomposition = network_decomposition(net, seed=1)
+        verify_decomposition(net, decomposition)
+        assert decomposition.num_colors >= 1
+
+    def test_weak_diameter_logarithmic(self):
+        net = long_cycle(400)
+        decomposition = network_decomposition(net, seed=2)
+        bound = 4 * 2 * math.ceil(2 * math.log(400) / math.log(2))
+        assert decomposition.max_weak_diameter <= bound
+
+    def test_high_diameter_graph_gets_many_clusters(self):
+        net = long_cycle(500)
+        decomposition = network_decomposition(net, seed=3)
+        assert len(decomposition.clusters()) > 5
+
+    def test_every_vertex_clustered(self):
+        net = long_cycle(300, chord=17)
+        decomposition = network_decomposition(net, seed=4)
+        assert all(c != -1 for c in decomposition.cluster_of)
+
+    def test_same_color_clusters_non_adjacent(self):
+        net = long_cycle(300)
+        decomposition = network_decomposition(net, seed=5)
+        for u, v in net.edges():
+            if decomposition.cluster_of[u] != decomposition.cluster_of[v]:
+                assert decomposition.color_of[u] != decomposition.color_of[v]
+
+    def test_seeded_reproducibility(self):
+        net = long_cycle(200)
+        a = network_decomposition(net, seed=6)
+        b = network_decomposition(net, seed=6)
+        assert a.cluster_of == b.cluster_of
+
+    def test_empty_network(self):
+        net = Network.from_edges(0, [])
+        decomposition = network_decomposition(net, seed=0)
+        assert decomposition.num_colors == 0
+
+    def test_bad_p_rejected(self):
+        net = long_cycle(10)
+        with pytest.raises(SubroutineError):
+            network_decomposition(net, seed=0, p=1.5)
+
+    def test_verify_catches_touching_clusters(self):
+        net = Network.from_edges(2, [(0, 1)])
+        fake = Decomposition(
+            cluster_of=[0, 1], color_of=[0, 0], num_colors=1,
+            max_weak_diameter=0, rounds=0,
+        )
+        with pytest.raises(SubroutineError, match="touch"):
+            verify_decomposition(net, fake)
+
+
+class TestDecompositionColoring:
+    def test_proper_on_cycle(self):
+        net = long_cycle(300, chord=9)
+        lists = [list(range(net.degree(v) + 1)) for v in range(net.n)]
+        colors, result = decomposition_list_coloring(net, lists, seed=1)
+        assert all(colors[u] != colors[v] for u, v in net.edges())
+        assert result.rounds > 0
+
+    def test_respects_lists(self):
+        net = long_cycle(100)
+        lists = [[10 + v % 3, 20 + v % 3, 30] for v in range(net.n)]
+        colors, _ = decomposition_list_coloring(net, lists, seed=2)
+        for v in range(net.n):
+            assert colors[v] in lists[v]
+
+    def test_reuses_precomputed_decomposition(self):
+        net = long_cycle(150)
+        decomposition = network_decomposition(net, seed=3)
+        lists = [list(range(3)) for _ in range(net.n)]
+        colors, _ = decomposition_list_coloring(
+            net, lists, decomposition=decomposition
+        )
+        assert all(colors[u] != colors[v] for u, v in net.edges())
+
+    def test_undersized_lists_rejected(self):
+        net = long_cycle(20)
+        with pytest.raises(SubroutineError):
+            decomposition_list_coloring(net, [[0] for _ in range(20)], seed=0)

@@ -1,0 +1,73 @@
+"""Property-based end-to-end tests: random instances, always proper.
+
+Hypothesis drives the generator parameters (clique counts, Delta, easy
+fractions, seeds); whatever instance comes out, every pipeline must
+either produce a verified Delta-coloring or raise a typed error —
+silent improper colorings are the one outcome that must never occur
+(the pipelines already self-verify; these tests check it independently).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import AlgorithmParameters
+from repro.core import delta_color_deterministic, delta_color_randomized
+from repro.core.sparse import delta_color_general
+from repro.graphs import hard_clique_graph, mixed_dense_graph, sparse_dense_mix
+from repro.verify.coloring import verify_coloring
+
+PARAMS = AlgorithmParameters(epsilon=0.25)
+
+clique_counts = st.sampled_from([34, 36, 40])
+deltas = st.sampled_from([12, 16])
+seeds = st.integers(min_value=0, max_value=10 ** 6)
+
+
+@settings(max_examples=10, deadline=None)
+@given(num_cliques=clique_counts, delta=deltas, seed=seeds)
+def test_deterministic_on_random_hard_instances(num_cliques, delta, seed):
+    instance = hard_clique_graph(num_cliques, delta, seed=seed)
+    result = delta_color_deterministic(instance.network, params=PARAMS)
+    verify_coloring(instance.network, result.colors, delta)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    num_cliques=clique_counts,
+    easy_fraction=st.sampled_from([0.1, 0.3, 0.7]),
+    seed=seeds,
+)
+def test_deterministic_on_random_mixed_instances(
+    num_cliques, easy_fraction, seed
+):
+    instance = mixed_dense_graph(
+        num_cliques, 16, easy_fraction=easy_fraction, seed=seed
+    )
+    result = delta_color_deterministic(instance.network, params=PARAMS)
+    verify_coloring(instance.network, result.colors, 16)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=seeds,
+    activation=st.sampled_from([0.05, 1.0 / 3.0, 0.9]),
+)
+def test_randomized_on_random_parameters(seed, activation):
+    instance = hard_clique_graph(34, 16, seed=seed % 50)
+    result = delta_color_randomized(
+        instance.network, params=PARAMS, seed=seed,
+        activation_probability=activation,
+    )
+    verify_coloring(instance.network, result.colors, 16)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=seeds, attachments=st.sampled_from([2, 4, 6]))
+def test_general_on_random_sparse_mixes(seed, attachments):
+    instance = sparse_dense_mix(
+        34, 16, attachments=attachments, seed=seed % 100
+    )
+    result = delta_color_general(instance.network, params=PARAMS, seed=seed)
+    verify_coloring(instance.network, result.colors, 16)

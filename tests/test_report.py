@@ -1,0 +1,70 @@
+"""Tests for the DOT figure exports."""
+
+from __future__ import annotations
+
+import re
+
+from repro.constants import AlgorithmParameters
+from repro.core import (
+    build_pair_conflict_graph,
+    classify_cliques,
+    color_slack_pairs,
+    compute_balanced_matching,
+    delta_color_deterministic,
+    form_slack_triads,
+    sparsify_matching,
+)
+from repro.local import RoundLedger
+from repro.report import coloring_to_dot, pair_graph_to_dot, triads_to_dot
+
+PARAMS = AlgorithmParameters(epsilon=0.25)
+
+
+def _balanced_dot(dot: str) -> bool:
+    return dot.count("{") == dot.count("}")
+
+
+class TestColoringDot:
+    def test_full_instance(self, hard_instance):
+        result = delta_color_deterministic(hard_instance.network, params=PARAMS)
+        dot = coloring_to_dot(
+            hard_instance.network, result.colors,
+            cliques=hard_instance.cliques,
+        )
+        assert dot.startswith("graph coloring {")
+        assert _balanced_dot(dot)
+        assert dot.count(" -- ") == hard_instance.network.edge_count
+        assert "cluster_0" in dot
+
+    def test_uncolored_defaults_to_white(self, hard_instance):
+        dot = coloring_to_dot(hard_instance.network)
+        assert 'fillcolor="white"' in dot
+
+
+class TestFigureDots:
+    def test_figure2_and_figure3(self, hard_instance, hard_acd):
+        network = hard_instance.network
+        classification = classify_cliques(network, hard_acd)
+        balanced = compute_balanced_matching(
+            network, classification, params=PARAMS, ledger=RoundLedger()
+        )
+        sparsified = sparsify_matching(
+            network, classification, balanced, params=PARAMS,
+            ledger=RoundLedger(),
+        )
+        triads, _ = form_slack_triads(
+            network, classification, sparsified, params=PARAMS,
+            ledger=RoundLedger(),
+        )
+        figure2 = triads_to_dot(network, triads[:3], hard_acd)
+        assert _balanced_dot(figure2)
+        assert figure2.count("doublecircle") == 3  # the slack vertices
+        assert figure2.count("shape=box") >= 3
+
+        virtual = build_pair_conflict_graph(network, triads)
+        pair_colors, _ = color_slack_pairs(
+            network, triads, list(range(16)), ledger=RoundLedger()
+        )
+        figure3 = pair_graph_to_dot(virtual, pair_colors)
+        assert _balanced_dot(figure3)
+        assert len(re.findall(r"p\d+ \[label", figure3)) == len(triads)

@@ -1,0 +1,166 @@
+"""Tests for ruling sets, BFS layering, and sinkless orientation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SubroutineError
+from repro.local import Network
+from repro.subroutines import (
+    bfs_layers,
+    layers_to_lists,
+    power_network,
+    ruling_set,
+    sinkless_orientation,
+    verify_ruling_set,
+    verify_sinkless,
+)
+from tests.conftest import random_network
+
+
+class TestRulingSet:
+    def test_mis_is_valid_six_ruling_set(self):
+        net = random_network(100, 300, seed=1)
+        membership, _ = ruling_set(net, 6)
+        verify_ruling_set(net, membership, 6)
+
+    def test_spaced_variant(self):
+        net = random_network(100, 250, seed=2)
+        membership, result = ruling_set(net, 6, spacing=2)
+        verify_ruling_set(net, membership, 6, spacing=2)
+
+    def test_spacing_scales_rounds(self):
+        net = random_network(60, 150, seed=3)
+        _, base_result = ruling_set(net, 2, deterministic=False, seed=1)
+        _, power_result = ruling_set(
+            net, 4, spacing=3, deterministic=False, seed=1
+        )
+        assert power_result.rounds % 3 == 0
+
+    def test_invalid_radius_rejected(self):
+        net = random_network(10, 20, seed=4)
+        with pytest.raises(SubroutineError):
+            ruling_set(net, 0)
+
+    def test_verify_detects_uncovered(self):
+        net = Network.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(SubroutineError, match="dominate"):
+            verify_ruling_set(net, [True, False, False, False], 1)
+
+    def test_verify_detects_close_pair(self):
+        net = Network.from_edges(3, [(0, 1), (1, 2)])
+        with pytest.raises(SubroutineError, match="independent"):
+            verify_ruling_set(net, [True, False, True], 2, spacing=2)
+
+
+class TestPowerNetwork:
+    def test_square_of_path(self):
+        net = Network.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        power, scale = power_network(net, 2)
+        assert scale == 2
+        assert sorted(power.adjacency[0]) == [1, 2]
+
+
+class TestBfsLayers:
+    def test_single_source(self):
+        net = Network.from_edges(5, [(i, i + 1) for i in range(4)])
+        depths, result = bfs_layers(net, [0])
+        assert depths == [0, 1, 2, 3, 4]
+        assert result.rounds == 4
+
+    def test_multi_source(self):
+        net = Network.from_edges(5, [(i, i + 1) for i in range(4)])
+        depths, _ = bfs_layers(net, [0, 4])
+        assert depths == [0, 1, 2, 1, 0]
+
+    def test_max_depth_cutoff(self):
+        net = Network.from_edges(5, [(i, i + 1) for i in range(4)])
+        depths, _ = bfs_layers(net, [0], max_depth=2)
+        assert depths == [0, 1, 2, None, None]
+
+    def test_unreachable_is_none(self):
+        net = Network.from_edges(4, [(0, 1), (2, 3)])
+        depths, _ = bfs_layers(net, [0])
+        assert depths[2] is None and depths[3] is None
+
+    def test_layers_to_lists(self):
+        assert layers_to_lists([0, 1, 1, None, 2]) == [[0], [1, 2], [4]]
+
+    def test_layers_to_lists_empty(self):
+        assert layers_to_lists([None, None]) == []
+
+
+class TestSinkless:
+    def test_three_regular_ring(self):
+        edges = [(i, (i + 1) % 20) for i in range(20)]
+        edges += [(i, (i + 7) % 20) for i in range(20)]
+        net = Network.from_edges(20, edges)
+        oriented, _ = sinkless_orientation(net)
+        verify_sinkless(net, oriented)
+
+    def test_randomized_variant(self):
+        edges = [(i, (i + 1) % 30) for i in range(30)]
+        edges += [(i, (i + 11) % 30) for i in range(30)]
+        net = Network.from_edges(30, edges)
+        oriented, _ = sinkless_orientation(net, deterministic=False, seed=2)
+        verify_sinkless(net, oriented)
+
+    def test_low_degree_rejected(self):
+        net = Network.from_edges(3, [(0, 1), (1, 2)])
+        with pytest.raises(SubroutineError, match="degree"):
+            sinkless_orientation(net)
+
+    def test_every_edge_oriented_once(self):
+        edges = [(i, (i + 1) % 12) for i in range(12)]
+        edges += [(i, (i + 5) % 12) for i in range(12)]
+        net = Network.from_edges(12, edges)
+        oriented, _ = sinkless_orientation(net)
+        assert len(oriented) == net.edge_count
+        canonical = {(min(a, b), max(a, b)) for a, b in oriented}
+        assert canonical == set(net.edges())
+
+
+class TestDigitRulingSet:
+    def test_valid_at_multiple_bases(self):
+        from repro.subroutines import digit_ruling_set
+
+        net = random_network(150, 450, seed=9)
+        for base in (2, 4, 8):
+            membership, radius, result = digit_ruling_set(net, base)
+            verify_ruling_set(net, membership, radius)
+            assert sum(membership) > 0
+
+    def test_rounds_shrink_with_base(self):
+        from repro.subroutines import digit_ruling_set
+
+        net = random_network(200, 600, seed=10)
+        _, _, slow = digit_ruling_set(net, 2)
+        _, _, fast = digit_ruling_set(net, 16)
+        assert fast.rounds < slow.rounds
+
+    def test_independence_is_strict(self):
+        from repro.subroutines import digit_ruling_set
+
+        net = random_network(100, 300, seed=11)
+        membership, _, _ = digit_ruling_set(net, 4)
+        for v in range(net.n):
+            if membership[v]:
+                assert not any(membership[u] for u in net.adjacency[v])
+
+    def test_base_one_rejected(self):
+        import pytest as _pytest
+
+        from repro.subroutines import digit_ruling_set
+
+        net = random_network(10, 20, seed=12)
+        with _pytest.raises(SubroutineError):
+            digit_ruling_set(net, 1)
+
+    def test_empty_network(self):
+        from repro.subroutines import digit_ruling_set
+
+        from repro.local import Network
+
+        net = Network.from_edges(0, [])
+        membership, radius, result = digit_ruling_set(net, 2)
+        assert membership == []

@@ -1,0 +1,83 @@
+"""Tests for the pre-shattering T-node placement (Section 4)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import classify_cliques, place_t_nodes
+from repro.errors import InvariantViolation
+from repro.verify import check_lemma15
+
+
+@pytest.fixture(scope="module")
+def classification(hard_instance, hard_acd):
+    return classify_cliques(hard_instance.network, hard_acd)
+
+
+class TestPlacement:
+    def test_triads_are_valid(self, hard_instance, classification):
+        result = place_t_nodes(
+            hard_instance.network, classification, rng=random.Random(0)
+        )
+        check_lemma15(hard_instance.network, classification, result.triads)
+
+    def test_pairs_pairwise_non_adjacent(self, hard_instance, classification):
+        net = hard_instance.network
+        result = place_t_nodes(net, classification, rng=random.Random(1))
+        pair_vertices = [v for t in result.triads for v in t.pair]
+        for i, a in enumerate(pair_vertices):
+            for b in pair_vertices[i + 1:]:
+                assert b not in net.neighbor_set(a), (
+                    "color-0 pairs must be mutually non-adjacent"
+                )
+
+    def test_good_bad_partition(self, classification, hard_instance):
+        result = place_t_nodes(
+            hard_instance.network, classification, rng=random.Random(2)
+        )
+        assert sorted(result.good + result.bad) == sorted(classification.hard)
+
+    def test_components_cover_bad(self, classification, hard_instance):
+        result = place_t_nodes(
+            hard_instance.network, classification, rng=random.Random(3)
+        )
+        covered = sorted(index for comp in result.components for index in comp)
+        assert covered == sorted(result.bad)
+
+    def test_more_iterations_no_fewer_triads(self, classification, hard_instance):
+        one = place_t_nodes(
+            hard_instance.network, classification, rng=random.Random(4),
+            max_iterations=1, target_bad_fraction=0.0,
+        )
+        many = place_t_nodes(
+            hard_instance.network, classification, rng=random.Random(4),
+            max_iterations=6, target_bad_fraction=0.0,
+        )
+        assert len(many.triads) >= len(one.triads)
+
+    def test_full_activation(self, classification, hard_instance):
+        result = place_t_nodes(
+            hard_instance.network, classification, rng=random.Random(5),
+            activation_probability=1.0,
+        )
+        assert result.stats["iterations"] >= 1
+        check_lemma15(hard_instance.network, classification, result.triads)
+
+    def test_invalid_probability_rejected(self, classification, hard_instance):
+        with pytest.raises(InvariantViolation):
+            place_t_nodes(
+                hard_instance.network, classification,
+                rng=random.Random(0), activation_probability=0.0,
+            )
+
+    def test_stats_shape(self, classification, hard_instance):
+        result = place_t_nodes(
+            hard_instance.network, classification, rng=random.Random(6)
+        )
+        stats = result.stats
+        assert stats["good"] + stats["bad"] == stats["hard_cliques"]
+        assert stats["component_sizes"] == sorted(
+            (len(c) for c in result.components), reverse=True
+        )

@@ -1,0 +1,146 @@
+"""Tests for the sparse-vertex extension (the paper's open direction)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import delta_color, verify_coloring
+from repro.acd import compute_acd
+from repro.constants import AlgorithmParameters
+from repro.core import classify_cliques, delta_color_general, generate_sparse_slack
+from repro.core.sparse import _deficit
+from repro.errors import GraphStructureError
+from repro.graphs import check_instance, hard_clique_graph, sparse_dense_mix
+from repro.local import RoundLedger
+
+PARAMS = AlgorithmParameters(epsilon=0.25)
+
+
+@pytest.fixture(scope="module")
+def mix_instance():
+    return sparse_dense_mix(34, 16, seed=1)
+
+
+@pytest.fixture(scope="module")
+def mix_acd(mix_instance):
+    return compute_acd(mix_instance.network, epsilon=0.25)
+
+
+class TestGenerator:
+    def test_degrees_exactly_delta(self, mix_instance):
+        net = mix_instance.network
+        assert all(net.degree(v) == 16 for v in range(net.n))
+
+    def test_blob_is_sparse_cliques_are_dense(self, mix_instance, mix_acd):
+        assert set(mix_acd.sparse) == set(mix_instance.meta["blob_vertices"])
+        assert mix_acd.num_cliques == 34
+
+    def test_all_cliques_stay_hard(self, mix_instance, mix_acd):
+        classification = classify_cliques(mix_instance.network, mix_acd)
+        assert len(classification.hard) == 34
+
+    def test_planted_structure_valid(self, mix_instance):
+        # Cliques unchanged; only the sparse blob was added.
+        saved = mix_instance.meta
+        assert saved["attachments"] == 4
+        check_instance(mix_instance, expect_regular=True, expect_cover=False)
+
+    def test_odd_attachments_rejected(self):
+        with pytest.raises(GraphStructureError, match="even"):
+            sparse_dense_mix(34, 16, attachments=3)
+
+    def test_reproducible(self):
+        a = sparse_dense_mix(34, 16, seed=9)
+        b = sparse_dense_mix(34, 16, seed=9)
+        assert a.network.edges() == b.network.edges()
+
+
+class TestSlackPlacement:
+    def test_all_deficits_resolved(self, mix_instance, mix_acd):
+        colors: list[int | None] = [None] * mix_instance.n
+        classification = classify_cliques(mix_instance.network, mix_acd)
+        stats = generate_sparse_slack(
+            mix_instance.network, mix_acd, colors, list(range(16)),
+            rng=random.Random(0),
+            hard_vertices=classification.hard_vertices(),
+            ledger=RoundLedger(),
+        )
+        assert stats.pairs_placed > 0
+        for v in mix_acd.sparse:
+            if colors[v] is None:
+                assert _deficit(mix_instance.network, v, colors, 16) <= 0
+
+    def test_placed_colors_are_proper(self, mix_instance, mix_acd):
+        colors: list[int | None] = [None] * mix_instance.n
+        classification = classify_cliques(mix_instance.network, mix_acd)
+        generate_sparse_slack(
+            mix_instance.network, mix_acd, colors, list(range(16)),
+            rng=random.Random(1),
+            hard_vertices=classification.hard_vertices(),
+        )
+        net = mix_instance.network
+        for u, v in net.edges():
+            if colors[u] is not None:
+                assert colors[u] != colors[v]
+
+    def test_eligibility_protects_hard_neighbors(self, mix_instance, mix_acd):
+        """Sparse vertices adjacent to hard cliques stay uncolored so the
+        dense phases keep their slack sources."""
+        colors: list[int | None] = [None] * mix_instance.n
+        classification = classify_cliques(mix_instance.network, mix_acd)
+        hard_vertices = classification.hard_vertices()
+        generate_sparse_slack(
+            mix_instance.network, mix_acd, colors, list(range(16)),
+            rng=random.Random(2), hard_vertices=hard_vertices,
+        )
+        net = mix_instance.network
+        for v in mix_acd.sparse:
+            if any(u in hard_vertices for u in net.adjacency[v]):
+                assert colors[v] is None
+
+    def test_low_degree_sparse_needs_nothing(self):
+        """Vertices of degree < Delta are never deficient."""
+        from repro.local import Network
+
+        net = Network.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        # Delta = 3 (vertices 0, 2); vertices 1, 3 have degree 2.
+        colors: list[int | None] = [None] * 4
+        assert _deficit(net, 1, colors, 3) <= 0
+
+
+class TestGeneralPipeline:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_mixed_sparse_dense(self, mix_instance, seed):
+        result = delta_color_general(
+            mix_instance.network, params=PARAMS, seed=seed
+        )
+        verify_coloring(mix_instance.network, result.colors, 16)
+        assert result.stats["sparse_vertices"] == 64
+        assert result.stats["sparse_slack"].pairs_placed > 0
+
+    def test_dense_only_input(self):
+        instance = hard_clique_graph(34, 16)
+        result = delta_color_general(instance.network, params=PARAMS, seed=0)
+        verify_coloring(instance.network, result.colors, 16)
+        assert result.stats["sparse_vertices"] == 0
+
+    def test_public_dispatch(self, mix_instance):
+        result = delta_color(
+            mix_instance.network, method="general", epsilon=0.25, seed=0
+        )
+        assert result.algorithm.startswith("general")
+        verify_coloring(mix_instance.network, result.colors, 16)
+
+    def test_seed_reproducibility(self, mix_instance):
+        a = delta_color_general(mix_instance.network, params=PARAMS, seed=5)
+        b = delta_color_general(mix_instance.network, params=PARAMS, seed=5)
+        assert a.colors == b.colors
+
+    def test_larger_blob(self):
+        instance = sparse_dense_mix(
+            34, 16, blob_size=128, attachments=6, seed=3
+        )
+        result = delta_color_general(instance.network, params=PARAMS, seed=0)
+        verify_coloring(instance.network, result.colors, 16)

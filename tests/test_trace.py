@@ -1,0 +1,49 @@
+"""Tests for the execution tracer."""
+
+from __future__ import annotations
+
+from repro.local import Network, Tracer
+from repro.subroutines.deg_list_coloring import _SweepListColoring
+from repro.subroutines.linial import LinialColoring
+from tests.conftest import random_network
+
+
+class TestTracer:
+    def test_flood_profile(self):
+        from tests.test_local_network import Flood
+
+        net = Network.from_edges(5, [(i, i + 1) for i in range(4)])
+        tracer = Tracer()
+        result = net.run(Flood(), tracer=tracer)
+        assert tracer.executed_rounds == result.rounds
+        # One node joins per round along the path.
+        assert [s.scheduled for s in tracer.samples] == [1, 1, 1, 1]
+        assert tracer.samples[-1].halted_total == 5
+
+    def test_quiet_fraction_of_sweep(self):
+        """A color-class sweep is mostly quiet rounds — the profile
+        shows the engine's fast-forwarding does not hide real cost."""
+        net = random_network(120, 360, seed=1)
+        linial_result = net.run(
+            LinialColoring(max(net.uids) + 1, net.max_degree)
+        )
+        classes = [node.state["color"] for node in net.nodes]
+        lists = [list(range(net.degree(v) + 1)) for v in range(net.n)]
+        tracer = Tracer()
+        result = net.run(_SweepListColoring(lists, classes), tracer=tracer)
+        assert tracer.executed_rounds <= result.rounds
+        assert 0.0 <= tracer.quiet_fraction(result.rounds) < 1.0
+        assert tracer.peak_scheduled >= 1
+
+    def test_activity_profile_shape(self):
+        from tests.test_local_network import Flood
+
+        net = Network.from_edges(3, [(0, 1), (1, 2)])
+        tracer = Tracer()
+        net.run(Flood(), tracer=tracer)
+        profile = tracer.activity_profile()
+        assert profile == [(1, 1), (2, 1)]
+
+    def test_quiet_fraction_degenerate(self):
+        tracer = Tracer()
+        assert tracer.quiet_fraction(0) == 0.0

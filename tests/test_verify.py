@@ -1,0 +1,84 @@
+"""Tests for the verification package."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidColoringError, InvariantViolation
+from repro.local import Network
+from repro.verify import (
+    check_lemma15,
+    check_oriented_matching,
+    coloring_violations,
+    is_proper_coloring,
+    verify_coloring,
+)
+
+
+def path_network(n: int) -> Network:
+    return Network.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestColoringChecks:
+    def test_proper_passes(self):
+        net = path_network(4)
+        verify_coloring(net, [0, 1, 0, 1], 2)
+
+    def test_monochromatic_edge(self):
+        net = path_network(3)
+        with pytest.raises(InvalidColoringError, match="monochromatic"):
+            verify_coloring(net, [0, 0, 1], 2)
+
+    def test_uncolored_vertex(self):
+        net = path_network(2)
+        with pytest.raises(InvalidColoringError, match="uncolored"):
+            verify_coloring(net, [0, None], 2)
+
+    def test_out_of_range_color(self):
+        net = path_network(2)
+        with pytest.raises(InvalidColoringError, match="outside range"):
+            verify_coloring(net, [0, 5], 2)
+
+    def test_violations_listed(self):
+        net = path_network(3)
+        problems = coloring_violations(net, [0, 0, None], 2)
+        assert len(problems) == 2
+
+    def test_is_proper_boolean(self):
+        net = path_network(3)
+        assert is_proper_coloring(net, [0, 1, 0], 2)
+        assert not is_proper_coloring(net, [0, 0, 0], 2)
+
+    def test_error_carries_violations(self):
+        net = path_network(3)
+        with pytest.raises(InvalidColoringError) as excinfo:
+            verify_coloring(net, [0, 0, 0], 2)
+        assert len(excinfo.value.violations) == 2
+
+
+class TestMatchingCheck:
+    def test_valid(self):
+        net = path_network(4)
+        check_oriented_matching(net, [(0, 1), (2, 3)])
+
+    def test_shared_vertex_rejected(self):
+        net = path_network(3)
+        with pytest.raises(InvariantViolation):
+            check_oriented_matching(net, [(0, 1), (1, 2)])
+
+    def test_non_edge_rejected(self):
+        net = path_network(4)
+        with pytest.raises(InvariantViolation, match="not an edge"):
+            check_oriented_matching(net, [(0, 3)])
+
+
+class TestLemma15Check:
+    def test_adjacent_pair_rejected(self, hard_instance, hard_acd):
+        from repro.core import SlackTriad, classify_cliques
+
+        cls = classify_cliques(hard_instance.network, hard_acd)
+        members = hard_acd.cliques[0]
+        fake = SlackTriad(clique=0, slack=members[0],
+                          pair=(members[1], members[2]))
+        with pytest.raises(InvariantViolation, match="adjacent"):
+            check_lemma15(hard_instance.network, cls, [fake])
