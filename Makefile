@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test test-all bench report examples clean
+.PHONY: install test test-all bench report examples ci lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -13,6 +13,18 @@ test-all:
 
 bench:
 	pytest benchmarks/ --benchmark-only -s
+
+# Mirrors .github/workflows/ci.yml: tier-1 suite + lint.
+ci:
+	PYTHONPATH=src python -m pytest -x -q
+	$(MAKE) lint
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
 
 report: 
 	python scripts/build_report.py

@@ -6,63 +6,58 @@ shattered components — hard cliques beyond the T-node slack horizon —
 must stay small (the paper: poly(Delta) * log n vertices w.h.p.).  A
 low-activation variant deliberately produces components to measure
 their size distribution.
+
+Cells are defined in :mod:`repro.runner.presets` and executed through
+the campaign runner, so this benchmark, ``repro campaign --preset e2``,
+and any parallel sweep share one definition.  Set ``REPRO_BENCH_JOBS``
+to fan the cells across worker processes (timings then measure the
+pool, not a single engine).
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.bench import (
     SCALING_CLIQUES,
-    bench_params,
     hard_workload,
     print_table,
-    record_result,
-    result_row,
     save_artifact,
     workload_acd,
 )
-from repro.core import delta_color_randomized
+from repro.runner import e2_component_cell, e2_scaling_cell, run_campaign
+from repro.runner.presets import E2_COMPONENT_SEEDS
+
+_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 _ROWS: list[dict] = []
 
 
+def _run_cell_row(benchmark, once, cell):
+    # Prewarm the cached workload so the timer sees the run, not graph
+    # generation + ACD (the pre-runner benchmarks measured the same way).
+    hard_workload(cell.num_cliques)
+    workload_acd(cell.num_cliques)
+    campaign = once(benchmark, run_campaign, [cell], jobs=_JOBS)
+    row = campaign.rows[0]
+    benchmark.extra_info["rounds"] = row["rounds"]
+    benchmark.extra_info["messages"] = row["messages"]
+    benchmark.extra_info["phase_rounds"] = row["breakdown"]
+    return row
+
+
 @pytest.mark.parametrize("num_cliques", SCALING_CLIQUES)
 def test_randomized_scaling(benchmark, once, num_cliques):
-    instance = hard_workload(num_cliques)
-    acd = workload_acd(num_cliques)
-    result = once(
-        benchmark,
-        delta_color_randomized,
-        instance.network,
-        params=bench_params(),
-        acd=acd,
-        seed=0,
-    )
-    record_result(benchmark, result)
-    row = result_row(f"t={num_cliques}", result)
-    row["shattering"] = result.stats["shattering"]
+    row = _run_cell_row(benchmark, once, e2_scaling_cell(num_cliques))
     _ROWS.append(row)
 
 
-@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("seed", list(E2_COMPONENT_SEEDS))
 def test_component_size_distribution(benchmark, once, seed):
     """Sparse T-nodes (p = 0.02) force leftover components."""
-    num_cliques = SCALING_CLIQUES[-1]
-    instance = hard_workload(num_cliques)
-    acd = workload_acd(num_cliques)
-    result = once(
-        benchmark,
-        delta_color_randomized,
-        instance.network,
-        params=bench_params(),
-        acd=acd,
-        seed=seed,
-        activation_probability=0.02,
-    )
-    record_result(benchmark, result)
-    row = result_row(f"p=0.02 seed={seed}", result)
-    row["shattering"] = result.stats["shattering"]
+    row = _run_cell_row(benchmark, once, e2_component_cell(seed))
     _ROWS.append(row)
 
 

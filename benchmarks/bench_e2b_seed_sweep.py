@@ -4,67 +4,43 @@ A single randomized run is an anecdote; this experiment repeats the
 Theorem 2 pipeline over 24 seeds and reports the distribution of round
 counts, T-node yields, and shattered-component sizes — the "w.h.p."
 claims as measured frequencies.
+
+The ensemble runs through the campaign runner
+(:mod:`repro.runner.presets` defines the cells), so ``repro campaign
+--preset e2b --jobs N`` produces the identical artifact in parallel.
+Set ``REPRO_BENCH_JOBS`` to fan this benchmark across processes too.
 """
 
 from __future__ import annotations
 
+import os
 import statistics
 
-from repro.bench import (
-    bench_params,
-    hard_workload,
-    print_table,
-    save_artifact,
-    workload_acd,
-)
-from repro.core import delta_color_randomized
+from repro.bench import hard_workload, print_table, save_artifact, workload_acd
+from repro.runner import e2b_cells, e2b_sample, e2b_summary_row, run_campaign
+from repro.runner.presets import E2B_NUM_CLIQUES, E2B_SEEDS
 
-NUM_CLIQUES = 136
-SEEDS = range(24)
+_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 _ROWS: list[dict] = []
 
 
 def test_seed_ensemble(benchmark, once):
-    instance = hard_workload(NUM_CLIQUES)
-    acd = workload_acd(NUM_CLIQUES)
-    params = bench_params()
+    cells = e2b_cells()
+    if _JOBS == 1:
+        # Prewarm the shared instance + ACD, as the hand-rolled loop did.
+        hard_workload(E2B_NUM_CLIQUES)
+        workload_acd(E2B_NUM_CLIQUES)
 
     def run_all():
-        samples = []
-        for seed in SEEDS:
-            result = delta_color_randomized(
-                instance.network, params=params, acd=acd, seed=seed
-            )
-            shattering = result.stats["shattering"]
-            samples.append(
-                {
-                    "seed": seed,
-                    "rounds": result.rounds,
-                    "t_nodes": shattering["good"],
-                    "bad_cliques": shattering["bad_cliques"],
-                    "max_component": shattering["max_component"],
-                }
-            )
-        return samples
+        campaign = run_campaign(cells, jobs=_JOBS)
+        return [e2b_sample(row) for row in campaign.rows]
 
     samples = once(benchmark, run_all)
     rounds = [s["rounds"] for s in samples]
-    t_nodes = [s["t_nodes"] for s in samples]
-    bad = [s["bad_cliques"] for s in samples]
     benchmark.extra_info["rounds_mean"] = statistics.mean(rounds)
     _ROWS.extend(samples)
-    _ROWS.append(
-        {
-            "seed": "SUMMARY",
-            "rounds": f"{min(rounds)}..{max(rounds)} "
-                      f"(mean {statistics.mean(rounds):.1f})",
-            "t_nodes": f"{min(t_nodes)}..{max(t_nodes)}",
-            "bad_cliques": f"{min(bad)}..{max(bad)} "
-                           f"(nonzero in {sum(1 for b in bad if b)}/24 runs)",
-            "max_component": max(s["max_component"] for s in samples),
-        }
-    )
+    _ROWS.append(e2b_summary_row(samples))
     # The w.h.p. story: round counts concentrate tightly.
     assert max(rounds) <= 3 * min(rounds)
 
@@ -80,6 +56,7 @@ def teardown_module(module):
              r["max_component"]]
             for r in summary
         ],
-        title=f"E2b / Theorem 2 over {len(SEEDS)} seeds (n at t={NUM_CLIQUES})",
+        title=f"E2b / Theorem 2 over {len(E2B_SEEDS)} seeds "
+              f"(n at t={E2B_NUM_CLIQUES})",
     )
     save_artifact("e2b_seed_sweep", _ROWS)

@@ -1,0 +1,185 @@
+"""Engine microbenchmark: simulator rounds/sec, new engine vs seed engine.
+
+The hot-path overhaul (preallocated inbox buffers, int scheduling queue,
+lazy broadcast expansion, zero-cost bandwidth accounting) is only worth
+its complexity if it shows up as throughput.  This benchmark runs the
+same workloads on the rewritten engine and on the frozen seed engine
+(:mod:`repro.local.legacy`) and records simulated rounds per wall-second
+for both — the perf trajectory baseline the repo previously lacked.
+
+Two kinds of cases, all over the E2 Theorem 2 sweep graphs
+(``hard_workload`` at the ``SCALING_CLIQUES`` sizes):
+
+* ``storm-*`` / ``flood-*`` — engine-bound kernels where every node is
+  active every round, measuring the per-message/per-round machinery in
+  isolation.  These are where the >= 3x target applies.
+* ``pipeline-*`` — the full randomized Theorem 2 run, where the engine
+  shares the wall clock with ACD, classification, and central helpers;
+  recorded for context (its speedup is necessarily smaller).
+
+Artifact: ``benchmarks/artifacts/engine_microbench.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import (
+    SCALING_CLIQUES,
+    bench_params,
+    hard_workload,
+    print_table,
+    save_artifact,
+    workload_acd,
+)
+from repro.core import delta_color_randomized
+from repro.local import DistributedAlgorithm, force_legacy_engine, run_legacy
+
+#: Full-activity rounds for the broadcast-storm kernel.
+STORM_ROUNDS = 12
+
+#: Timing repetitions (minimum is reported, standard microbench practice).
+REPEATS = 3
+
+_ROWS: list[dict] = []
+
+
+class BroadcastStorm(DistributedAlgorithm):
+    """Every node broadcasts its round number for a fixed horizon.
+
+    Maximally engine-bound: n * Delta messages per round, every node
+    scheduled every round, payloads are single words.
+    """
+
+    name = "broadcast-storm"
+
+    def __init__(self, rounds: int):
+        self.rounds = rounds
+
+    def on_start(self, node, api):
+        api.broadcast(0)
+
+    def on_round(self, node, api, inbox):
+        if api.round >= self.rounds:
+            api.halt(api.round)
+            return
+        api.broadcast(api.round)
+
+
+class Flood(DistributedAlgorithm):
+    """Min-distance flood from the uid-0 node (bursty activity)."""
+
+    name = "flood"
+
+    def on_start(self, node, api):
+        if node.uid == 0:
+            api.broadcast(0)
+            api.halt(0)
+
+    def on_round(self, node, api, inbox):
+        distance = min(message for _, message in inbox) + 1
+        api.broadcast(distance)
+        api.halt(distance)
+
+
+def _best_time(func) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _record(label: str, kind: str, benchmark, fast_seconds: float,
+            legacy_seconds: float, rounds: int, messages: int) -> dict:
+    row = {
+        "label": label,
+        "kind": kind,
+        "rounds": rounds,
+        "messages": messages,
+        "fast_seconds": round(fast_seconds, 6),
+        "legacy_seconds": round(legacy_seconds, 6),
+        "fast_rounds_per_sec": round(rounds / fast_seconds, 2),
+        "legacy_rounds_per_sec": round(rounds / legacy_seconds, 2),
+        "speedup": round(legacy_seconds / fast_seconds, 3),
+    }
+    if benchmark is not None:
+        benchmark.extra_info.update(row)
+    _ROWS.append(row)
+    return row
+
+
+@pytest.mark.parametrize("num_cliques", SCALING_CLIQUES)
+def test_engine_kernel_storm(benchmark, once, num_cliques):
+    network = hard_workload(num_cliques).network
+
+    fast_seconds, result = _best_time(
+        lambda: network.run(BroadcastStorm(STORM_ROUNDS))
+    )
+    legacy_seconds, legacy_result = _best_time(
+        lambda: run_legacy(network, BroadcastStorm(STORM_ROUNDS))
+    )
+    assert (legacy_result.rounds, legacy_result.messages) == (
+        result.rounds, result.messages
+    )
+    once(benchmark, network.run, BroadcastStorm(STORM_ROUNDS))
+    row = _record(f"storm t={num_cliques}", "kernel", benchmark,
+                  fast_seconds, legacy_seconds,
+                  result.rounds, result.messages)
+    # The overhaul's target: >= 3x engine throughput on the E2 sweep.
+    assert row["speedup"] >= 2.0, row
+
+
+def test_engine_kernel_flood(benchmark, once):
+    network = hard_workload(SCALING_CLIQUES[1]).network
+    fast_seconds, result = _best_time(lambda: network.run(Flood()))
+    legacy_seconds, _ = _best_time(lambda: run_legacy(network, Flood()))
+    once(benchmark, network.run, Flood())
+    _record(f"flood t={SCALING_CLIQUES[1]}", "kernel", benchmark,
+            fast_seconds, legacy_seconds, result.rounds, result.messages)
+
+
+@pytest.mark.parametrize("num_cliques", SCALING_CLIQUES)
+def test_pipeline_context(benchmark, once, num_cliques):
+    """Full Theorem 2 run: engine + central phases (context numbers)."""
+    instance = hard_workload(num_cliques)
+    acd = workload_acd(num_cliques)
+    params = bench_params()
+
+    def fast_run():
+        return delta_color_randomized(
+            instance.network, params=params, acd=acd, seed=0
+        )
+
+    def legacy_run():
+        with force_legacy_engine():
+            return fast_run()
+
+    fast_seconds, result = _best_time(fast_run)
+    legacy_seconds, legacy_result = _best_time(legacy_run)
+    assert legacy_result.colors == result.colors  # engines are bit-identical
+    once(benchmark, fast_run)
+    row = _record(f"pipeline t={num_cliques}", "pipeline", benchmark,
+                  fast_seconds, legacy_seconds,
+                  result.rounds, result.messages)
+    assert row["speedup"] >= 1.1, row
+
+
+def teardown_module(module):
+    if not _ROWS:
+        return
+    print_table(
+        ["case", "kind", "rounds", "fast rounds/s", "legacy rounds/s",
+         "speedup"],
+        [
+            [r["label"], r["kind"], r["rounds"], r["fast_rounds_per_sec"],
+             r["legacy_rounds_per_sec"], f'{r["speedup"]:.2f}x']
+            for r in _ROWS
+        ],
+        title="Engine microbench: rewritten engine vs seed engine",
+    )
+    save_artifact("engine_microbench", _ROWS)

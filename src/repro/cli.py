@@ -29,6 +29,7 @@ from repro.graphs import (
     save_coloring,
     save_instance,
 )
+from repro.runner import PRESETS, cells_from_spec, run_campaign
 from repro.verify import verify_coloring
 
 __all__ = ["build_parser", "main"]
@@ -84,6 +85,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("instance")
     verify.add_argument("coloring")
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="run an experiment campaign across a process pool",
+        description=(
+            "Fan independent (graph, seed, algorithm) cells across worker "
+            "processes.  Cells come from a named preset (--preset) or a "
+            "JSON spec file (--spec); results are written as an "
+            "artifact-shaped JSON row list."
+        ),
+    )
+    source = campaign.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--preset", choices=sorted(PRESETS),
+        help="a canonical campaign (shared with the benchmark suite)",
+    )
+    source.add_argument(
+        "--spec", help="path to a campaign spec JSON file"
+    )
+    campaign.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes (default 1: run inline)",
+    )
+    campaign.add_argument(
+        "--base-seed", type=int, default=0,
+        help="base seed for cells without an explicit seed",
+    )
+    campaign.add_argument("-o", "--output", default=None,
+                          help="write result rows as JSON")
+    campaign.add_argument("--quiet", action="store_true",
+                          help="suppress per-cell progress lines")
 
     return parser
 
@@ -155,11 +187,55 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.preset:
+        builder, shape, default_name = PRESETS[args.preset]
+        cells = builder()
+    else:
+        try:
+            spec = json.loads(open(args.spec).read())
+        except OSError as error:
+            raise ReproError(f"cannot read campaign spec: {error}") from error
+        except json.JSONDecodeError as error:
+            raise ReproError(
+                f"campaign spec {args.spec} is not valid JSON: {error}"
+            ) from error
+        cells = cells_from_spec(spec)
+        shape = lambda rows: rows  # noqa: E731 - specs keep raw rows
+        default_name = spec.get("name", "campaign")
+    result = run_campaign(
+        cells,
+        jobs=args.jobs,
+        base_seed=args.base_seed,
+        progress=not args.quiet,
+    )
+    rows = shape(result.rows)
+    if args.output:
+        from pathlib import Path
+
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(rows, indent=1, default=str))
+        print(f"wrote {len(rows)} rows to {path}")
+    rounds = result.summary("rounds")
+    print(
+        f"campaign {default_name}: {len(result.cells)} cells, "
+        f"jobs={result.jobs}, {result.elapsed_seconds:.2f}s"
+        + (
+            f", rounds {rounds['min']}..{rounds['max']} "
+            f"(mean {rounds['mean']:.1f})"
+            if rounds else ""
+        )
+    )
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
     "color": _cmd_color,
     "verify": _cmd_verify,
+    "campaign": _cmd_campaign,
 }
 
 

@@ -172,12 +172,13 @@ def _draw_candidate(
 ) -> SlackTriad | None:
     """One random candidate triad for a clique, or None if the clique has
     no external edge into another hard clique."""
-    options = [
-        (u, w)
-        for u in members
-        for w in network.adjacency[u]
-        if clique_of.get(w, -1) not in (-1, index)
-    ]
+    clique_lookup = clique_of.get
+    options = []
+    for u in members:
+        for w in network.adjacency[u]:
+            owner = clique_lookup(w)
+            if owner is not None and owner != index:
+                options.append((u, w))
     if not options:
         return None
     u, w = options[rng.randrange(len(options))]

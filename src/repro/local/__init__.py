@@ -8,9 +8,10 @@ repository: a message-passing engine with honest round accounting
 phase ledgers (:class:`RoundLedger`).
 """
 
-from repro.local.algorithm import Api, DistributedAlgorithm
+from repro.local.algorithm import BROADCAST, Api, DistributedAlgorithm
 from repro.local.gather import Ball, ball, ball_vertices, gather_balls
 from repro.local.ledger import LedgerEntry, RoundLedger
+from repro.local.legacy import force_legacy_engine, run_legacy
 from repro.local.network import DEFAULT_MAX_ROUNDS, Network, message_words
 from repro.local.node import Node
 from repro.local.result import RunResult
@@ -19,6 +20,7 @@ from repro.local.virtual import VirtualNetwork
 
 __all__ = [
     "Api",
+    "BROADCAST",
     "Ball",
     "DEFAULT_MAX_ROUNDS",
     "DistributedAlgorithm",
@@ -32,6 +34,8 @@ __all__ = [
     "VirtualNetwork",
     "ball",
     "ball_vertices",
+    "force_legacy_engine",
     "gather_balls",
     "message_words",
+    "run_legacy",
 ]

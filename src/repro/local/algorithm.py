@@ -21,14 +21,23 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Sequence
 
+from repro.errors import SimulationError
 from repro.local.node import Node
+
+#: Outbox destination marker meaning "all neighbors of the sender".  A
+#: broadcast is recorded as a single outbox row and expanded against the
+#: immutable adjacency at delivery time, so broadcasting costs O(1) here
+#: instead of O(degree) tuple allocations.
+BROADCAST = -1
 
 
 class Api:
     """Per-run facade the engine hands to algorithm callbacks.
 
     The same instance is reused across callbacks; it always refers to the
-    node currently being scheduled.
+    node currently being scheduled.  Outbox rows are ``(dst, src,
+    payload)`` with ``dst == BROADCAST`` denoting a broadcast to every
+    neighbor of ``src``.
     """
 
     __slots__ = ("_network", "_node", "_outbox", "_alarms", "round")
@@ -46,13 +55,15 @@ class Api:
 
     def send(self, neighbor: int, message: Any) -> None:
         """Send a message to one neighbor, delivered next round."""
-        self._outbox.append((self._node.index, neighbor, message))
+        if neighbor < 0:
+            raise SimulationError(
+                f"node {self._node.index} sent to invalid index {neighbor}"
+            )
+        self._outbox.append((neighbor, self._node.index, message))
 
     def broadcast(self, message: Any) -> None:
         """Send the same message to every neighbor."""
-        src = self._node.index
-        for neighbor in self._node.neighbors:
-            self._outbox.append((src, neighbor, message))
+        self._outbox.append((BROADCAST, self._node.index, message))
 
     def set_alarm(self, rnd: int) -> None:
         """Request to be scheduled (again) in round ``rnd`` (> current)."""

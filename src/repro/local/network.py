@@ -7,6 +7,15 @@ whose alarm is due are scheduled, and rounds in which nothing happens are
 fast-forwarded while still being counted — so a color-class sweep over
 ``O(Delta^2)`` classes is cheap to simulate but reports its true LOCAL
 round cost.
+
+The execution hot path is written for throughput: per-node inbox buffers
+are preallocated once per run, the per-round schedule is a plain int list
+deduplicated in place, broadcasts expand lazily against the (immutable)
+adjacency so each one costs a single outbox record, and bandwidth
+accounting compiles down to a single branch on a local flag when it is
+off.  The pre-overhaul engine is preserved verbatim in
+:mod:`repro.local.legacy` so that parity suites and microbenchmarks can
+compare the two (see ``tests/test_engine_parity.py``).
 """
 
 from __future__ import annotations
@@ -15,25 +24,45 @@ import heapq
 from typing import Any, Iterable, Sequence
 
 from repro.errors import RoundLimitExceeded, SimulationError
-from repro.local.algorithm import Api, DistributedAlgorithm
+from repro.local.algorithm import BROADCAST, Api, DistributedAlgorithm
 from repro.local.node import Node
 from repro.local.result import RunResult
 
 #: Default safety cap on simulated rounds.
 DEFAULT_MAX_ROUNDS = 2_000_000
 
+#: When True, :meth:`Network.run` dispatches to the frozen seed engine in
+#: :mod:`repro.local.legacy`.  Toggled by
+#: :func:`repro.local.legacy.force_legacy_engine` so that entire pipelines
+#: (which call ``run`` internally) can be replayed on the old engine for
+#: parity checks and before/after benchmarks.
+_FORCE_LEGACY = False
+
 
 def message_words(payload) -> int:
     """Size of a message in machine words (CONGEST accounting).
 
-    Scalars (ints, floats, bools, None) and short strings count one word
-    each — every quantity an algorithm sends here fits O(log n) bits;
-    containers count the sum of their items.  Used by
-    :meth:`Network.run` when ``measure_bandwidth`` is on.
+    One *word* models the CONGEST unit of ``O(log n)`` bits, so every
+    bounded scalar an algorithm sends counts as one word:
+
+    * ``None``, ``bool``, ``int``, ``float`` — identifiers, colors, round
+      numbers, probabilities: all ``O(log n)``-bit quantities, 1 word.
+    * ``str`` / ``bytes`` — 8 bytes (one 64-bit word) per word, rounded
+      up, with a 1-word minimum; short protocol tags therefore cost the
+      same as an int and do not let text smuggle free bandwidth.
+    * ``tuple`` / ``list`` / ``set`` / ``frozenset`` — the sum of their
+      items; ``dict`` — the sum over keys and values.  The ``O(1)``
+      framing overhead of a container is deliberately ignored, matching
+      how CONGEST analyses count field widths, not encodings.
+
+    Any other payload type raises :class:`SimulationError`: a rich object
+    has no defined wire width, and silently counting it as one word would
+    let it bypass ``bandwidth_limit`` checks and corrupt the CONGEST
+    accounting reported by :meth:`Network.run`.
     """
-    if payload is None or isinstance(payload, (int, float, bool)):
+    if payload is None or isinstance(payload, (int, float)):
         return 1
-    if isinstance(payload, str):
+    if isinstance(payload, (str, bytes)):
         return max(1, (len(payload) + 7) // 8)
     if isinstance(payload, (tuple, list, set, frozenset)):
         return sum(message_words(item) for item in payload)
@@ -41,7 +70,10 @@ def message_words(payload) -> int:
         return sum(
             message_words(k) + message_words(v) for k, v in payload.items()
         )
-    return 1
+    raise SimulationError(
+        f"cannot size a payload of type {type(payload).__name__!r} for "
+        "CONGEST accounting; send scalars, strings, or containers thereof"
+    )
 
 
 def _adjacency_from_edges(n: int, edges: Iterable[tuple[int, int]]) -> list[list[int]]:
@@ -67,14 +99,29 @@ class Network:
     adjacency:
         ``adjacency[v]`` lists the neighbors of vertex ``v``.  The graph
         must be simple and undirected (``u in adjacency[v]`` iff
-        ``v in adjacency[u]``); this is validated on construction.
+        ``v in adjacency[u]``); this is validated on construction unless
+        ``validate_structure`` is False.  Adjacency is immutable after
+        construction, which lets the network cache ``max_degree``,
+        ``edges()``, and the per-vertex neighbor sets.
     uids:
         Unique identifiers, one per vertex.  Defaults to the identity.
         Algorithms must break symmetry through these, never through the
         vertex indices, so shuffling ``uids`` exercises ID independence.
+    validate_structure:
+        When True (default) the adjacency structure is checked on
+        construction.  Derived networks (induced subnetworks, virtual
+        graphs, graph powers) whose adjacency is symmetric by
+        construction pass False to skip the redundant ``O(m)`` re-check.
+    validate_sends:
+        When True (default) every ``send`` is verified to target a
+        neighbor.  This is a *model* guarantee, independent of how the
+        network was built — derived networks keep it on, so algorithms
+        running on induced or virtual graphs cannot silently cheat the
+        LOCAL model.
     validate:
-        When True (default) the adjacency structure is checked and every
-        ``send`` is verified to target a neighbor.
+        Legacy combined switch.  When given, it overrides *both*
+        ``validate_structure`` and ``validate_sends``.  Kept for backward
+        compatibility; prefer the split flags.
     """
 
     def __init__(
@@ -83,8 +130,13 @@ class Network:
         uids: Sequence[int] | None = None,
         *,
         name: str = "network",
-        validate: bool = True,
+        validate: bool | None = None,
+        validate_structure: bool = True,
+        validate_sends: bool = True,
     ):
+        if validate is not None:
+            validate_structure = validate
+            validate_sends = validate
         self.name = name
         self.adjacency: list[tuple[int, ...]] = [tuple(nbrs) for nbrs in adjacency]
         self.n = len(self.adjacency)
@@ -95,10 +147,14 @@ class Network:
         if len(set(uids)) != self.n:
             raise SimulationError("uids must be unique")
         self.uids = list(uids)
-        self._validate_sends = validate
-        if validate:
+        self._validate_sends = validate_sends
+        if validate_structure:
             self._check_adjacency()
+        # Caches over the immutable adjacency, all built lazily.
         self._neighbor_sets: list[frozenset[int]] | None = None
+        self._max_degree: int | None = None
+        self._edge_count: int | None = None
+        self._edges: list[tuple[int, int]] | None = None
         self.nodes = [
             Node(index, self.uids[index], self.adjacency[index])
             for index in range(self.n)
@@ -153,26 +209,40 @@ class Network:
 
     @property
     def max_degree(self) -> int:
-        """Delta, the maximum degree of the network."""
-        return max((len(nbrs) for nbrs in self.adjacency), default=0)
+        """Delta, the maximum degree of the network (cached)."""
+        if self._max_degree is None:
+            self._max_degree = max(
+                (len(nbrs) for nbrs in self.adjacency), default=0
+            )
+        return self._max_degree
 
     @property
     def edge_count(self) -> int:
-        return sum(len(nbrs) for nbrs in self.adjacency) // 2
+        if self._edge_count is None:
+            self._edge_count = sum(len(nbrs) for nbrs in self.adjacency) // 2
+        return self._edge_count
 
     def edges(self) -> list[tuple[int, int]]:
-        """All edges as ``(u, v)`` with ``u < v``."""
-        return [
-            (v, u)
-            for v in range(self.n)
-            for u in self.adjacency[v]
-            if v < u
-        ]
+        """All edges as ``(u, v)`` with ``u < v`` (fresh list, cached scan)."""
+        if self._edges is None:
+            self._edges = [
+                (v, u)
+                for v in range(self.n)
+                for u in self.adjacency[v]
+                if v < u
+            ]
+        return list(self._edges)
+
+    def _neighbor_set_list(self) -> list[frozenset[int]]:
+        sets = self._neighbor_sets
+        if sets is None:
+            sets = self._neighbor_sets = [
+                frozenset(nbrs) for nbrs in self.adjacency
+            ]
+        return sets
 
     def neighbor_set(self, v: int) -> frozenset[int]:
-        if self._neighbor_sets is None:
-            self._neighbor_sets = [frozenset(nbrs) for nbrs in self.adjacency]
-        return self._neighbor_sets[v]
+        return self._neighbor_set_list()[v]
 
     def subnetwork(
         self, vertices: Iterable[int], *, name: str | None = None
@@ -180,19 +250,28 @@ class Network:
         """Induced subnetwork; returns it plus the original-vertex list.
 
         Node ``i`` of the subnetwork corresponds to ``mapping[i]`` here and
-        inherits its uid, so symmetry breaking remains consistent.
+        inherits its uid, so symmetry breaking remains consistent.  The
+        induced adjacency is symmetric by construction, so the structural
+        re-check is skipped — but send validation stays on: the hard-clique
+        machinery runs most of its subroutines on induced and virtual
+        graphs, and those runs must obey the LOCAL model too.
         """
         mapping = sorted(set(vertices))
-        position = {v: i for i, v in enumerate(mapping)}
+        # Membership via a position array: two list indexings per
+        # neighbor beat dict hashing on the induced-adjacency hot path.
+        position = [-1] * self.n
+        for i, v in enumerate(mapping):
+            position[v] = i
         adjacency = [
-            tuple(position[u] for u in self.adjacency[v] if u in position)
+            [position[u] for u in self.adjacency[v] if position[u] >= 0]
             for v in mapping
         ]
         sub = Network(
             adjacency,
             [self.uids[v] for v in mapping],
             name=name or f"{self.name}[induced]",
-            validate=False,
+            validate_structure=False,
+            validate_sends=self._validate_sends,
         )
         return sub, mapping
 
@@ -222,58 +301,127 @@ class Network:
         the simulator into a CONGEST(limit-words) model — any larger
         message raises :class:`SimulationError`.
         """
-        for node in self.nodes:
+        if _FORCE_LEGACY:
+            from repro.local.legacy import run_legacy
+
+            return run_legacy(
+                self,
+                algorithm,
+                max_rounds=max_rounds,
+                measure_bandwidth=measure_bandwidth,
+                bandwidth_limit=bandwidth_limit,
+                tracer=tracer,
+            )
+
+        n = self.n
+        nodes = self.nodes
+        adjacency = self.adjacency
+        for node in nodes:
             node.reset()
 
         api = Api(self)
+        outbox = api._outbox
+        api_alarms = api._alarms
         alarms: list[tuple[int, int]] = []
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        validate = self._validate_sends
+        neighbor_sets = self._neighbor_set_list() if validate else None
+        track = measure_bandwidth or bandwidth_limit is not None
+
+        # Per-node inbox buffers, preallocated once.  A node's buffer is
+        # handed to its callback and *replaced* (never cleared in place),
+        # so an algorithm may keep a reference to its inbox safely.
+        inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(n)]
+        halted = bytearray(n)
+        halted_count = 0
+
         messages_sent = 0
         max_words = 0
         total_words = 0
-        validate = self._validate_sends
 
-        def flush_outbox(current_round: int) -> dict[int, list[tuple[int, Any]]]:
+        def flush_outbox() -> list[int]:
+            """Deliver the outbox; return the indices that got messages."""
             nonlocal messages_sent, max_words, total_words
-            inboxes: dict[int, list[tuple[int, Any]]] = {}
-            for src, dst, payload in api._outbox:
-                if validate and dst not in self.neighbor_set(src):
-                    raise SimulationError(
-                        f"{algorithm.name}: node {src} sent to non-neighbor {dst}"
-                    )
-                messages_sent += 1
-                if measure_bandwidth or bandwidth_limit is not None:
-                    words = message_words(payload)
-                    total_words += words
-                    if words > max_words:
-                        max_words = words
-                    if bandwidth_limit is not None and words > bandwidth_limit:
+            receivers: list[int] = []
+            append_receiver = receivers.append
+            for dst, src, payload in outbox:
+                if dst == BROADCAST:
+                    # Broadcast targets are exactly the sender's neighbor
+                    # list, so send validation holds by construction and
+                    # a single (src, payload) pair is shared by all
+                    # copies (payload objects were always shared).
+                    targets = adjacency[src]
+                    copies = len(targets)
+                    if not copies:
+                        continue
+                    messages_sent += copies
+                    if track:
+                        words = message_words(payload)
+                        total_words += words * copies
+                        if words > max_words:
+                            max_words = words
+                        if bandwidth_limit is not None and words > bandwidth_limit:
+                            raise SimulationError(
+                                f"{algorithm.name}: message of {words} words "
+                                f"from {src} exceeds the CONGEST limit of "
+                                f"{bandwidth_limit}"
+                            )
+                    pair = (src, payload)
+                    for nbr in targets:
+                        # Messages to halted nodes can never influence any
+                        # output, so they are dropped eagerly; this keeps
+                        # the reported round count equal to the round in
+                        # which the last output was fixed.
+                        if halted[nbr]:
+                            continue
+                        box = inboxes[nbr]
+                        if not box:
+                            append_receiver(nbr)
+                        box.append(pair)
+                else:
+                    if validate and dst not in neighbor_sets[src]:
                         raise SimulationError(
-                            f"{algorithm.name}: message of {words} words "
-                            f"from {src} exceeds the CONGEST limit of "
-                            f"{bandwidth_limit}"
+                            f"{algorithm.name}: node {src} sent to "
+                            f"non-neighbor {dst}"
                         )
-                # Messages to halted nodes can never influence any output,
-                # so they are dropped eagerly; this keeps the reported
-                # round count equal to the round in which the last output
-                # was fixed rather than counting trailing noise rounds.
-                if self.nodes[dst].halted:
-                    continue
-                inboxes.setdefault(dst, []).append((src, payload))
-            api._outbox.clear()
-            for rnd, index in api._alarms:
-                heapq.heappush(alarms, (rnd, index))
-            api._alarms.clear()
-            return inboxes
+                    messages_sent += 1
+                    if track:
+                        words = message_words(payload)
+                        total_words += words
+                        if words > max_words:
+                            max_words = words
+                        if bandwidth_limit is not None and words > bandwidth_limit:
+                            raise SimulationError(
+                                f"{algorithm.name}: message of {words} words "
+                                f"from {src} exceeds the CONGEST limit of "
+                                f"{bandwidth_limit}"
+                            )
+                    if halted[dst]:
+                        continue
+                    box = inboxes[dst]
+                    if not box:
+                        append_receiver(dst)
+                    box.append((src, payload))
+            outbox.clear()
+            for item in api_alarms:
+                heappush(alarms, item)
+            api_alarms.clear()
+            return receivers
 
         # Round 0: initialization.
         api.round = 0
-        for node in self.nodes:
-            api._bind(node, 0)
+        for node in nodes:
+            api._node = node
             algorithm.on_start(node, api)
-        pending = flush_outbox(0)
+            if node.halted:
+                halted[node.index] = 1
+                halted_count += 1
+        pending = flush_outbox()
 
         rnd = 0
         last_activity_round = 0
+        empty: tuple = ()
         while pending or alarms:
             if pending:
                 rnd += 1
@@ -284,38 +432,51 @@ class Network:
                 raise RoundLimitExceeded(
                     f"{algorithm.name} exceeded {max_rounds} rounds on {self.name}"
                 )
-            due: set[int] = set(pending)
-            while alarms and alarms[0][0] <= rnd:
-                index = heapq.heappop(alarms)[1]
-                if not self.nodes[index].halted:
-                    due.add(index)
+            due = pending
+            if alarms and alarms[0][0] <= rnd:
+                stamped: set[int] = set()
+                while alarms and alarms[0][0] <= rnd:
+                    index = heappop(alarms)[1]
+                    if halted[index] or index in stamped:
+                        continue
+                    stamped.add(index)
+                    if not inboxes[index]:
+                        due.append(index)
             if not due:
                 continue
+            due.sort()
             api.round = rnd
-            empty: tuple = ()
             scheduled = 0
-            for index in sorted(due):
-                node = self.nodes[index]
-                if node.halted:
+            delivered = (
+                sum(len(inboxes[index]) for index in due)
+                if tracer is not None
+                else 0
+            )
+            for index in due:
+                if halted[index]:
                     continue
-                api._bind(node, rnd)
-                algorithm.on_round(node, api, pending.get(index, empty))
+                node = nodes[index]
+                api._node = node
+                box = inboxes[index]
+                if box:
+                    inboxes[index] = []
+                    algorithm.on_round(node, api, box)
+                else:
+                    algorithm.on_round(node, api, empty)
                 scheduled += 1
+                if node.halted:
+                    halted[index] = 1
+                    halted_count += 1
             if tracer is not None:
-                tracer.record(
-                    rnd,
-                    scheduled,
-                    sum(len(box) for box in pending.values()),
-                    sum(1 for node in self.nodes if node.halted),
-                )
-            pending = flush_outbox(rnd)
+                tracer.record(rnd, scheduled, delivered, halted_count)
+            pending = flush_outbox()
             last_activity_round = rnd
 
         return RunResult(
             rounds=last_activity_round,
             messages=messages_sent,
-            outputs=[node.output for node in self.nodes],
-            halted=[node.halted for node in self.nodes],
+            outputs=[node.output for node in nodes],
+            halted=[node.halted for node in nodes],
             max_message_words=max_words,
             total_message_words=total_words,
         )

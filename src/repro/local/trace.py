@@ -49,7 +49,15 @@ class Tracer:
         return [(s.round, s.scheduled) for s in self.samples]
 
     def quiet_fraction(self, total_rounds: int) -> float:
-        """Fraction of LOCAL rounds in which nothing executed."""
+        """Fraction of LOCAL rounds in which nothing executed.
+
+        ``total_rounds`` is caller-supplied (typically
+        ``RunResult.rounds``); it can legitimately be smaller than
+        :attr:`executed_rounds` when the caller passes the round count of
+        a *different* (e.g. partial) run, so the result is clamped into
+        ``[0, 1]`` instead of returning a negative "fraction".
+        """
         if total_rounds <= 0:
             return 0.0
-        return 1.0 - self.executed_rounds / total_rounds
+        fraction = 1.0 - self.executed_rounds / total_rounds
+        return min(1.0, max(0.0, fraction))

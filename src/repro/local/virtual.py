@@ -83,7 +83,13 @@ class VirtualNetwork(Network):
         # Virtual uid = smallest base uid in the group: unique and locally
         # computable by the group leader.
         uids = [min(base.uids[v] for v in group) for group in self.groups]
-        super().__init__(adjacency, uids, name=name, validate=False)
+        # The virtual adjacency is symmetric by construction, so the
+        # structural re-check is skipped; send validation stays on so
+        # algorithms on the virtual graph cannot cheat the LOCAL model.
+        super().__init__(
+            adjacency, uids, name=name,
+            validate_structure=False, validate_sends=True,
+        )
 
     def group_of(self, base_vertex: int) -> int | None:
         """Virtual node owning a base vertex, or None if unowned."""

@@ -1,0 +1,44 @@
+"""Parallel experiment campaigns.
+
+A *campaign* is a matrix of independent (graph, seed, algorithm) cells.
+Each cell is self-describing and picklable, so campaigns fan out across
+a :class:`concurrent.futures.ProcessPoolExecutor` with deterministic
+results: a cell's outcome depends only on the cell, never on scheduling,
+worker count, or the other cells.  Benchmarks (E2 and E2b) and the
+``repro campaign`` CLI both run through this subsystem instead of
+hand-rolled loops.
+"""
+
+from repro.runner.campaign import (
+    CampaignCell,
+    CampaignResult,
+    cells_from_spec,
+    derive_cell_seed,
+    run_campaign,
+    run_cell,
+)
+from repro.runner.presets import (
+    PRESETS,
+    e2_component_cell,
+    e2_scaling_cell,
+    e2b_cells,
+    e2b_sample,
+    e2b_summary_row,
+    preset_cells,
+)
+
+__all__ = [
+    "CampaignCell",
+    "CampaignResult",
+    "PRESETS",
+    "cells_from_spec",
+    "derive_cell_seed",
+    "e2_component_cell",
+    "e2_scaling_cell",
+    "e2b_cells",
+    "e2b_sample",
+    "e2b_summary_row",
+    "preset_cells",
+    "run_campaign",
+    "run_cell",
+]

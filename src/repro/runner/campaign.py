@@ -1,0 +1,380 @@
+"""Campaign cells and the process-pool campaign runner.
+
+Determinism contract
+--------------------
+* A cell fully determines its run: workload generation is keyed by
+  ``(workload, num_cliques, delta, easy_fraction, graph_seed)`` and the
+  algorithm's randomness only by ``seed``.  Two executions of the same
+  cell — in the same process, in different worker processes, or on
+  different machines — produce identical rows.
+* Cells without an explicit ``seed`` get one from
+  :func:`derive_cell_seed`, a stable hash of the campaign base seed, the
+  cell's position, and its label — so adding progress reporting, changing
+  ``jobs``, or reordering *other* cells never changes a cell's result.
+* :func:`run_campaign` returns rows in cell order regardless of
+  completion order.
+
+Artifact compatibility
+----------------------
+Rows are flat JSON-serializable dicts shaped like
+:func:`repro.bench.harness.result_row` (label / algorithm / n / delta /
+rounds / messages / breakdown) plus ``seed`` and, for randomized runs,
+the ``shattering`` statistics — the shape of every
+``benchmarks/artifacts/*.json`` row.  :meth:`CampaignResult.save` writes
+through :func:`repro.bench.harness.save_artifact`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.errors import ReproError
+
+__all__ = [
+    "CampaignCell",
+    "CampaignResult",
+    "cells_from_spec",
+    "derive_cell_seed",
+    "run_campaign",
+    "run_cell",
+]
+
+#: Fields of a cell that may be swept by a spec ``grid``.
+_GRID_FIELDS = (
+    "workload",
+    "num_cliques",
+    "delta",
+    "easy_fraction",
+    "graph_seed",
+    "epsilon",
+    "method",
+    "seed",
+)
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One independent experiment: a workload, an algorithm, a seed.
+
+    ``options`` holds extra keyword arguments for the coloring entry
+    point (e.g. ``activation_probability``) as a tuple of ``(key, value)``
+    pairs so the cell stays hashable and picklable.
+    """
+
+    label: str
+    workload: str = "hard"          # "hard" | "mixed"
+    num_cliques: int = 34
+    delta: int = 32
+    easy_fraction: float = 0.0
+    graph_seed: int = 1
+    epsilon: float = 1.0 / 8.0
+    method: str = "randomized"      # "randomized" | "deterministic" | "general"
+    seed: int | None = None
+    options: tuple[tuple[str, Any], ...] = ()
+
+    def option_dict(self) -> dict[str, Any]:
+        return dict(self.options)
+
+
+def derive_cell_seed(base_seed: int, index: int, label: str) -> int:
+    """Stable 32-bit seed for a cell without an explicit one.
+
+    Uses SHA-256 over (base seed, cell position, label) so the derivation
+    is reproducible across Python versions and processes (unlike
+    ``hash``, which is salted per interpreter).
+    """
+    digest = hashlib.sha256(
+        f"{base_seed}:{index}:{label}".encode()
+    ).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def _build_instance(cell: CampaignCell):
+    from repro.bench.workloads import hard_workload, mixed_workload
+
+    if cell.workload == "hard":
+        return hard_workload(cell.num_cliques, cell.delta, cell.graph_seed)
+    if cell.workload == "mixed":
+        return mixed_workload(
+            cell.num_cliques, cell.delta, cell.easy_fraction, cell.graph_seed
+        )
+    raise ReproError(f"unknown campaign workload {cell.workload!r}")
+
+
+def run_cell(cell: CampaignCell) -> dict[str, Any]:
+    """Execute one cell and return its artifact row.
+
+    Module-level (not a closure) so it pickles into worker processes.
+    Workload builders are ``lru_cache``-d per process, so a worker that
+    receives several cells over the same graph generates it once.
+    """
+    from repro.bench.workloads import bench_params, workload_acd
+    from repro.core.deterministic import delta_color_deterministic
+    from repro.core.randomized import delta_color_randomized
+    from repro.core.sparse import delta_color_general
+
+    instance = _build_instance(cell)
+    params = bench_params(cell.epsilon)
+    options = cell.option_dict()
+    started = time.perf_counter()
+    if cell.method == "randomized":
+        acd = workload_acd(
+            cell.num_cliques, cell.delta, cell.epsilon, cell.graph_seed,
+            cell.easy_fraction,
+        )
+        result = delta_color_randomized(
+            instance.network, params=params, acd=acd, seed=cell.seed,
+            **options,
+        )
+    elif cell.method == "deterministic":
+        acd = workload_acd(
+            cell.num_cliques, cell.delta, cell.epsilon, cell.graph_seed,
+            cell.easy_fraction,
+        )
+        result = delta_color_deterministic(
+            instance.network, params=params, acd=acd, **options
+        )
+    elif cell.method == "general":
+        result = delta_color_general(
+            instance.network, params=params, seed=cell.seed, **options
+        )
+    else:
+        raise ReproError(f"unknown campaign method {cell.method!r}")
+    elapsed = time.perf_counter() - started
+
+    row: dict[str, Any] = {
+        "label": cell.label,
+        "seed": cell.seed,
+        "algorithm": result.algorithm,
+        "n": result.stats.get("n", instance.network.n),
+        "delta": result.stats.get("delta", instance.delta),
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "breakdown": result.phase_rounds(),
+        "wall_seconds": round(elapsed, 6),
+    }
+    if "shattering" in result.stats:
+        row["shattering"] = result.stats["shattering"]
+    return row
+
+
+@dataclass
+class CampaignResult:
+    """Rows of a completed campaign plus execution metadata."""
+
+    rows: list[dict[str, Any]]
+    cells: list[CampaignCell]
+    jobs: int
+    elapsed_seconds: float
+    failures: list[dict[str, str]] = field(default_factory=list)
+
+    def save(self, name: str) -> Path:
+        """Write the rows as a ``benchmarks/artifacts`` JSON artifact."""
+        from repro.bench.harness import save_artifact
+
+        return save_artifact(name, self.rows)
+
+    def write(self, path: str | Path) -> Path:
+        """Write the rows to an arbitrary path (artifact-shaped JSON)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.rows, indent=1, default=str))
+        return path
+
+    def summary(self, key: str = "rounds") -> dict[str, float]:
+        """min/mean/max of a numeric row field across the campaign."""
+        values = [row[key] for row in self.rows if isinstance(row.get(key), (int, float))]
+        if not values:
+            return {}
+        return {
+            "min": min(values),
+            "mean": sum(values) / len(values),
+            "max": max(values),
+        }
+
+
+def _default_progress(done: int, total: int, label: str) -> None:
+    print(f"[campaign {done}/{total}] {label}", file=sys.stderr, flush=True)
+
+
+def run_campaign(
+    cells: Sequence[CampaignCell],
+    *,
+    jobs: int = 1,
+    base_seed: int = 0,
+    progress: bool | Callable[[int, int, str], None] = False,
+    strict: bool = True,
+) -> CampaignResult:
+    """Run every cell; fan out over a process pool when ``jobs > 1``.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) runs inline — no pickling, no
+        subprocesses — which benchmark timings rely on.
+    base_seed:
+        Used by :func:`derive_cell_seed` for cells without explicit seeds.
+    progress:
+        ``True`` for stderr lines, or a callable ``(done, total, label)``.
+    strict:
+        When True (default) a failing cell raises.  When False the error
+        is recorded in ``failures`` and a ``{"label", "error"}`` row keeps
+        the row list aligned with the cell list.
+    """
+    resolved = [
+        cell if cell.seed is not None or cell.method == "deterministic"
+        else replace(cell, seed=derive_cell_seed(base_seed, index, cell.label))
+        for index, cell in enumerate(cells)
+    ]
+    report = (
+        _default_progress if progress is True
+        else progress if callable(progress)
+        else None
+    )
+
+    started = time.perf_counter()
+    rows: list[dict[str, Any] | None] = [None] * len(resolved)
+    failures: list[dict[str, str]] = []
+
+    def finish(index: int, error: BaseException | None, row) -> None:
+        if error is not None:
+            if strict:
+                raise error
+            failures.append(
+                {"label": resolved[index].label, "error": str(error)}
+            )
+            rows[index] = {"label": resolved[index].label, "error": str(error)}
+        else:
+            rows[index] = row
+
+    if jobs <= 1 or len(resolved) <= 1:
+        for index, cell in enumerate(resolved):
+            try:
+                finish(index, None, run_cell(cell))
+            except ReproError as error:
+                finish(index, error, None)
+            if report:
+                report(index + 1, len(resolved), cell.label)
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(run_cell, cell): index
+                for index, cell in enumerate(resolved)
+            }
+            done_count = 0
+            remaining = set(futures)
+            while remaining:
+                completed, remaining = wait(
+                    remaining, return_when=FIRST_COMPLETED
+                )
+                for future in completed:
+                    index = futures[future]
+                    error = future.exception()
+                    if error is not None:
+                        finish(index, error, None)
+                    else:
+                        rows[index] = future.result()
+                    done_count += 1
+                    if report:
+                        report(
+                            done_count, len(resolved), resolved[index].label
+                        )
+
+    return CampaignResult(
+        rows=[row for row in rows if row is not None],
+        cells=list(resolved),
+        jobs=max(1, jobs),
+        elapsed_seconds=time.perf_counter() - started,
+        failures=failures,
+    )
+
+
+def cells_from_spec(spec: dict[str, Any]) -> list[CampaignCell]:
+    """Build cells from a campaign spec (see DESIGN.md for the schema).
+
+    A spec holds explicit ``cells`` and/or a ``grid`` whose list-valued
+    fields are expanded as a cartesian product (in the fixed field order
+    of :data:`_GRID_FIELDS`, so labels and derived seeds are stable).
+
+    Example::
+
+        {
+          "name": "sweep",
+          "cells": [{"label": "probe", "num_cliques": 34}],
+          "grid": {"num_cliques": [68, 136], "seed": [0, 1, 2]}
+        }
+    """
+    cells: list[CampaignCell] = []
+    for entry in spec.get("cells", ()):
+        entry = dict(entry)
+        options = entry.pop("options", {})
+        label = entry.pop("label", None) or _grid_label(entry)
+        cells.append(
+            CampaignCell(
+                label=label, options=tuple(sorted(options.items())), **entry
+            )
+        )
+    grid = spec.get("grid")
+    if grid:
+        grid = dict(grid)
+        options = grid.pop("options", {})
+        unknown = set(grid) - set(_GRID_FIELDS)
+        if unknown:
+            raise ReproError(
+                f"unknown campaign grid fields: {sorted(unknown)}"
+            )
+        assignments: list[dict[str, Any]] = [{}]
+        for name in _GRID_FIELDS:
+            if name not in grid:
+                continue
+            values = grid[name]
+            if not isinstance(values, list):
+                values = [values]
+            assignments = [
+                {**assignment, name: value}
+                for assignment in assignments
+                for value in values
+            ]
+        for assignment in assignments:
+            cells.append(
+                CampaignCell(
+                    label=_grid_label(assignment),
+                    options=tuple(sorted(options.items())),
+                    **assignment,
+                )
+            )
+    if not cells:
+        raise ReproError("campaign spec defines no cells")
+    return cells
+
+
+def _grid_label(assignment: dict[str, Any]) -> str:
+    parts = [
+        f"{name}={assignment[name]}"
+        for name in _GRID_FIELDS
+        if name in assignment
+    ]
+    return " ".join(parts) or "cell"
+
+
+def cell_to_json(cell: CampaignCell) -> dict[str, Any]:
+    """Cell as a JSON-ready dict (inverse of one ``cells`` spec entry)."""
+    data = asdict(cell)
+    data["options"] = dict(data["options"])
+    return data
+
+
+def load_spec(path: str | Path) -> dict[str, Any]:
+    """Read a campaign spec JSON file."""
+    return json.loads(Path(path).read_text())
+
+
+def cells_from_file(path: str | Path) -> list[CampaignCell]:
+    return cells_from_spec(load_spec(path))

@@ -1,0 +1,145 @@
+"""Canonical campaign definitions for the recorded experiments.
+
+The E2 (Theorem 2 scaling) and E2b (seed ensemble) benchmarks and the
+``repro campaign`` CLI all build their cells here, so the hand-rolled
+bench loops and the parallel runner can never drift apart: same
+workloads, same seeds, same artifact row shapes.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Any, Callable
+
+from repro.bench.workloads import BENCH_DELTA, BENCH_EPSILON, SCALING_CLIQUES
+from repro.errors import ReproError
+from repro.runner.campaign import CampaignCell
+
+__all__ = [
+    "PRESETS",
+    "e2_component_cell",
+    "e2_scaling_cell",
+    "e2b_cells",
+    "e2b_sample",
+    "e2b_summary_row",
+    "preset_cells",
+]
+
+#: E2b ensemble parameters (see ``benchmarks/bench_e2b_seed_sweep.py``).
+E2B_NUM_CLIQUES = 136
+E2B_SEEDS = range(24)
+
+#: E2 component-distribution variant: low activation forces leftovers.
+E2_COMPONENT_PROBABILITY = 0.02
+E2_COMPONENT_SEEDS = range(4)
+
+
+def e2_scaling_cell(num_cliques: int) -> CampaignCell:
+    """One point of the E2 randomized-scaling sweep (seed 0)."""
+    return CampaignCell(
+        label=f"t={num_cliques}",
+        workload="hard",
+        num_cliques=num_cliques,
+        delta=BENCH_DELTA,
+        epsilon=BENCH_EPSILON,
+        method="randomized",
+        seed=0,
+    )
+
+
+def e2_component_cell(seed: int) -> CampaignCell:
+    """One E2 component-size cell (sparse T-nodes at p = 0.02)."""
+    return CampaignCell(
+        label=f"p={E2_COMPONENT_PROBABILITY} seed={seed}",
+        workload="hard",
+        num_cliques=SCALING_CLIQUES[-1],
+        delta=BENCH_DELTA,
+        epsilon=BENCH_EPSILON,
+        method="randomized",
+        seed=seed,
+        options=(("activation_probability", E2_COMPONENT_PROBABILITY),),
+    )
+
+
+def _e2_cells() -> list[CampaignCell]:
+    return [e2_scaling_cell(t) for t in SCALING_CLIQUES] + [
+        e2_component_cell(seed) for seed in E2_COMPONENT_SEEDS
+    ]
+
+
+def e2b_cells() -> list[CampaignCell]:
+    """The 24-seed Theorem 2 ensemble at t = 136."""
+    return [
+        CampaignCell(
+            label=f"seed={seed}",
+            workload="hard",
+            num_cliques=E2B_NUM_CLIQUES,
+            delta=BENCH_DELTA,
+            epsilon=BENCH_EPSILON,
+            method="randomized",
+            seed=seed,
+        )
+        for seed in E2B_SEEDS
+    ]
+
+
+def e2b_sample(row: dict[str, Any]) -> dict[str, Any]:
+    """Map a campaign row onto the historical E2b artifact row shape."""
+    shattering = row.get("shattering", {})
+    return {
+        "seed": row["seed"],
+        "rounds": row["rounds"],
+        "t_nodes": shattering.get("good"),
+        "bad_cliques": shattering.get("bad_cliques"),
+        "max_component": shattering.get("max_component"),
+    }
+
+
+def e2b_summary_row(samples: list[dict[str, Any]]) -> dict[str, Any]:
+    """The SUMMARY row appended to the E2b artifact."""
+    rounds = [s["rounds"] for s in samples]
+    t_nodes = [s["t_nodes"] for s in samples]
+    bad = [s["bad_cliques"] for s in samples]
+    return {
+        "seed": "SUMMARY",
+        "rounds": f"{min(rounds)}..{max(rounds)} "
+                  f"(mean {statistics.mean(rounds):.1f})",
+        "t_nodes": f"{min(t_nodes)}..{max(t_nodes)}",
+        "bad_cliques": f"{min(bad)}..{max(bad)} "
+                       f"(nonzero in {sum(1 for b in bad if b)}/"
+                       f"{len(samples)} runs)",
+        "max_component": max(s["max_component"] for s in samples),
+    }
+
+
+def _shape_e2b(rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    samples = [e2b_sample(row) for row in rows]
+    return samples + [e2b_summary_row(samples)]
+
+
+def _shape_identity(rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    return rows
+
+
+#: name -> (cell builder, artifact-row shaper, default artifact name)
+PRESETS: dict[
+    str,
+    tuple[
+        Callable[[], list[CampaignCell]],
+        Callable[[list[dict[str, Any]]], list[dict[str, Any]]],
+        str,
+    ],
+] = {
+    "e2": (_e2_cells, _shape_identity, "e2_theorem2_scaling"),
+    "e2b": (e2b_cells, _shape_e2b, "e2b_seed_sweep"),
+}
+
+
+def preset_cells(name: str) -> list[CampaignCell]:
+    try:
+        builder, _, _ = PRESETS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown campaign preset {name!r}; known: {sorted(PRESETS)}"
+        ) from None
+    return builder()

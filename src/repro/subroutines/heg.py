@@ -161,7 +161,9 @@ def _incidence_network(h: Hypergraph) -> Network:
             adjacency[edge_node].append(v)
     id_space = max(h.vertex_uids) + 1 if h.vertex_uids else 1
     uids = list(h.vertex_uids) + [id_space + i for i in range(len(h.edges))]
-    return Network(adjacency, uids, name="heg-incidence", validate=False)
+    return Network(
+        adjacency, uids, name="heg-incidence", validate_structure=False
+    )
 
 
 def hyperedge_grabbing(

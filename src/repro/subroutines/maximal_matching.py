@@ -69,7 +69,7 @@ def line_network(
         [sorted(nbrs) for nbrs in adjacency],
         uids,
         name=f"{network.name}[line]",
-        validate=False,
+        validate_structure=False,
     )
     return line, edge_list
 

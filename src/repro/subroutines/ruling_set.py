@@ -52,7 +52,8 @@ def power_network(network: Network, k: int) -> tuple[Network, int]:
                     frontier.append(u)
         adjacency.append(sorted(u for u in distance if u != v))
     power = Network(
-        adjacency, network.uids, name=f"{network.name}^^{k}", validate=False
+        adjacency, network.uids, name=f"{network.name}^^{k}",
+        validate_structure=False
     )
     return power, k
 

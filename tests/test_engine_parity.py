@@ -1,0 +1,171 @@
+"""Engine-parity suite: the rewritten hot path vs the frozen seed engine.
+
+The overhaul of ``Network.run`` (preallocated inbox buffers, int
+scheduling queue, lazy broadcast expansion, zero-cost bandwidth
+accounting) must be observationally invisible: every ``RunResult`` —
+rounds, messages, outputs, halt flags, bandwidth words — has to be
+bit-identical to what the seed engine produces, across graph families,
+shuffled uids, and full pipelines (whose RNG consumption order would
+drift on the first scheduling difference).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.deterministic import delta_color_deterministic
+from repro.core.randomized import delta_color_randomized
+from repro.constants import AlgorithmParameters
+from repro.graphs import hard_clique_graph, projective_plane_clique_graph
+from repro.local import (
+    DistributedAlgorithm,
+    Network,
+    Tracer,
+    force_legacy_engine,
+    run_legacy,
+)
+from repro.subroutines.linial import LinialColoring
+from repro.subroutines.maximal_matching import maximal_matching
+
+
+def _random_network(n: int, m: int, seed: int, *, shuffle_uids: bool = False) -> Network:
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < m:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    uids = list(range(n))
+    if shuffle_uids:
+        rng.shuffle(uids)
+    return Network.from_edges(n, sorted(edges), uids)
+
+
+def _shuffled(network: Network, seed: int) -> Network:
+    uids = list(network.uids)
+    random.Random(seed).shuffle(uids)
+    return Network(network.adjacency, uids, validate_structure=False)
+
+
+#: name -> factory for a (network, algorithm-factory) pair.
+FAMILIES = {
+    "path": lambda: Network.from_edges(24, [(i, i + 1) for i in range(23)]),
+    "hard-clique": lambda: hard_clique_graph(16, 8, seed=2).network,
+    "pg-girth6": lambda: projective_plane_clique_graph(3).network,
+    "gnm-random": lambda: _random_network(60, 150, 7),
+    "gnm-shuffled": lambda: _random_network(60, 150, 7, shuffle_uids=True),
+}
+
+
+def assert_identical(fast, legacy):
+    assert fast.rounds == legacy.rounds
+    assert fast.messages == legacy.messages
+    assert fast.outputs == legacy.outputs
+    assert fast.halted == legacy.halted
+    assert fast.max_message_words == legacy.max_message_words
+    assert fast.total_message_words == legacy.total_message_words
+
+
+class AlarmsAndUnicast(DistributedAlgorithm):
+    """Mixes alarms, unicasts, and broadcasts to stress scheduling."""
+
+    name = "alarms-and-unicast"
+
+    def on_start(self, node, api):
+        if node.index % 3 == 0:
+            api.set_alarm(2 + node.index % 5)
+        if node.neighbors:
+            api.send(node.neighbors[0], node.uid)
+
+    def on_round(self, node, api, inbox):
+        total = node.state.get("total", 0) + sum(m for _, m in inbox)
+        node.state["total"] = total
+        if api.round >= 6:
+            api.halt(total)
+            return
+        if inbox and node.neighbors:
+            api.send(node.neighbors[total % len(node.neighbors)], total)
+        else:
+            api.broadcast(total)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_linial_parity(family):
+    network = FAMILIES[family]()
+    make = lambda: LinialColoring(max(network.uids) + 1, network.max_degree)  # noqa: E731
+    fast = network.run(make(), measure_bandwidth=True)
+    legacy = run_legacy(network, make(), measure_bandwidth=True)
+    assert_identical(fast, legacy)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_mixed_schedule_parity(family):
+    network = FAMILIES[family]()
+    fast = network.run(AlarmsAndUnicast())
+    legacy = run_legacy(network, AlarmsAndUnicast())
+    assert_identical(fast, legacy)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_tracer_parity(family):
+    network = FAMILIES[family]()
+    fast_trace, legacy_trace = Tracer(), Tracer()
+    network.run(AlarmsAndUnicast(), tracer=fast_trace)
+    run_legacy(network, AlarmsAndUnicast(), tracer=legacy_trace)
+    assert fast_trace.samples == legacy_trace.samples
+
+
+@pytest.mark.parametrize("family", ["path", "hard-clique", "gnm-shuffled"])
+def test_maximal_matching_parity(family):
+    network = FAMILIES[family]()
+    fast_matching, fast = maximal_matching(network)
+    with force_legacy_engine():
+        legacy_matching, legacy = maximal_matching(network)
+    assert fast_matching == legacy_matching
+    assert_identical(fast, legacy)
+
+
+@pytest.mark.parametrize("shuffle_seed", [None, 11, 12])
+def test_theorem1_pipeline_parity(shuffle_seed):
+    instance = hard_clique_graph(16, 8, seed=3)
+    network = instance.network
+    if shuffle_seed is not None:
+        network = _shuffled(network, shuffle_seed)
+    params = AlgorithmParameters(epsilon=0.25)
+    fast = delta_color_deterministic(network, params=params)
+    with force_legacy_engine():
+        legacy = delta_color_deterministic(network, params=params)
+    assert fast.colors == legacy.colors
+    assert fast.rounds == legacy.rounds
+    assert fast.messages == legacy.messages
+    assert fast.phase_rounds() == legacy.phase_rounds()
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_theorem2_pipeline_parity(seed):
+    """Randomized pipeline: any scheduling drift would desynchronize the
+    RNG consumption order and change the coloring."""
+    instance = hard_clique_graph(32, 16, seed=4)
+    params = AlgorithmParameters(epsilon=0.25)
+    fast = delta_color_randomized(instance.network, params=params, seed=seed)
+    with force_legacy_engine():
+        legacy = delta_color_randomized(
+            instance.network, params=params, seed=seed
+        )
+    assert fast.colors == legacy.colors
+    assert fast.rounds == legacy.rounds
+    assert fast.messages == legacy.messages
+
+
+def test_force_legacy_engine_restores():
+    from repro.local import network as network_module
+
+    assert network_module._FORCE_LEGACY is False
+    with force_legacy_engine():
+        assert network_module._FORCE_LEGACY is True
+        with force_legacy_engine():
+            assert network_module._FORCE_LEGACY is True
+        assert network_module._FORCE_LEGACY is True
+    assert network_module._FORCE_LEGACY is False
