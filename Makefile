@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test test-all bench report examples ci lint clean
+.PHONY: install test test-all bench chaos report examples ci lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -13,6 +13,10 @@ test-all:
 
 bench:
 	pytest benchmarks/ --benchmark-only -s
+
+# Chaos hardening: engine fault injection + campaign-runner resilience.
+chaos:
+	PYTHONPATH=src python -m pytest tests/test_faults_chaos.py tests/test_runner_resilience.py -q
 
 # Mirrors .github/workflows/ci.yml: tier-1 suite + lint.
 ci:

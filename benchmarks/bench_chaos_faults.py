@@ -1,0 +1,204 @@
+"""EC — Chaos: message loss vs surviving-coloring validity.
+
+The paper's pipelines assume reliable synchronous rounds; this
+experiment measures what a coloring protocol *loses* when that
+assumption breaks.  A deliberately fault-sensitive randomized
+(Δ+1)-trial coloring runs on the E2 hard workload (reduced scale)
+under seeded :class:`~repro.local.faults.FaultPlan` drop rates, and
+each surviving output is judged by
+:func:`repro.verify.check_graceful_degradation`:
+
+* ``p = 0`` must be ``intact`` — the protocol is correct fault-free.
+* Small ``p`` is often absorbed (proposal messages are redundant);
+  growing ``p`` starts dropping *finalize* announcements, which is
+  precisely what manufactures monochromatic edges (``violated``).
+* A crash-stop schedule degrades coverage but must never corrupt the
+  surviving subgraph (``degraded``, zero violations).
+
+Every cell is a pure function of ``(workload, algorithm seed, plan)``,
+so the artifact is byte-stable across runs — the chaos sweep is itself
+a determinism regression test for the fault-injection engine.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench import hard_workload, print_table, save_artifact
+from repro.local import DistributedAlgorithm, FaultPlan
+from repro.verify import check_graceful_degradation
+
+#: Reduced-scale E2 workload (same generator as the Theorem 2 runs).
+NUM_CLIQUES = 16
+DELTA = 8
+
+DROP_RATES = (0.0, 0.02, 0.05, 0.1, 0.2, 0.4)
+SEEDS = (0, 1, 2, 3)
+#: Chaos runs are cut off rather than allowed to spin forever.
+ROUND_BUDGET = 300
+
+_ROWS: list[dict] = []
+
+
+class RandomizedTrialColoring(DistributedAlgorithm):
+    """Randomized (Δ+1)-coloring by proposal/finalize rounds.
+
+    Each node proposes a random candidate color; a proposal conflicting
+    with a finalized neighbor color or with a higher-uid rival proposal
+    is redrawn from the free palette, otherwise the node finalizes,
+    announces, and halts.  A node whose neighbors have all finalized
+    completes from the free palette directly.
+
+    Correct in the fault-free model — and *honestly* fragile under
+    message loss: a dropped finalize announcement removes exactly the
+    information that prevents a monochromatic edge, so drop rates
+    translate into measurable violations instead of being masked.
+    """
+
+    name = "randomized-trial-coloring"
+
+    def __init__(self, num_colors: int, seed: int = 0):
+        self.num_colors = num_colors
+        self.seed = seed
+
+    def on_start(self, node, api):
+        rng = random.Random((self.seed << 32) ^ node.uid)
+        candidate = rng.randrange(self.num_colors)
+        node.state.update(
+            rng=rng, taken=set(), done=set(), candidate=candidate
+        )
+        if not node.neighbors:
+            api.halt(candidate)
+            return
+        api.broadcast(("c", node.uid, candidate))
+
+    def _draw_free(self, state) -> int:
+        free = [
+            color for color in range(self.num_colors)
+            if color not in state["taken"]
+        ]
+        return free[state["rng"].randrange(len(free))]
+
+    def on_round(self, node, api, inbox):
+        state = node.state
+        taken, done = state["taken"], state["done"]
+        rivals = []
+        for _, message in inbox:
+            if message[0] == "f":
+                done.add(message[1])
+                taken.add(message[2])
+            else:
+                rivals.append((message[1], message[2]))
+        candidate = state["candidate"]
+        if len(done) >= len(node.neighbors):
+            # Every neighbor announced a final color: the free palette
+            # (non-empty, since |taken| <= deg <= Δ < num_colors) is safe.
+            if candidate in taken:
+                candidate = self._draw_free(state)
+            api.broadcast(("f", node.uid, candidate))
+            api.halt(candidate)
+            return
+        conflicted = candidate in taken or any(
+            color == candidate and uid > node.uid for uid, color in rivals
+        )
+        if conflicted:
+            candidate = self._draw_free(state)
+            state["candidate"] = candidate
+            api.broadcast(("c", node.uid, candidate))
+        else:
+            api.broadcast(("f", node.uid, candidate))
+            api.halt(candidate)
+
+
+def chaos_cell(seed: int, plan: FaultPlan, label: str) -> dict:
+    instance = hard_workload(NUM_CLIQUES, DELTA)
+    network = instance.network
+    num_colors = network.max_degree + 1
+    result = network.run(
+        RandomizedTrialColoring(num_colors, seed=seed),
+        faults=None if plan.is_noop else plan,
+    )
+    report = check_graceful_degradation(
+        network, result.outputs, num_colors, crashed=result.crashed_nodes
+    )
+    return {
+        "label": label,
+        "drop_probability": plan.drop_probability,
+        "seed": seed,
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "dropped_messages": result.dropped_messages,
+        "crashed": len(result.crashed_nodes),
+        **report.summary(),
+    }
+
+
+def test_drop_rate_sweep(benchmark, once):
+    def sweep():
+        rows = []
+        for drop in DROP_RATES:
+            for seed in SEEDS:
+                plan = FaultPlan(
+                    seed=seed, drop_probability=drop,
+                    round_budget=ROUND_BUDGET,
+                )
+                rows.append(chaos_cell(seed, plan, f"p={drop} seed={seed}"))
+        return rows
+
+    rows = once(benchmark, sweep)
+    _ROWS.extend(rows)
+    fault_free = [row for row in rows if row["drop_probability"] == 0.0]
+    # Fault-free the protocol is a proper coloring, every seed.
+    assert all(row["status"] == "intact" for row in fault_free)
+    assert all(row["dropped_messages"] == 0 for row in fault_free)
+    # Heavy loss must surface as *measured* violations, not be masked.
+    heavy = [row for row in rows if row["drop_probability"] >= 0.2]
+    assert any(row["violations"] > 0 for row in heavy)
+    benchmark.extra_info["violations_by_drop"] = {
+        str(drop): sum(
+            row["violations"] for row in rows
+            if row["drop_probability"] == drop
+        )
+        for drop in DROP_RATES
+    }
+
+
+def test_crash_schedule_degrades_without_violations(benchmark, once):
+    instance = hard_workload(NUM_CLIQUES, DELTA)
+    crashes = tuple((v, 2) for v in range(0, instance.network.n, 20))
+    plan = FaultPlan(seed=1, crashes=crashes, round_budget=ROUND_BUDGET)
+
+    row = once(benchmark, chaos_cell, 1, plan, "crash-stop 7/128 @ r2")
+    _ROWS.append(row)
+    assert row["status"] == "degraded"
+    assert row["violations"] == 0  # survivors stay consistent
+    assert row["crashed"] == len(crashes)
+
+
+def test_sweep_is_deterministic(benchmark, once):
+    plan = FaultPlan(seed=1, drop_probability=0.2, round_budget=ROUND_BUDGET)
+
+    def twice():
+        return (
+            chaos_cell(1, plan, "det"),
+            chaos_cell(1, plan, "det"),
+        )
+
+    first, second = once(benchmark, twice)
+    # Same plan → bit-identical rows, fault accounting included.
+    assert first == second
+
+
+def teardown_module(module):
+    if not _ROWS:
+        return
+    print_table(
+        ["label", "rounds", "dropped", "status", "colored", "violations"],
+        [
+            [row["label"], row["rounds"], row["dropped_messages"],
+             row["status"], row["colored_live"], row["violations"]]
+            for row in _ROWS
+        ],
+        title=f"EC / chaos sweep on hard({NUM_CLIQUES}, {DELTA})",
+    )
+    save_artifact("chaos_drop_sweep", _ROWS)

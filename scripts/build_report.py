@@ -21,6 +21,7 @@ ROOT = Path(__file__).resolve().parents[1]
 ARTIFACTS = ROOT / "benchmarks" / "artifacts"
 
 TITLES = {
+    "chaos_drop_sweep": "EC — Chaos: drop rate vs surviving-coloring validity",
     "e1_theorem1_scaling": "E1 — Theorem 1: deterministic rounds vs n",
     "e1b_paper_constants": "E1b — Theorems 1/2 at the paper constants",
     "e2_theorem2_scaling": "E2 — Theorem 2: randomized rounds and shattering",
@@ -85,8 +86,23 @@ def main() -> int:
         rows = json.loads(path.read_text())
         if not isinstance(rows, list) or not rows:
             continue
+        # Failed-cell placeholders (campaigns run with strict=False)
+        # carry no numbers; count them in a footnote instead of letting
+        # them smear an "error" column across the table.
+        errors = [
+            row for row in rows
+            if isinstance(row, dict)
+            and (row.get("status") == "error"
+                 or ("error" in row and "rounds" not in row))
+        ]
+        rows = [row for row in rows if row not in errors]
+        if not rows:
+            continue
         title = TITLES.get(name, name)
-        sections.append(f"## {title}\n\n{table_for(rows)}\n")
+        note = (
+            f"\n*({len(errors)} failed cell(s) omitted)*\n" if errors else ""
+        )
+        sections.append(f"## {title}\n\n{table_for(rows)}\n{note}")
     report = (
         "# REPORT — measured experiment tables\n\n"
         "Machine-generated from `benchmarks/artifacts/` by "

@@ -1,6 +1,13 @@
 """Benchmark harness: workloads, tables, recording helpers."""
 
-from repro.bench.harness import record_result, result_row, save_artifact
+from repro.bench.harness import (
+    is_error_row,
+    iter_result_rows,
+    load_artifact,
+    record_result,
+    result_row,
+    save_artifact,
+)
 from repro.bench.tables import format_table, print_table
 from repro.bench.workloads import (
     BENCH_DELTA,
@@ -21,6 +28,9 @@ __all__ = [
     "bench_params",
     "format_table",
     "hard_workload",
+    "is_error_row",
+    "iter_result_rows",
+    "load_artifact",
     "mixed_workload",
     "print_table",
     "record_result",

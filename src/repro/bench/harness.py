@@ -8,7 +8,14 @@ from typing import Any
 
 from repro.types import ColoringResult
 
-__all__ = ["record_result", "result_row", "save_artifact"]
+__all__ = [
+    "is_error_row",
+    "iter_result_rows",
+    "load_artifact",
+    "record_result",
+    "result_row",
+    "save_artifact",
+]
 
 #: Where benchmarks drop JSON artifacts (figure data, raw rows).
 ARTIFACT_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "artifacts"
@@ -42,3 +49,40 @@ def save_artifact(name: str, payload: Any) -> Path:
     path = ARTIFACT_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=1, default=str))
     return path
+
+
+def is_error_row(row: Any) -> bool:
+    """True for failed-cell placeholder rows written by the campaign
+    runner (``{"label", "status": "error", "error"}``), including the
+    untagged ``{"label", "error"}`` shape of pre-chaos artifacts."""
+    return isinstance(row, dict) and (
+        row.get("status") == "error"
+        or ("error" in row and "rounds" not in row)
+    )
+
+
+def iter_result_rows(rows: Any):
+    """Yield only the real result rows of an artifact row list.
+
+    Campaigns run with ``strict=False`` keep their row list aligned
+    with the cell list by writing error placeholders for failed cells;
+    every artifact consumer that computes over numeric fields should
+    iterate through this filter instead of the raw list.
+    """
+    for row in rows:
+        if not is_error_row(row):
+            yield row
+
+
+def load_artifact(name: str, *, include_errors: bool = False) -> list[Any]:
+    """Read back a ``benchmarks/artifacts`` JSON artifact by name.
+
+    Error placeholder rows are filtered out unless ``include_errors``
+    is set — downstream table builders and figure scripts only ever
+    want the rows that carry numbers.
+    """
+    path = ARTIFACT_DIR / f"{name}.json"
+    rows = json.loads(path.read_text())
+    if include_errors or not isinstance(rows, list):
+        return rows
+    return list(iter_result_rows(rows))

@@ -29,7 +29,12 @@ from repro.graphs import (
     save_coloring,
     save_instance,
 )
-from repro.runner import PRESETS, cells_from_spec, run_campaign
+from repro.runner import (
+    PRESETS,
+    CampaignInterrupted,
+    cells_from_spec,
+    run_campaign,
+)
 from repro.verify import verify_coloring
 
 __all__ = ["build_parser", "main"]
@@ -116,6 +121,28 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write result rows as JSON")
     campaign.add_argument("--quiet", action="store_true",
                           help="suppress per-cell progress lines")
+    campaign.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock limit; overrunning cells are recorded "
+             "as failures and their workers killed",
+    )
+    campaign.add_argument(
+        "--retries", type=int, default=1,
+        help="resubmissions for cells interrupted by a worker crash "
+             "(default: 1)",
+    )
+    campaign.add_argument(
+        "--checkpoint", default=None, metavar="JOURNAL",
+        help="append a JSONL record per completed cell to this journal",
+    )
+    campaign.add_argument(
+        "--resume", default=None, metavar="JOURNAL",
+        help="skip cells already in this journal and keep appending to it",
+    )
+    campaign.add_argument(
+        "--no-strict", action="store_true",
+        help="record failing cells instead of aborting the campaign",
+    )
 
     return parser
 
@@ -187,6 +214,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_rows(rows, output) -> None:
+    from pathlib import Path
+
+    path = Path(output)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(rows, indent=1, default=str))
+    print(f"wrote {len(rows)} rows to {path}")
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.preset:
         builder, shape, default_name = PRESETS[args.preset]
@@ -203,24 +239,42 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         cells = cells_from_spec(spec)
         shape = lambda rows: rows  # noqa: E731 - specs keep raw rows
         default_name = spec.get("name", "campaign")
-    result = run_campaign(
-        cells,
-        jobs=args.jobs,
-        base_seed=args.base_seed,
-        progress=not args.quiet,
-    )
+    try:
+        result = run_campaign(
+            cells,
+            jobs=args.jobs,
+            base_seed=args.base_seed,
+            progress=not args.quiet,
+            strict=not args.no_strict,
+            timeout=args.timeout,
+            retries=args.retries,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
+    except CampaignInterrupted as interrupt:
+        # Flush what completed so the work survives the Ctrl-C; the
+        # journal (when configured) already holds the same rows.
+        partial = interrupt.partial
+        print(f"\ninterrupted: {interrupt}", file=sys.stderr)
+        if args.output:
+            _write_rows(partial.rows, f"{args.output}.partial")
+        journal = args.resume or args.checkpoint
+        if journal:
+            print(
+                f"resume with: repro campaign ... --resume {journal}",
+                file=sys.stderr,
+            )
+        return 130
     rows = shape(result.rows)
     if args.output:
-        from pathlib import Path
-
-        path = Path(args.output)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(rows, indent=1, default=str))
-        print(f"wrote {len(rows)} rows to {path}")
+        _write_rows(rows, args.output)
     rounds = result.summary("rounds")
+    resumed = f", {result.resumed} resumed" if result.resumed else ""
+    failed = f", {len(result.failures)} failed" if result.failures else ""
     print(
         f"campaign {default_name}: {len(result.cells)} cells, "
         f"jobs={result.jobs}, {result.elapsed_seconds:.2f}s"
+        f"{resumed}{failed}"
         + (
             f", rounds {rounds['min']}..{rounds['max']} "
             f"(mean {rounds['mean']:.1f})"

@@ -9,6 +9,7 @@ phase ledgers (:class:`RoundLedger`).
 """
 
 from repro.local.algorithm import BROADCAST, Api, DistributedAlgorithm
+from repro.local.faults import FaultPlan, run_with_faults
 from repro.local.gather import Ball, ball, ball_vertices, gather_balls
 from repro.local.ledger import LedgerEntry, RoundLedger
 from repro.local.legacy import force_legacy_engine, run_legacy
@@ -24,6 +25,7 @@ __all__ = [
     "Ball",
     "DEFAULT_MAX_ROUNDS",
     "DistributedAlgorithm",
+    "FaultPlan",
     "LedgerEntry",
     "Network",
     "Node",
@@ -38,4 +40,5 @@ __all__ = [
     "gather_balls",
     "message_words",
     "run_legacy",
+    "run_with_faults",
 ]

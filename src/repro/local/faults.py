@@ -1,0 +1,333 @@
+"""Deterministic fault injection for the LOCAL engine.
+
+The paper analyzes a fault-free synchronous LOCAL model; this module
+adds the machinery to ask "and what if rounds were *not* reliable?"
+without giving up reproducibility.  A :class:`FaultPlan` describes a
+failure scenario — per-delivery message-drop probability, crash-stop
+schedules for individual nodes, and an optional round budget after
+which the execution is cut off — and is injected into a run via
+``network.run(algorithm, faults=plan)``.
+
+Determinism contract
+--------------------
+A plan is *fully seeded*: every drop decision comes from a private
+``random.Random(plan.seed)`` stream consumed in the engine's (itself
+deterministic) delivery order, and crash/budget events are fixed
+schedules.  The same ``(network, algorithm, plan)`` triple therefore
+yields a bit-identical :class:`~repro.local.result.RunResult` —
+including the fault accounting — on every run, in any process, which
+is what makes chaos experiments regression-testable.
+
+Fault semantics
+---------------
+* **Message loss.**  Each point-to-point delivery (each copy of a
+  broadcast counts separately) to a live, non-halted node is dropped
+  independently with probability ``drop_probability``.  ``messages``
+  in the result still counts *sent* messages — exactly as the
+  fault-free engine does — while ``dropped_messages`` counts the
+  losses, so delivered = sent − dropped (− the silent drops at halted
+  nodes that the fault-free engine also performs).  Bandwidth words
+  are charged at send time: a dropped message still occupied the link.
+* **Crash-stop.**  A node with crash round ``c`` executes ``on_start``
+  (if ``c > 0``) and ``on_round`` for rounds ``< c``, then stops
+  forever: it is never scheduled again, its alarms are discarded, and
+  every message that would reach it in round ``>= c`` is lost (counted
+  in ``dropped_messages``).  ``c = 0`` means the node was dead on
+  arrival and not even initialized.  Messages the node sent in its
+  last live round are delivered — crash-stop, not Byzantine recall.
+* **Round budget.**  When ``round_budget = B`` is set, the execution is
+  cut off before simulating any round ``> B``; the result reports
+  ``rounds = B`` (the rounds survived) with ``budget_exhausted=True``
+  and whatever outputs the nodes had published by then.  This models
+  "the system died at round B" — unlike ``max_rounds``, which treats
+  overrun as an error and raises.
+
+The injected loop lives here, apart from the fault-free hot path in
+:mod:`repro.local.network`, so that `faults=None` runs execute exactly
+the code they always did (the parity and microbench suites hold that
+path bit-identical and regression-free).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import RoundLimitExceeded, SimulationError
+from repro.local.algorithm import BROADCAST, Api
+from repro.local.result import RunResult
+
+__all__ = ["FaultPlan", "run_with_faults"]
+
+#: Crash-round sentinel meaning "never crashes".
+_NEVER = float("inf")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, reproducible failure scenario for one engine run.
+
+    Attributes
+    ----------
+    seed:
+        Seed of the private drop-decision RNG.  Two runs with the same
+        plan are bit-identical; changing only ``seed`` re-rolls which
+        messages are lost.
+    drop_probability:
+        Probability in ``[0, 1]`` that any single delivery is lost.
+    crashes:
+        ``(node_index, crash_round)`` pairs; the node is dead from the
+        start of ``crash_round`` on (``0`` = dead on arrival).
+    round_budget:
+        Optional cut-off: the run is stopped before any round beyond
+        this budget executes and the partial result is returned.
+    """
+
+    seed: int = 0
+    drop_probability: float = 0.0
+    crashes: tuple[tuple[int, int], ...] = ()
+    round_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise SimulationError(
+                f"drop_probability {self.drop_probability} outside [0, 1]"
+            )
+        for node, rnd in self.crashes:
+            if node < 0 or rnd < 0:
+                raise SimulationError(
+                    f"invalid crash entry ({node}, {rnd}): negative values"
+                )
+        if self.round_budget is not None and self.round_budget < 0:
+            raise SimulationError(
+                f"round_budget {self.round_budget} is negative"
+            )
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the plan injects nothing (fault-free hot path)."""
+        return (
+            self.drop_probability == 0.0
+            and not self.crashes
+            and self.round_budget is None
+        )
+
+    def crash_rounds(self, n: int) -> list[float]:
+        """Per-node crash round (``inf`` = never), validated against n."""
+        rounds: list[float] = [_NEVER] * n
+        for node, rnd in self.crashes:
+            if node >= n:
+                raise SimulationError(
+                    f"crash schedule names node {node}, network has {n}"
+                )
+            rounds[node] = min(rounds[node], rnd)
+        return rounds
+
+
+def run_with_faults(
+    network,
+    algorithm,
+    plan: FaultPlan,
+    *,
+    max_rounds: int,
+    measure_bandwidth: bool = False,
+    bandwidth_limit: int | None = None,
+    tracer=None,
+) -> RunResult:
+    """Execute ``algorithm`` on ``network`` under ``plan``.
+
+    Invoked through ``Network.run(..., faults=plan)``; mirrors the
+    fault-free engine loop with drop/crash/budget injection (see the
+    module docstring for the exact semantics).
+    """
+    import heapq
+
+    from repro.local.network import message_words
+
+    n = network.n
+    nodes = network.nodes
+    adjacency = network.adjacency
+    for node in nodes:
+        node.reset()
+
+    crash_round = plan.crash_rounds(n)
+    drop_p = plan.drop_probability
+    budget = plan.round_budget
+    drop_roll = random.Random(plan.seed).random if drop_p > 0.0 else None
+
+    api = Api(network)
+    outbox = api._outbox
+    api_alarms = api._alarms
+    alarms: list[tuple[int, int]] = []
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    validate = network._validate_sends
+    neighbor_sets = network._neighbor_set_list() if validate else None
+    track = measure_bandwidth or bandwidth_limit is not None
+
+    inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(n)]
+    halted = bytearray(n)
+    halted_count = 0
+
+    messages_sent = 0
+    dropped = 0
+    max_words = 0
+    total_words = 0
+
+    def deliver(dst: int, pair: tuple[int, Any], next_round: int,
+                receivers: list[int]) -> int:
+        """One delivery attempt; returns the number of drops (0 or 1)."""
+        if halted[dst]:
+            # Same silent drop as the fault-free engine: a halted
+            # node's output is already fixed, the message is moot.
+            return 0
+        if crash_round[dst] <= next_round:
+            return 1
+        if drop_roll is not None and drop_roll() < drop_p:
+            return 1
+        box = inboxes[dst]
+        if not box:
+            receivers.append(dst)
+        box.append(pair)
+        return 0
+
+    def flush_outbox(rnd: int) -> list[int]:
+        """Deliver the outbox under the plan; return scheduled indices."""
+        nonlocal messages_sent, dropped, max_words, total_words
+        receivers: list[int] = []
+        next_round = rnd + 1
+        for dst, src, payload in outbox:
+            if dst == BROADCAST:
+                targets = adjacency[src]
+                copies = len(targets)
+                if not copies:
+                    continue
+                messages_sent += copies
+                if track:
+                    words = message_words(payload)
+                    total_words += words * copies
+                    if words > max_words:
+                        max_words = words
+                    if bandwidth_limit is not None and words > bandwidth_limit:
+                        raise SimulationError(
+                            f"{algorithm.name}: message of {words} words "
+                            f"from {src} exceeds the CONGEST limit of "
+                            f"{bandwidth_limit}"
+                        )
+                pair = (src, payload)
+                for nbr in targets:
+                    dropped += deliver(nbr, pair, next_round, receivers)
+            else:
+                if validate and dst not in neighbor_sets[src]:
+                    raise SimulationError(
+                        f"{algorithm.name}: node {src} sent to "
+                        f"non-neighbor {dst}"
+                    )
+                messages_sent += 1
+                if track:
+                    words = message_words(payload)
+                    total_words += words
+                    if words > max_words:
+                        max_words = words
+                    if bandwidth_limit is not None and words > bandwidth_limit:
+                        raise SimulationError(
+                            f"{algorithm.name}: message of {words} words "
+                            f"from {src} exceeds the CONGEST limit of "
+                            f"{bandwidth_limit}"
+                        )
+                dropped += deliver(dst, (src, payload), next_round, receivers)
+        outbox.clear()
+        for item in api_alarms:
+            heappush(alarms, item)
+        api_alarms.clear()
+        return receivers
+
+    # Round 0: initialization.  Dead-on-arrival nodes never start.
+    api.round = 0
+    for node in nodes:
+        if crash_round[node.index] <= 0:
+            continue
+        api._node = node
+        algorithm.on_start(node, api)
+        if node.halted:
+            halted[node.index] = 1
+            halted_count += 1
+    pending = flush_outbox(0)
+
+    rnd = 0
+    last_activity_round = 0
+    budget_exhausted = False
+    empty: tuple = ()
+    while pending or alarms:
+        if pending:
+            rnd += 1
+        else:
+            rnd = max(rnd + 1, alarms[0][0])
+        if budget is not None and rnd > budget:
+            budget_exhausted = True
+            last_activity_round = budget
+            break
+        if rnd > max_rounds:
+            raise RoundLimitExceeded(
+                f"{algorithm.name} exceeded {max_rounds} rounds on "
+                f"{network.name}"
+            )
+        due = pending
+        if alarms and alarms[0][0] <= rnd:
+            stamped: set[int] = set()
+            while alarms and alarms[0][0] <= rnd:
+                index = heappop(alarms)[1]
+                if halted[index] or index in stamped:
+                    continue
+                if crash_round[index] <= rnd:
+                    continue
+                stamped.add(index)
+                if not inboxes[index]:
+                    due.append(index)
+        if not due:
+            continue
+        due.sort()
+        api.round = rnd
+        scheduled = 0
+        delivered = (
+            sum(len(inboxes[index]) for index in due)
+            if tracer is not None
+            else 0
+        )
+        for index in due:
+            if halted[index] or crash_round[index] <= rnd:
+                continue
+            node = nodes[index]
+            api._node = node
+            box = inboxes[index]
+            if box:
+                inboxes[index] = []
+                algorithm.on_round(node, api, box)
+            else:
+                algorithm.on_round(node, api, empty)
+            scheduled += 1
+            if node.halted:
+                halted[index] = 1
+                halted_count += 1
+        if tracer is not None:
+            tracer.record(rnd, scheduled, delivered, halted_count)
+        pending = flush_outbox(rnd)
+        last_activity_round = rnd
+
+    crashed = sorted(
+        index
+        for index in range(n)
+        if crash_round[index] <= last_activity_round
+    )
+    return RunResult(
+        rounds=last_activity_round,
+        messages=messages_sent,
+        outputs=[node.output for node in nodes],
+        halted=[node.halted for node in nodes],
+        max_message_words=max_words,
+        total_message_words=total_words,
+        dropped_messages=dropped,
+        crashed_nodes=crashed,
+        budget_exhausted=budget_exhausted,
+    )

@@ -287,6 +287,7 @@ class Network:
         measure_bandwidth: bool = False,
         bandwidth_limit: int | None = None,
         tracer=None,
+        faults=None,
     ) -> RunResult:
         """Execute an algorithm to quiescence and return its result.
 
@@ -300,7 +301,31 @@ class Network:
         algorithm would also run in CONGEST; ``bandwidth_limit`` turns
         the simulator into a CONGEST(limit-words) model — any larger
         message raises :class:`SimulationError`.
+
+        ``faults`` injects a seeded :class:`~repro.local.faults.FaultPlan`
+        (message loss, crash-stop nodes, round budget); the fault-free
+        path below is untouched — a non-noop plan dispatches to the
+        injected loop in :mod:`repro.local.faults`, and the result then
+        additionally carries the fault accounting fields of
+        :class:`RunResult`.
         """
+        if faults is not None and not faults.is_noop:
+            if _FORCE_LEGACY:
+                raise SimulationError(
+                    "the legacy engine does not support fault injection; "
+                    "run with faults=None under force_legacy_engine()"
+                )
+            from repro.local.faults import run_with_faults
+
+            return run_with_faults(
+                self,
+                algorithm,
+                faults,
+                max_rounds=max_rounds,
+                measure_bandwidth=measure_bandwidth,
+                bandwidth_limit=bandwidth_limit,
+                tracer=tracer,
+            )
         if _FORCE_LEGACY:
             from repro.local.legacy import run_legacy
 

@@ -30,6 +30,19 @@ class RunResult:
         stays O(1) — each word is an O(log n)-bit quantity.
     total_message_words:
         Sum of message sizes in words (same caveat).
+    dropped_messages:
+        Messages lost to fault injection (random drops plus deliveries
+        to crashed nodes); always 0 on a fault-free run.  ``messages``
+        keeps counting *sent* messages, so delivered = messages −
+        dropped_messages (modulo the silent drops at halted nodes that
+        the fault-free engine also performs).
+    crashed_nodes:
+        Indices of nodes whose scheduled crash-stop actually took
+        effect before the run ended (empty on fault-free runs).
+    budget_exhausted:
+        True when a :class:`~repro.local.faults.FaultPlan` round budget
+        cut the execution off; ``rounds`` then reports the rounds the
+        system survived and ``outputs`` whatever was published by then.
     """
 
     rounds: int
@@ -38,7 +51,24 @@ class RunResult:
     halted: list[bool] = field(default_factory=list)
     max_message_words: int = 0
     total_message_words: int = 0
+    dropped_messages: int = 0
+    crashed_nodes: list[int] = field(default_factory=list)
+    budget_exhausted: bool = False
 
     @property
     def all_halted(self) -> bool:
         return all(self.halted) if self.halted else True
+
+    @property
+    def delivered_messages(self) -> int:
+        """Sent messages minus fault-injected losses."""
+        return self.messages - self.dropped_messages
+
+    def fault_summary(self) -> dict[str, Any]:
+        """Flat fault-accounting dict for artifact rows."""
+        return {
+            "dropped_messages": self.dropped_messages,
+            "crashed_nodes": list(self.crashed_nodes),
+            "budget_exhausted": self.budget_exhausted,
+            "rounds_survived": self.rounds,
+        }

@@ -7,13 +7,22 @@ results: a cell's outcome depends only on the cell, never on scheduling,
 worker count, or the other cells.  Benchmarks (E2 and E2b) and the
 ``repro campaign`` CLI both run through this subsystem instead of
 hand-rolled loops.
+
+The runner is chaos-hardened: per-cell wall-clock timeouts, retry with
+pool rebuild on worker crashes, a JSONL checkpoint journal with
+``resume=`` replay, and SIGINT handling that surfaces the partial
+result (:class:`CampaignInterrupted`) — see the :mod:`campaign` module
+docstring for the guarantees.
 """
 
 from repro.runner.campaign import (
     CampaignCell,
+    CampaignInterrupted,
     CampaignResult,
+    CellTimeout,
     cells_from_spec,
     derive_cell_seed,
+    load_journal,
     run_campaign,
     run_cell,
 )
@@ -29,10 +38,13 @@ from repro.runner.presets import (
 
 __all__ = [
     "CampaignCell",
+    "CampaignInterrupted",
     "CampaignResult",
+    "CellTimeout",
     "PRESETS",
     "cells_from_spec",
     "derive_cell_seed",
+    "load_journal",
     "e2_component_cell",
     "e2_scaling_cell",
     "e2b_cells",

@@ -1,4 +1,4 @@
-"""Campaign cells and the process-pool campaign runner.
+"""Campaign cells and the fault-tolerant process-pool campaign runner.
 
 Determinism contract
 --------------------
@@ -13,6 +13,31 @@ Determinism contract
   ``jobs``, or reordering *other* cells never changes a cell's result.
 * :func:`run_campaign` returns rows in cell order regardless of
   completion order.
+* Rows contain no volatile fields (no wall-clock timings), so the same
+  campaign spec produces *byte-identical* artifacts on every run — and
+  a campaign killed mid-way and resumed from its checkpoint journal
+  writes the same bytes as an uninterrupted run.
+
+Fault tolerance
+---------------
+* **Checkpoint journal.**  ``checkpoint=path`` appends one JSONL record
+  per completed cell as it finishes (flushed and fsynced, so a killed
+  process loses at most the in-flight cells); ``resume=path`` replays
+  journaled rows and only executes the missing cells.  A truncated
+  final line — the signature of a hard kill — is tolerated and simply
+  re-run.
+* **Timeouts.**  ``timeout=seconds`` bounds each cell's wall clock.  A
+  cell that exceeds it is recorded as a failure (kind ``"timeout"``),
+  its stuck worker is killed, and the pool is rebuilt; other in-flight
+  cells are resubmitted unharmed.
+* **Retries.**  A worker process that dies (``BrokenProcessPool``)
+  poisons every in-flight future; affected cells are retried up to
+  ``retries`` times with exponential backoff while the pool is rebuilt.
+  Cell *errors* (exceptions raised by the cell itself) are never
+  retried — cells are deterministic, so an error would simply repeat.
+* **Interrupts.**  Ctrl-C raises :class:`CampaignInterrupted` carrying
+  the partial :class:`CampaignResult`; the journal is already flushed,
+  so ``resume=`` continues where the interrupt hit.
 
 Artifact compatibility
 ----------------------
@@ -20,7 +45,10 @@ Rows are flat JSON-serializable dicts shaped like
 :func:`repro.bench.harness.result_row` (label / algorithm / n / delta /
 rounds / messages / breakdown) plus ``seed`` and, for randomized runs,
 the ``shattering`` statistics — the shape of every
-``benchmarks/artifacts/*.json`` row.  :meth:`CampaignResult.save` writes
+``benchmarks/artifacts/*.json`` row.  Failed cells (``strict=False``)
+keep the row list aligned with a ``{"label", "status": "error",
+"error"}`` row; :func:`repro.bench.harness.load_artifact` filters these
+out for downstream consumers.  :meth:`CampaignResult.save` writes
 through :func:`repro.bench.harness.save_artifact`.
 """
 
@@ -28,9 +56,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Sequence
@@ -39,9 +70,12 @@ from repro.errors import ReproError
 
 __all__ = [
     "CampaignCell",
+    "CampaignInterrupted",
     "CampaignResult",
+    "CellTimeout",
     "cells_from_spec",
     "derive_cell_seed",
+    "load_journal",
     "run_campaign",
     "run_cell",
 ]
@@ -57,6 +91,26 @@ _GRID_FIELDS = (
     "method",
     "seed",
 )
+
+#: Cap on the exponential retry backoff, in seconds.
+_MAX_BACKOFF = 30.0
+
+
+class CellTimeout(ReproError):
+    """A campaign cell exceeded its wall-clock timeout."""
+
+
+class CampaignInterrupted(ReproError):
+    """Ctrl-C hit a running campaign; ``partial`` holds completed rows.
+
+    The checkpoint journal (when one was configured) is already flushed
+    through the last completed cell, so ``run_campaign(...,
+    resume=journal)`` picks up exactly where the interrupt landed.
+    """
+
+    def __init__(self, message: str, *, partial: "CampaignResult"):
+        super().__init__(message)
+        self.partial = partial
 
 
 @dataclass(frozen=True)
@@ -113,7 +167,10 @@ def run_cell(cell: CampaignCell) -> dict[str, Any]:
 
     Module-level (not a closure) so it pickles into worker processes.
     Workload builders are ``lru_cache``-d per process, so a worker that
-    receives several cells over the same graph generates it once.
+    receives several cells over the same graph generates it once.  Rows
+    deliberately carry no wall-clock fields: a cell's row is a pure
+    function of the cell, which is what makes checkpoint/resume
+    byte-identical (see the module docstring).
     """
     from repro.bench.workloads import bench_params, workload_acd
     from repro.core.deterministic import delta_color_deterministic
@@ -123,7 +180,6 @@ def run_cell(cell: CampaignCell) -> dict[str, Any]:
     instance = _build_instance(cell)
     params = bench_params(cell.epsilon)
     options = cell.option_dict()
-    started = time.perf_counter()
     if cell.method == "randomized":
         acd = workload_acd(
             cell.num_cliques, cell.delta, cell.epsilon, cell.graph_seed,
@@ -147,7 +203,6 @@ def run_cell(cell: CampaignCell) -> dict[str, Any]:
         )
     else:
         raise ReproError(f"unknown campaign method {cell.method!r}")
-    elapsed = time.perf_counter() - started
 
     row: dict[str, Any] = {
         "label": cell.label,
@@ -158,7 +213,6 @@ def run_cell(cell: CampaignCell) -> dict[str, Any]:
         "rounds": result.rounds,
         "messages": result.messages,
         "breakdown": result.phase_rounds(),
-        "wall_seconds": round(elapsed, 6),
     }
     if "shattering" in result.stats:
         row["shattering"] = result.stats["shattering"]
@@ -174,6 +228,7 @@ class CampaignResult:
     jobs: int
     elapsed_seconds: float
     failures: list[dict[str, str]] = field(default_factory=list)
+    resumed: int = 0
 
     def save(self, name: str) -> Path:
         """Write the rows as a ``benchmarks/artifacts`` JSON artifact."""
@@ -189,7 +244,11 @@ class CampaignResult:
         return path
 
     def summary(self, key: str = "rounds") -> dict[str, float]:
-        """min/mean/max of a numeric row field across the campaign."""
+        """min/mean/max of a numeric row field across the campaign.
+
+        Error rows (``status == "error"``) carry no numeric fields and
+        are skipped by construction.
+        """
         values = [row[key] for row in self.rows if isinstance(row.get(key), (int, float))]
         if not values:
             return {}
@@ -200,8 +259,48 @@ class CampaignResult:
         }
 
 
+def load_journal(path: str | Path) -> dict[int, dict[str, Any]]:
+    """Read a checkpoint journal; index -> record.
+
+    Tolerates a truncated final line (the footprint of a process killed
+    mid-append) and blank lines; anything unparseable is simply treated
+    as not journaled, so the corresponding cell re-runs.
+    """
+    path = Path(path)
+    records: dict[int, dict[str, Any]] = {}
+    if not path.exists():
+        return records
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if (
+            not isinstance(record, dict)
+            or "index" not in record
+            or "row" not in record
+        ):
+            continue
+        records[int(record["index"])] = record
+    return records
+
+
 def _default_progress(done: int, total: int, label: str) -> None:
     print(f"[campaign {done}/{total}] {label}", file=sys.stderr, flush=True)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Terminate a pool's workers (stuck or broken) and discard it."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_campaign(
@@ -211,6 +310,12 @@ def run_campaign(
     base_seed: int = 0,
     progress: bool | Callable[[int, int, str], None] = False,
     strict: bool = True,
+    timeout: float | None = None,
+    retries: int = 1,
+    backoff: float = 0.5,
+    checkpoint: str | Path | None = None,
+    resume: str | Path | None = None,
+    cell_runner: Callable[[CampaignCell], dict[str, Any]] | None = None,
 ) -> CampaignResult:
     """Run every cell; fan out over a process pool when ``jobs > 1``.
 
@@ -218,15 +323,48 @@ def run_campaign(
     ----------
     jobs:
         Worker processes.  ``1`` (default) runs inline — no pickling, no
-        subprocesses — which benchmark timings rely on.
+        subprocesses — which benchmark timings rely on.  A ``timeout``
+        forces the pool path even at ``jobs=1``, because an in-process
+        cell cannot be killed.
     base_seed:
         Used by :func:`derive_cell_seed` for cells without explicit seeds.
     progress:
         ``True`` for stderr lines, or a callable ``(done, total, label)``.
     strict:
         When True (default) a failing cell raises.  When False the error
-        is recorded in ``failures`` and a ``{"label", "error"}`` row keeps
-        the row list aligned with the cell list.
+        is recorded in ``failures`` and a ``{"label", "status": "error",
+        "error"}`` row keeps the row list aligned with the cell list.
+    timeout:
+        Per-cell wall-clock limit in seconds.  An overrunning cell is
+        recorded as a :class:`CellTimeout` failure (it is *not* retried:
+        cells are deterministic, a rerun would time out again) and its
+        worker is killed so the campaign keeps moving.
+    retries:
+        How many times a cell interrupted by a *worker crash*
+        (``BrokenProcessPool``) is resubmitted before being recorded as
+        failed.  The pool is rebuilt with exponential ``backoff``.  A
+        crash poisons every in-flight cell, so affected cells are
+        retried one at a time afterwards: a repeat crash then convicts
+        a single guilty cell instead of the whole batch.  The default
+        of ``1`` makes innocent bystanders survive one crash; ``0``
+        fails every cell that shared the pool with the crash.
+    checkpoint:
+        JSONL journal path; every completed cell is appended and fsynced
+        as it finishes.
+    resume:
+        Journal path to replay; journaled cells are skipped and their
+        rows reused verbatim.  Implies ``checkpoint`` to the same file
+        unless one is given explicitly.
+    cell_runner:
+        Override for :func:`run_cell` (must be a picklable module-level
+        callable).  Exists for the chaos test-suite, which needs workers
+        that crash, hang, or fail on demand.
+
+    Raises
+    ------
+    CampaignInterrupted
+        On Ctrl-C; carries the partial result, and the journal (if any)
+        is flushed through the last completed cell.
     """
     resolved = [
         cell if cell.seed is not None or cell.method == "deterministic"
@@ -238,54 +376,114 @@ def run_campaign(
         else progress if callable(progress)
         else None
     )
+    runner = cell_runner or run_cell
+    total = len(resolved)
+
+    journal_path = Path(checkpoint) if checkpoint else (
+        Path(resume) if resume else None
+    )
+    replayed = load_journal(resume) if resume else {}
+    for index, record in sorted(replayed.items()):
+        if index >= total:
+            raise ReproError(
+                f"checkpoint journal names cell {index}, campaign has {total}"
+            )
+        cell = resolved[index]
+        if record.get("label") != cell.label or record.get("seed") != cell.seed:
+            raise ReproError(
+                f"checkpoint journal does not match campaign: cell {index} "
+                f"is ({cell.label!r}, seed={cell.seed}) but the journal "
+                f"recorded ({record.get('label')!r}, "
+                f"seed={record.get('seed')})"
+            )
 
     started = time.perf_counter()
-    rows: list[dict[str, Any] | None] = [None] * len(resolved)
+    rows: list[dict[str, Any] | None] = [None] * total
     failures: list[dict[str, str]] = []
+    for index, record in replayed.items():
+        rows[index] = record["row"]
+    pending = [index for index in range(total) if rows[index] is None]
+    done_count = total - len(pending)
 
-    def finish(index: int, error: BaseException | None, row) -> None:
+    journal = None
+    if journal_path is not None:
+        journal_path.parent.mkdir(parents=True, exist_ok=True)
+        journal = open(journal_path, "a")
+
+    def journal_write(index: int) -> None:
+        if journal is None:
+            return
+        record = {
+            "index": index,
+            "label": resolved[index].label,
+            "seed": resolved[index].seed,
+            "row": rows[index],
+        }
+        journal.write(json.dumps(record, separators=(",", ":")) + "\n")
+        journal.flush()
+        os.fsync(journal.fileno())
+
+    def partial_result() -> CampaignResult:
+        return CampaignResult(
+            rows=[row for row in rows if row is not None],
+            cells=list(resolved),
+            jobs=max(1, jobs),
+            elapsed_seconds=time.perf_counter() - started,
+            failures=failures,
+            resumed=len(replayed),
+        )
+
+    def finish(index: int, error: BaseException | None, row,
+               kind: str = "error") -> None:
+        nonlocal done_count
+        done_count += 1
         if error is not None:
             if strict:
                 raise error
             failures.append(
-                {"label": resolved[index].label, "error": str(error)}
+                {"label": resolved[index].label, "error": str(error),
+                 "kind": kind}
             )
-            rows[index] = {"label": resolved[index].label, "error": str(error)}
+            rows[index] = {
+                "label": resolved[index].label,
+                "status": "error",
+                "error": str(error),
+            }
         else:
             rows[index] = row
+            journal_write(index)
+        if report:
+            report(done_count, total, resolved[index].label)
 
-    if jobs <= 1 or len(resolved) <= 1:
-        for index, cell in enumerate(resolved):
-            try:
-                finish(index, None, run_cell(cell))
-            except ReproError as error:
-                finish(index, error, None)
-            if report:
-                report(index + 1, len(resolved), cell.label)
-    else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {
-                pool.submit(run_cell, cell): index
-                for index, cell in enumerate(resolved)
-            }
-            done_count = 0
-            remaining = set(futures)
-            while remaining:
-                completed, remaining = wait(
-                    remaining, return_when=FIRST_COMPLETED
-                )
-                for future in completed:
-                    index = futures[future]
-                    error = future.exception()
-                    if error is not None:
-                        finish(index, error, None)
-                    else:
-                        rows[index] = future.result()
-                    done_count += 1
-                    if report:
-                        report(
-                            done_count, len(resolved), resolved[index].label
-                        )
+    use_pool = pending and (jobs > 1 or timeout is not None)
+    try:
+        if not use_pool:
+            for index in pending:
+                try:
+                    row = runner(resolved[index])
+                except Exception as error:
+                    # Parity with the pool path, where *any* exception
+                    # from the worker lands in future.exception():
+                    # a KeyError from a malformed option is a recorded
+                    # failure, not a campaign crash.
+                    finish(index, error, None)
+                else:
+                    finish(index, None, row)
+        else:
+            _run_pool(
+                resolved, pending, runner, finish,
+                jobs=max(1, jobs), timeout=timeout,
+                retries=retries, backoff=backoff,
+            )
+    except KeyboardInterrupt:
+        raise CampaignInterrupted(
+            f"campaign interrupted after {done_count}/{total} cells"
+            + (f" (journal: {journal_path})" if journal_path else ""),
+            partial=partial_result(),
+        ) from None
+    finally:
+        if journal is not None:
+            journal.close()
 
     return CampaignResult(
         rows=[row for row in rows if row is not None],
@@ -293,7 +491,161 @@ def run_campaign(
         jobs=max(1, jobs),
         elapsed_seconds=time.perf_counter() - started,
         failures=failures,
+        resumed=len(replayed),
     )
+
+
+def _run_pool(
+    resolved: list[CampaignCell],
+    pending: list[int],
+    runner: Callable[[CampaignCell], dict[str, Any]],
+    finish: Callable[..., None],
+    *,
+    jobs: int,
+    timeout: float | None,
+    retries: int,
+    backoff: float,
+) -> None:
+    """Pool execution with timeouts, crash retry, and pool rebuild.
+
+    Submission is windowed at the worker count so that every submitted
+    future starts executing immediately — which is what makes the
+    per-cell deadline an honest wall-clock bound rather than
+    queue-position noise.
+
+    Crash isolation: a dead worker poisons *every* in-flight future
+    with ``BrokenProcessPool``, so the guilty cell cannot be told apart
+    from innocent bystanders.  All affected cells are charged one
+    attempt and requeued as *suspects*, and while suspects remain the
+    pool runs them one at a time — a repeat crash then unambiguously
+    convicts a single cell instead of burning the retry budget of
+    whichever cells happened to share the pool.
+    """
+    # Queue entries are (cell index, crash attempts so far, suspect?).
+    queue: deque[tuple[int, int, bool]] = deque(
+        (index, 0, False) for index in pending
+    )
+    inflight: dict[Future, tuple[int, float, int, bool]] = {}
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    rebuilds = 0
+    suspects_open = 0  # crash-requeued cells not yet resolved
+
+    def rebuild_pool() -> None:
+        nonlocal pool, rebuilds
+        _kill_pool(pool)
+        rebuilds += 1
+        if backoff > 0:
+            time.sleep(min(_MAX_BACKOFF, backoff * (2 ** (rebuilds - 1))))
+        pool = ProcessPoolExecutor(max_workers=jobs)
+
+    def resolve(index: int, suspect: bool, error, row,
+                kind: str = "error") -> None:
+        nonlocal suspects_open
+        if suspect:
+            suspects_open -= 1
+        finish(index, error, row, kind=kind)
+
+    def crash_out(
+        affected: list[tuple[int, int, bool]], error: BaseException
+    ) -> None:
+        """Charge crash-hit cells one attempt; requeue or fail them."""
+        nonlocal suspects_open
+        for index, attempts, suspect in affected:
+            if attempts + 1 <= retries:
+                if not suspect:
+                    suspects_open += 1
+                queue.append((index, attempts + 1, True))
+            else:
+                resolve(index, suspect, error, None, kind="crash")
+
+    try:
+        while queue or inflight:
+            window = 1 if suspects_open else jobs
+            while queue and len(inflight) < window:
+                index, attempts, suspect = queue.popleft()
+                try:
+                    future = pool.submit(runner, resolved[index])
+                except BrokenProcessPool as error:
+                    affected = [(index, attempts, suspect)] + [
+                        (i, a, s) for i, _, a, s in inflight.values()
+                    ]
+                    inflight.clear()
+                    crash_out(affected, error)
+                    rebuild_pool()
+                    window = 1 if suspects_open else jobs
+                    continue
+                deadline = (
+                    time.monotonic() + timeout if timeout is not None
+                    else float("inf")
+                )
+                inflight[future] = (index, deadline, attempts, suspect)
+
+            if not inflight:
+                continue
+            wait_for = None
+            if timeout is not None:
+                now = time.monotonic()
+                wait_for = max(
+                    0.02,
+                    min(d for _, d, _, _ in inflight.values()) - now,
+                )
+            done, _ = wait(
+                set(inflight), timeout=wait_for, return_when=FIRST_COMPLETED
+            )
+
+            crashed: list[tuple[int, int, bool]] = []
+            crash_error: BaseException | None = None
+            for future in done:
+                index, _, attempts, suspect = inflight.pop(future)
+                error = future.exception()
+                if isinstance(error, BrokenProcessPool):
+                    crashed.append((index, attempts, suspect))
+                    crash_error = error
+                elif error is not None:
+                    resolve(index, suspect, error, None)
+                else:
+                    resolve(index, suspect, None, future.result())
+
+            if crashed:
+                # A broken pool poisons every in-flight future; drain
+                # them all as crash-affected and start a fresh pool.
+                for index, _, attempts, suspect in inflight.values():
+                    crashed.append((index, attempts, suspect))
+                inflight.clear()
+                crash_out(crashed, crash_error)
+                rebuild_pool()
+                continue
+
+            if timeout is not None:
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, (_, deadline, _, _) in inflight.items()
+                    if now >= deadline
+                ]
+                if expired:
+                    for future in expired:
+                        index, _, _, suspect = inflight.pop(future)
+                        resolve(
+                            index,
+                            suspect,
+                            CellTimeout(
+                                f"cell {resolved[index].label!r} exceeded "
+                                f"its {timeout}s timeout"
+                            ),
+                            None,
+                            kind="timeout",
+                        )
+                    # The stuck worker must die, which kills the whole
+                    # pool; innocents lose no attempts and go back in
+                    # front of the queue.
+                    for index, _, attempts, suspect in inflight.values():
+                        queue.appendleft((index, attempts, suspect))
+                    inflight.clear()
+                    _kill_pool(pool)
+                    pool = ProcessPoolExecutor(max_workers=jobs)
+    finally:
+        _kill_pool(pool)
 
 
 def cells_from_spec(spec: dict[str, Any]) -> list[CampaignCell]:

@@ -1,9 +1,14 @@
-"""Validation: proper-coloring checks and per-lemma invariant checkers."""
+"""Validation: proper-coloring checks, per-lemma invariant checkers,
+and graceful-degradation verdicts for faulty runs."""
 
 from repro.verify.coloring import (
     coloring_violations,
     is_proper_coloring,
     verify_coloring,
+)
+from repro.verify.degradation import (
+    DegradationReport,
+    check_graceful_degradation,
 )
 from repro.verify.properties import (
     check_lemma2,
@@ -17,6 +22,8 @@ from repro.verify.properties import (
 )
 
 __all__ = [
+    "DegradationReport",
+    "check_graceful_degradation",
     "check_lemma2",
     "check_lemma9",
     "check_lemma12",

@@ -1,0 +1,137 @@
+"""Graceful-degradation checking: what survives a faulty run.
+
+A fault-free run is judged by :func:`repro.verify.verify_coloring` —
+every vertex colored, no monochromatic edge, done.  A run under a
+:class:`~repro.local.faults.FaultPlan` needs a finer verdict: crashed
+nodes cannot be expected to hold an output, nodes starved of messages
+may legitimately remain uncolored, and the interesting question is
+which guarantees still hold *on the surviving subgraph*.
+
+:func:`check_graceful_degradation` classifies a (possibly partial)
+coloring against the set of crashed nodes into three statuses:
+
+* ``"intact"`` — no node crashed and the coloring is a proper
+  ``num_colors``-coloring of the whole graph: the fault injection was
+  absorbed completely.
+* ``"degraded"`` — every *colored* live node is consistent (color in
+  range, no monochromatic live–live edge) but some live nodes are
+  uncolored or some nodes crashed: a valid partial coloring of the
+  surviving subgraph, the soft-failure regime.
+* ``"violated"`` — a live node holds an out-of-range color or a
+  live–live edge is monochromatic: the algorithm produced a *wrong*
+  answer under faults, which no amount of degradation excuses.
+
+Edges with a crashed endpoint are ignored — a crashed node's last
+published output is dead state, not a claim about the final coloring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.local.network import Network
+
+__all__ = ["DegradationReport", "check_graceful_degradation"]
+
+
+@dataclass(frozen=True)
+class DegradationReport:
+    """Verdict of :func:`check_graceful_degradation`.
+
+    ``violations`` lists hard failures on the surviving subgraph
+    (monochromatic live–live edges, out-of-range colors); an empty
+    list means the live coloring is a valid partial coloring.
+    """
+
+    num_colors: int
+    live: tuple[int, ...]
+    crashed: tuple[int, ...]
+    uncolored_live: tuple[int, ...]
+    violations: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def surviving_valid(self) -> bool:
+        """True iff the colored live nodes form a valid partial coloring."""
+        return not self.violations
+
+    @property
+    def colored_live(self) -> int:
+        return len(self.live) - len(self.uncolored_live)
+
+    @property
+    def status(self) -> str:
+        """``"intact"`` | ``"degraded"`` | ``"violated"`` (see module doc)."""
+        if self.violations:
+            return "violated"
+        if self.crashed or self.uncolored_live:
+            return "degraded"
+        return "intact"
+
+    def summary(self) -> dict[str, Any]:
+        """Flat dict for artifact rows and logs."""
+        return {
+            "status": self.status,
+            "live": len(self.live),
+            "crashed": len(self.crashed),
+            "colored_live": self.colored_live,
+            "uncolored_live": len(self.uncolored_live),
+            "violations": len(self.violations),
+        }
+
+
+def check_graceful_degradation(
+    network: Network,
+    colors: Sequence[int | None],
+    num_colors: int,
+    *,
+    crashed: Iterable[int] = (),
+) -> DegradationReport:
+    """Judge a possibly-partial coloring on the surviving subgraph.
+
+    Parameters
+    ----------
+    colors:
+        Per-vertex outputs of the run (``RunResult.outputs`` of a
+        coloring algorithm); ``None`` marks an uncolored vertex.
+        Non-integer outputs on live nodes are treated as hard
+        violations — under faults an algorithm must either publish a
+        color or nothing, not garbage.
+    crashed:
+        Vertex indices that crash-stopped (``RunResult.crashed_nodes``).
+    """
+    if len(colors) != network.n:
+        raise ValueError(
+            f"coloring has {len(colors)} entries for {network.n} vertices"
+        )
+    crashed_set = frozenset(crashed)
+    live = tuple(v for v in range(network.n) if v not in crashed_set)
+    uncolored: list[int] = []
+    violations: list[str] = []
+    for v in live:
+        color = colors[v]
+        if color is None:
+            uncolored.append(v)
+        elif not isinstance(color, int) or isinstance(color, bool):
+            violations.append(
+                f"live vertex {v} published non-color output {color!r}"
+            )
+        elif not 0 <= color < num_colors:
+            violations.append(
+                f"live vertex {v} has color {color} outside "
+                f"range(0, {num_colors})"
+            )
+    for u, v in network.edges():
+        if u in crashed_set or v in crashed_set:
+            continue
+        if colors[u] is not None and colors[u] == colors[v]:
+            violations.append(
+                f"live edge ({u}, {v}) is monochromatic (color {colors[u]})"
+            )
+    return DegradationReport(
+        num_colors=num_colors,
+        live=live,
+        crashed=tuple(sorted(crashed_set)),
+        uncolored_live=tuple(uncolored),
+        violations=tuple(violations),
+    )

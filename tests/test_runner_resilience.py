@@ -1,0 +1,316 @@
+"""Chaos suite for the campaign runner: crashes, timeouts, resume.
+
+The workers here misbehave on purpose — they ``os._exit`` mid-cell,
+hang past their timeout, or raise arbitrary exceptions — via the
+``cell_runner`` injection point of :func:`run_campaign`.  All runners
+are module-level so they pickle into pool workers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runner import (
+    CampaignCell,
+    CampaignInterrupted,
+    CellTimeout,
+    load_journal,
+    run_campaign,
+)
+
+#: Small-but-real cells for the byte-identity test (exercise run_cell).
+SMALL = dict(workload="hard", num_cliques=16, delta=8, epsilon=0.25)
+
+
+def cell(label: str, seed: int = 0, **extra) -> CampaignCell:
+    return CampaignCell(label=label, seed=seed, **extra)
+
+
+def ok_runner(c: CampaignCell) -> dict:
+    return {"label": c.label, "seed": c.seed, "rounds": 1, "messages": 2}
+
+
+def failing_runner(c: CampaignCell) -> dict:
+    if c.label.startswith("bad"):
+        raise KeyError("boom")
+    return ok_runner(c)
+
+
+def crashy_runner(c: CampaignCell) -> dict:
+    if c.label.startswith("die"):
+        os._exit(13)  # kills the worker process, not just the cell
+    return ok_runner(c)
+
+
+def flaky_runner(c: CampaignCell) -> dict:
+    """Crashes the worker on first execution, succeeds on retry."""
+    if c.label.startswith("flaky"):
+        flag = Path(c.option_dict()["flag"])
+        if not flag.exists():
+            flag.write_text("crashed once")
+            os._exit(13)
+    return ok_runner(c)
+
+
+def sleepy_runner(c: CampaignCell) -> dict:
+    if c.label.startswith("hang"):
+        time.sleep(120)
+    return ok_runner(c)
+
+
+def touch_runner(c: CampaignCell) -> dict:
+    """Leaves a footprint file so tests can count real executions."""
+    Path(c.option_dict()["dir"], c.label).write_text("ran")
+    return ok_runner(c)
+
+
+class TestUnifiedErrorHandling:
+    """Satellite regression: the inline path must treat arbitrary cell
+    exceptions exactly like the pool path does (recorded failure under
+    strict=False, raised under strict=True) — not just ReproError."""
+
+    def test_inline_records_non_repro_error(self):
+        cells = [cell("bad"), cell("ok", 1)]
+        result = run_campaign(cells, strict=False, cell_runner=failing_runner)
+        assert result.failures[0]["label"] == "bad"
+        assert result.failures[0]["kind"] == "error"
+        assert result.rows[0]["status"] == "error"
+        assert result.rows[1]["rounds"] == 1
+
+    def test_inline_strict_raises_original_error(self):
+        with pytest.raises(KeyError):
+            run_campaign([cell("bad")], cell_runner=failing_runner)
+
+    def test_inline_and_pool_record_identical_failures(self):
+        cells = [cell("bad"), cell("ok", 1)]
+        inline = run_campaign(cells, strict=False, cell_runner=failing_runner)
+        pooled = run_campaign(
+            cells, strict=False, jobs=2, cell_runner=failing_runner
+        )
+        assert inline.rows == pooled.rows
+        assert inline.failures == pooled.failures
+
+    def test_malformed_option_is_recorded_not_fatal(self):
+        """The historical trigger: a bogus option keyword raises
+        TypeError inside run_cell, which the inline path used to let
+        escape strict=False."""
+        cells = [
+            cell("bogus", options=(("bogus_kw", 1),), **SMALL),
+            cell("ok", 1, **SMALL),
+        ]
+        result = run_campaign(cells, strict=False)
+        assert result.rows[0]["status"] == "error"
+        assert "bogus_kw" in result.rows[0]["error"]
+        assert result.rows[1]["rounds"] > 0
+
+
+class TestWorkerCrash:
+    def test_crash_is_isolated_and_recorded(self):
+        """The dying cell burns its retries; innocent cells sharing the
+        pool survive via the serial re-run after a crash."""
+        cells = [cell("die"), cell("ok1", 1), cell("ok2", 2)]
+        result = run_campaign(
+            cells, jobs=2, strict=False, retries=1, backoff=0.0,
+            cell_runner=crashy_runner,
+        )
+        crash = next(f for f in result.failures if f["label"] == "die")
+        assert crash["kind"] == "crash"
+        assert result.rows[0]["status"] == "error"
+        assert result.rows[1]["rounds"] == 1
+        assert result.rows[2]["rounds"] == 1
+
+    def test_strict_crash_raises_after_retries(self):
+        with pytest.raises(BrokenProcessPool):
+            run_campaign(
+                [cell("die")], jobs=2, retries=0, backoff=0.0,
+                cell_runner=crashy_runner,
+            )
+
+    def test_transient_crash_retried_to_success(self, tmp_path):
+        flag = tmp_path / "crashed-once"
+        cells = [
+            cell("flaky", options=(("flag", str(flag)),)),
+            cell("ok", 1),
+        ]
+        result = run_campaign(
+            cells, jobs=2, retries=1, backoff=0.0, cell_runner=flaky_runner
+        )
+        assert not result.failures
+        assert [row["rounds"] for row in result.rows] == [1, 1]
+        assert flag.exists()  # the first attempt really did crash
+
+
+class TestTimeout:
+    def test_hung_cell_times_out_others_complete(self):
+        cells = [cell("hang"), cell("ok1", 1), cell("ok2", 2)]
+        result = run_campaign(
+            cells, jobs=2, timeout=1.0, strict=False, backoff=0.0,
+            cell_runner=sleepy_runner,
+        )
+        failure = next(f for f in result.failures if f["label"] == "hang")
+        assert failure["kind"] == "timeout"
+        assert "timeout" in result.rows[0]["error"]
+        assert result.rows[1]["rounds"] == 1
+        assert result.rows[2]["rounds"] == 1
+
+    def test_timeout_forces_pool_even_inline(self):
+        """jobs=1 with a timeout must not run inline — an in-process
+        cell cannot be killed."""
+        result = run_campaign(
+            [cell("hang")], jobs=1, timeout=0.5, strict=False,
+            cell_runner=sleepy_runner,
+        )
+        assert result.failures[0]["kind"] == "timeout"
+
+    def test_strict_timeout_raises_cell_timeout(self):
+        with pytest.raises(CellTimeout):
+            run_campaign(
+                [cell("hang")], jobs=2, timeout=0.5,
+                cell_runner=sleepy_runner,
+            )
+
+
+class TestCheckpointResume:
+    def test_journal_written_per_cell(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        run_campaign(
+            [cell("a"), cell("b", 1)], checkpoint=journal,
+            cell_runner=ok_runner,
+        )
+        records = load_journal(journal)
+        assert sorted(records) == [0, 1]
+        assert records[0]["label"] == "a"
+        assert records[0]["row"]["rounds"] == 1
+
+    def test_resume_skips_journaled_cells(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        first_dir, second_dir = tmp_path / "first", tmp_path / "second"
+        first_dir.mkdir(), second_dir.mkdir()
+
+        def cells(directory: Path) -> list[CampaignCell]:
+            return [
+                cell("a", options=(("dir", str(directory)),)),
+                cell("b", 1, options=(("dir", str(directory)),)),
+            ]
+
+        full = run_campaign(
+            cells(first_dir), checkpoint=journal, cell_runner=touch_runner
+        )
+        assert {p.name for p in first_dir.iterdir()} == {"a", "b"}
+        resumed = run_campaign(
+            cells(second_dir), resume=journal, cell_runner=touch_runner
+        )
+        assert resumed.resumed == 2
+        assert resumed.rows == full.rows
+        assert not list(second_dir.iterdir())  # nothing re-ran
+
+    def test_interrupt_carries_partial_and_resumes(self, tmp_path):
+        """Simulated Ctrl-C after the first cell: the journal already
+        holds that cell, the exception carries the partial result, and
+        resuming completes the campaign."""
+        journal = tmp_path / "run.jsonl"
+        cells = [cell("a"), cell("b", 1), cell("c", 2)]
+
+        def interrupt(done: int, total: int, label: str) -> None:
+            raise KeyboardInterrupt
+
+        with pytest.raises(CampaignInterrupted) as excinfo:
+            run_campaign(
+                cells, checkpoint=journal, progress=interrupt,
+                cell_runner=ok_runner,
+            )
+        partial = excinfo.value.partial
+        assert len(partial.rows) == 1
+        assert str(journal) in str(excinfo.value)
+
+        resumed = run_campaign(cells, resume=journal, cell_runner=ok_runner)
+        assert resumed.resumed == 1
+        full = run_campaign(cells, cell_runner=ok_runner)
+        assert resumed.rows == full.rows
+
+    def test_resume_artifact_is_byte_identical(self, tmp_path):
+        """The headline guarantee: a campaign killed part-way and
+        resumed writes the same bytes as an uninterrupted run.  Uses
+        the real run_cell so real rows cross the journal."""
+        cells = [cell(f"seed={s}", s, **SMALL) for s in (0, 1, 2)]
+        full = run_campaign(cells)
+        full_path = full.write(tmp_path / "full.json")
+
+        journal = tmp_path / "run.jsonl"
+        run_campaign(cells[:1], checkpoint=journal)  # "killed" after cell 0
+        resumed = run_campaign(cells, resume=journal)
+        assert resumed.resumed == 1
+        resumed_path = resumed.write(tmp_path / "resumed.json")
+        assert full_path.read_bytes() == resumed_path.read_bytes()
+
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        run_campaign([cell("a")], checkpoint=journal, cell_runner=ok_runner)
+        with open(journal, "a") as handle:
+            handle.write('{"index": 1, "label": "b", "ro')  # hard kill
+        records = load_journal(journal)
+        assert sorted(records) == [0]
+
+    def test_resume_rejects_mismatched_journal(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        run_campaign([cell("a")], checkpoint=journal, cell_runner=ok_runner)
+        with pytest.raises(ReproError, match="does not match"):
+            run_campaign(
+                [cell("renamed")], resume=journal, cell_runner=ok_runner
+            )
+
+    def test_resume_rejects_journal_overflow(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        run_campaign(
+            [cell("a"), cell("b", 1)], checkpoint=journal,
+            cell_runner=ok_runner,
+        )
+        with pytest.raises(ReproError, match="names cell"):
+            run_campaign([cell("a")], resume=journal, cell_runner=ok_runner)
+
+    def test_error_rows_are_not_journaled(self, tmp_path):
+        """Failed cells stay out of the journal so a resume retries
+        them — an error row is a placeholder, not a result."""
+        journal = tmp_path / "run.jsonl"
+        cells = [cell("bad"), cell("ok", 1)]
+        run_campaign(
+            cells, strict=False, checkpoint=journal,
+            cell_runner=failing_runner,
+        )
+        assert sorted(load_journal(journal)) == [1]
+        resumed = run_campaign(cells, resume=journal, cell_runner=ok_runner)
+        assert resumed.resumed == 1
+        assert resumed.rows[0]["rounds"] == 1  # the retry succeeded
+
+
+class TestCliResume:
+    def test_checkpoint_then_resume_writes_identical_output(self, tmp_path):
+        from repro.cli import main
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "name": "tiny",
+            "grid": {"num_cliques": 16, "delta": 8, "epsilon": 0.25,
+                     "seed": [0, 1]},
+        }))
+        journal = tmp_path / "run.jsonl"
+        first_out = tmp_path / "first.json"
+        assert main([
+            "campaign", "--spec", str(spec), "-o", str(first_out),
+            "--checkpoint", str(journal), "--quiet",
+        ]) == 0
+        assert sorted(load_journal(journal)) == [0, 1]
+
+        second_out = tmp_path / "second.json"
+        assert main([
+            "campaign", "--spec", str(spec), "-o", str(second_out),
+            "--resume", str(journal), "--quiet",
+        ]) == 0
+        assert first_out.read_bytes() == second_out.read_bytes()
