@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test test-all bench chaos report examples ci lint clean
+.PHONY: install test test-all bench chaos trace report examples ci lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -18,9 +18,15 @@ bench:
 chaos:
 	PYTHONPATH=src python -m pytest tests/test_faults_chaos.py tests/test_runner_resilience.py -q
 
-# Mirrors .github/workflows/ci.yml: tier-1 suite + lint.
+# Observability smoke: trace a small instance, validate the JSON
+# telemetry against the checked-in schema + consistency invariants.
+trace:
+	PYTHONPATH=src python scripts/check_telemetry.py
+
+# Mirrors .github/workflows/ci.yml: tier-1 suite + telemetry smoke + lint.
 ci:
 	PYTHONPATH=src python -m pytest -x -q
+	$(MAKE) trace
 	$(MAKE) lint
 
 lint:

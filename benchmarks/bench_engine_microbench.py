@@ -143,6 +143,58 @@ def test_engine_kernel_flood(benchmark, once):
             fast_seconds, legacy_seconds, result.rounds, result.messages)
 
 
+def test_observability_overhead(benchmark, once):
+    """The repro.obs collector must stay off the engine hot path.
+
+    With no collector installed the engine does one module-global
+    ``is None`` check per run; with one installed (aggregates only, no
+    round sampling) the per-run cost is a single ``record_run`` call.
+    Both must be noise against the storm kernel.  Round sampling
+    (``sample_rounds=True``) adds a per-round tracer append and is
+    recorded for context only.
+    """
+    from repro.obs import observed
+
+    network = hard_workload(SCALING_CLIQUES[1]).network
+    kernel = lambda: network.run(BroadcastStorm(STORM_ROUNDS))  # noqa: E731
+
+    def observed_run(sample_rounds):
+        def run():
+            with observed(sample_rounds=sample_rounds):
+                return kernel()
+        return run
+
+    base_seconds, result = _best_time(kernel)
+    plain_seconds, _ = _best_time(observed_run(sample_rounds=False))
+    sampled_seconds, _ = _best_time(observed_run(sample_rounds=True))
+    once(benchmark, kernel)
+    overhead = plain_seconds / base_seconds - 1.0
+    row = {
+        "label": f"obs-overhead t={SCALING_CLIQUES[1]}",
+        "kind": "observability",
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "base_seconds": round(base_seconds, 6),
+        "collector_seconds": round(plain_seconds, 6),
+        "sampled_seconds": round(sampled_seconds, 6),
+        "collector_overhead_pct": round(100 * overhead, 3),
+        "sampled_overhead_pct": round(
+            100 * (sampled_seconds / base_seconds - 1.0), 3
+        ),
+    }
+    if benchmark is not None:
+        benchmark.extra_info.update(row)
+    _ROWS.append(
+        {**row, "fast_rounds_per_sec": round(result.rounds / plain_seconds, 2),
+         "legacy_rounds_per_sec": round(result.rounds / base_seconds, 2),
+         "fast_seconds": row["collector_seconds"],
+         "legacy_seconds": row["base_seconds"],
+         "speedup": round(base_seconds / plain_seconds, 3)}
+    )
+    # Acceptance bar: an installed (non-sampling) collector costs < 3%.
+    assert overhead < 0.03, row
+
+
 @pytest.mark.parametrize("num_cliques", SCALING_CLIQUES)
 def test_pipeline_context(benchmark, once, num_cliques):
     """Full Theorem 2 run: engine + central phases (context numbers)."""

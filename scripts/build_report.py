@@ -70,6 +70,43 @@ def table_for(rows: list[dict]) -> str:
     return "\n".join(lines)
 
 
+def decomposition_table(rows: list[dict]) -> str:
+    """E7-style round decomposition from per-cell telemetry summaries.
+
+    Campaigns run with ``--telemetry`` attach a
+    ``repro.obs.telemetry_summary`` to every row; render its top-level
+    breakdown as one decomposition row per cell (phases as columns, the
+    ledger total last — the columns always sum to it).
+    """
+    cells = [
+        (row.get("label", "?"), row["telemetry"])
+        for row in rows
+        if isinstance(row.get("telemetry"), dict)
+    ]
+    if not cells:
+        return ""
+    phases: list[str] = []
+    for _, summary in cells:
+        for phase in summary.get("breakdown", {}):
+            if phase not in phases:
+                phases.append(phase)
+    columns = ["label", *phases, "total rounds"]
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for label, summary in cells:
+        breakdown = summary.get("breakdown", {})
+        lines.append(
+            "| " + " | ".join(
+                [label]
+                + [str(breakdown.get(phase, 0)) for phase in phases]
+                + [str(summary.get("total_rounds", ""))]
+            ) + " |"
+        )
+    return "\n".join(lines)
+
+
 def main() -> int:
     if not ARTIFACTS.is_dir():
         print(
@@ -102,7 +139,21 @@ def main() -> int:
         note = (
             f"\n*({len(errors)} failed cell(s) omitted)*\n" if errors else ""
         )
-        sections.append(f"## {title}\n\n{table_for(rows)}\n{note}")
+        # Telemetry summaries get their own decomposition table; the
+        # nested dict would otherwise smear into a single giant cell.
+        decomposition = decomposition_table(rows)
+        if decomposition:
+            rows = [
+                {k: v for k, v in row.items() if k != "telemetry"}
+                for row in rows
+            ]
+            decomposition = (
+                "\n\n**Round decomposition** (from `--telemetry` "
+                f"summaries):\n\n{decomposition}"
+            )
+        sections.append(
+            f"## {title}\n\n{table_for(rows)}{decomposition}\n{note}"
+        )
     report = (
         "# REPORT — measured experiment tables\n\n"
         "Machine-generated from `benchmarks/artifacts/` by "

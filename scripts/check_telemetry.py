@@ -1,0 +1,101 @@
+"""Telemetry smoke check: trace a small instance, validate the JSON.
+
+Used by ``make trace`` and the CI telemetry step.  Runs the full
+deterministic pipeline on a small mixed instance under ``repro trace``,
+then validates the emitted telemetry document against the checked-in
+schema (``src/repro/obs/telemetry.schema.json``) plus the semantic
+invariants the exporter guarantees: per-phase rounds sum exactly to the
+ledger's ``total_rounds``, breakdown tables agree, and the E7 phase
+labels are present.
+
+Exit status 0 on success; nonzero with a message on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+TRACE_ARGS = [
+    "trace", "--kind", "mixed", "--cliques", "34", "--delta", "16",
+    "--easy-fraction", "0.3", "--graph-seed", "5", "--epsilon", "0.25",
+]
+
+REQUIRED_PATHS = {
+    "acd",
+    "classify",
+    "hard/phase1/maximal-matching",
+    "hard/phase2/degree-splitting",
+    "hard/phase4a/pair-coloring",
+    "easy",
+}
+
+
+def walk_paths(nodes: list[dict]) -> set[str]:
+    paths: set[str] = set()
+    for node in nodes:
+        paths.add(node["path"])
+        paths |= walk_paths(node["children"])
+    return paths
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        doc_path = Path(tmp) / "telemetry.json"
+        events_path = Path(tmp) / "events.jsonl"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", *TRACE_ARGS,
+             "--json", str(doc_path), "--events", str(events_path)],
+            env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            print(proc.stdout)
+            print(proc.stderr, file=sys.stderr)
+            print("FAIL: repro trace exited nonzero", file=sys.stderr)
+            return 1
+        document = json.loads(doc_path.read_text())
+        events = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+        ]
+
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.obs import validate_document
+
+    try:
+        validate_document(document)
+    except ValueError as exc:
+        print(f"FAIL: telemetry document invalid:\n{exc}", file=sys.stderr)
+        return 1
+
+    missing = REQUIRED_PATHS - walk_paths(document["phases"])
+    if missing:
+        print(f"FAIL: missing phase paths: {sorted(missing)}",
+              file=sys.stderr)
+        return 1
+
+    if not events or events[0]["event"] != "begin" \
+            or events[-1]["event"] != "end":
+        print("FAIL: event stream missing begin/end framing",
+              file=sys.stderr)
+        return 1
+
+    phase_sum = sum(node["rounds"] for node in document["phases"])
+    print(
+        "telemetry OK: "
+        f"{len(document['phases'])} top-level phases, "
+        f"{phase_sum} rounds (== total_rounds), "
+        f"{len(events)} events, schema valid"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,6 +91,53 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("instance")
     verify.add_argument("coloring")
 
+    trace = commands.add_parser(
+        "trace",
+        help="color one instance under the observability collector",
+        description=(
+            "Run one coloring with the repro.obs collector installed and "
+            "report the phase decomposition (rounds, messages, wall time "
+            "per pipeline phase), engine activity, and metrics.  Reads an "
+            "instance file or generates one from the same knobs as "
+            "'generate'.  The JSON telemetry document is validated "
+            "against the checked-in schema before it is written."
+        ),
+    )
+    trace.add_argument(
+        "instance", nargs="?", default=None,
+        help="instance JSON file (omit to generate one)",
+    )
+    trace.add_argument(
+        "--kind", choices=("hard", "mixed", "pg"), default="mixed",
+        help="generated workload when no instance file is given",
+    )
+    trace.add_argument("--cliques", type=int, default=34)
+    trace.add_argument("--delta", type=int, default=16)
+    trace.add_argument("--easy-fraction", type=float, default=0.25)
+    trace.add_argument("--q", type=int, default=7,
+                       help="prime order for --kind pg")
+    trace.add_argument("--graph-seed", type=int, default=None)
+    trace.add_argument(
+        "--method", choices=("deterministic", "randomized"),
+        default="deterministic",
+    )
+    trace.add_argument("--epsilon", type=float, default=0.25)
+    trace.add_argument("--seed", type=int, default=None)
+    trace.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="FILE",
+        help="write the validated telemetry document ('-' or no value: "
+             "stdout, replacing the text tree)",
+    )
+    trace.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="write the JSONL event stream (span enters/exits, engine "
+             "runs, metrics snapshot)",
+    )
+    trace.add_argument(
+        "--samples", action="store_true",
+        help="keep raw per-round activity samples on the span records",
+    )
+
     campaign = commands.add_parser(
         "campaign",
         help="run an experiment campaign across a process pool",
@@ -142,6 +189,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--no-strict", action="store_true",
         help="record failing cells instead of aborting the campaign",
+    )
+    campaign.add_argument(
+        "--telemetry", action="store_true",
+        help="attach a deterministic repro.obs phase/metrics summary to "
+             "every result row",
     )
 
     return parser
@@ -206,6 +258,74 @@ def _cmd_color(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_instance(args: argparse.Namespace):
+    if args.instance:
+        return load_instance(args.instance)
+    if args.kind == "hard":
+        return hard_clique_graph(
+            args.cliques, args.delta, seed=args.graph_seed
+        )
+    if args.kind == "mixed":
+        return mixed_dense_graph(
+            args.cliques, args.delta,
+            easy_fraction=args.easy_fraction, seed=args.graph_seed,
+        )
+    return projective_plane_clique_graph(args.q)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import (
+        Collector,
+        events_jsonl,
+        observed,
+        render_phase_tree,
+        telemetry_document,
+        validate_document,
+    )
+
+    instance = _trace_instance(args)
+    params = AlgorithmParameters(epsilon=args.epsilon)
+    collector = Collector(
+        keep_samples=args.samples,
+        record_events=args.events is not None,
+    )
+    with observed(collector):
+        result = delta_color(
+            instance.network, method=args.method, params=params,
+            seed=args.seed,
+        )
+    document = telemetry_document(
+        collector,
+        result=result,
+        context={
+            "instance": instance.describe(),
+            "method": args.method,
+            "seed": args.seed,
+            "epsilon": args.epsilon,
+        },
+    )
+    validate_document(document)
+    if args.events:
+        path = Path(args.events)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as stream:
+            for line in events_jsonl(collector):
+                stream.write(line + "\n")
+        print(f"events written to {path}", file=sys.stderr)
+    if args.json == "-":
+        print(json.dumps(document, indent=1))
+    else:
+        if args.json:
+            path = Path(args.json)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(document, indent=1))
+            print(f"telemetry document written to {path}", file=sys.stderr)
+        print(render_phase_tree(document))
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
     colors, num_colors = load_coloring(args.coloring)
@@ -250,6 +370,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             retries=args.retries,
             checkpoint=args.checkpoint,
             resume=args.resume,
+            telemetry=args.telemetry,
         )
     except CampaignInterrupted as interrupt:
         # Flush what completed so the work survives the Ctrl-C; the
@@ -289,6 +410,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "color": _cmd_color,
     "verify": _cmd_verify,
+    "trace": _cmd_trace,
     "campaign": _cmd_campaign,
 }
 

@@ -27,6 +27,8 @@ from repro.errors import GraphStructureError
 from repro.graphs.validation import assert_no_delta_plus_one_clique
 from repro.local.ledger import RoundLedger
 from repro.local.network import Network
+from repro.obs.metrics import metric_gauge
+from repro.obs.spans import span
 from repro.types import ColoringResult
 from repro.verify.coloring import verify_coloring
 
@@ -62,12 +64,18 @@ def delta_color_deterministic(
     colors: list[int | None] = [None] * network.n
 
     # --- Line 1: ACD and classification. --------------------------------
-    if acd is None:
-        acd = compute_acd(network, params.epsilon)
-    acd.require_dense()
-    ledger.charge("acd", ACD_ROUNDS)
-    classification = classify_cliques(network, acd, delta=delta)
-    ledger.charge("classify", CLASSIFY_ROUNDS)
+    with span("acd", ledger=ledger):
+        if acd is None:
+            acd = compute_acd(network, params.epsilon)
+        acd.require_dense()
+        ledger.charge("acd", ACD_ROUNDS)
+    with span("classify", ledger=ledger):
+        classification = classify_cliques(network, acd, delta=delta)
+        ledger.charge("classify", CLASSIFY_ROUNDS)
+    metric_gauge("acd.num_cliques", acd.num_cliques)
+    metric_gauge("classify.hard_cliques", len(classification.hard))
+    metric_gauge("classify.easy_cliques", len(classification.easy))
+    metric_gauge("palette.size", len(palette))
 
     stats: dict = {
         "delta": delta,
@@ -80,32 +88,35 @@ def delta_color_deterministic(
     # --- Line 2: color vertices in hard cliques (Algorithm 2). ----------
     triads = []
     if classification.hard:
-        balanced = compute_balanced_matching(
-            network, classification, params=params, ledger=ledger
-        )
-        stats["phase1"] = balanced.stats
-        sparsified = sparsify_matching(
-            network, classification, balanced, params=params, ledger=ledger
-        )
-        stats["phase2"] = sparsified.stats
-        triads, triad_stats = form_slack_triads(
-            network, classification, sparsified, params=params, ledger=ledger
-        )
-        stats["phase3"] = triad_stats
-        pair_colors, pair_stats = color_slack_pairs(
-            network, triads, palette, ledger=ledger
-        )
-        stats["phase4a"] = pair_stats
-        for vertex, color in pair_colors.items():
-            colors[vertex] = color
-        finish_hard_cliques(
-            network, classification, triads, colors, palette, ledger=ledger
-        )
+        with span("hard", ledger=ledger):
+            balanced = compute_balanced_matching(
+                network, classification, params=params, ledger=ledger
+            )
+            stats["phase1"] = balanced.stats
+            sparsified = sparsify_matching(
+                network, classification, balanced, params=params, ledger=ledger
+            )
+            stats["phase2"] = sparsified.stats
+            triads, triad_stats = form_slack_triads(
+                network, classification, sparsified, params=params, ledger=ledger
+            )
+            stats["phase3"] = triad_stats
+            pair_colors, pair_stats = color_slack_pairs(
+                network, triads, palette, ledger=ledger
+            )
+            stats["phase4a"] = pair_stats
+            for vertex, color in pair_colors.items():
+                colors[vertex] = color
+            finish_hard_cliques(
+                network, classification, triads, colors, palette, ledger=ledger
+            )
 
     # --- Line 3: color easy cliques and loopholes (Algorithm 3). --------
-    stats["easy_phase"] = color_easy_and_loopholes(
-        network, classification, colors, palette, params=params, ledger=ledger
-    )
+    with span("easy", ledger=ledger):
+        stats["easy_phase"] = color_easy_and_loopholes(
+            network, classification, colors, palette, params=params,
+            ledger=ledger,
+        )
 
     if verify:
         verify_coloring(network, colors, delta)

@@ -28,6 +28,8 @@ from repro.core.loopholes import Loophole, color_loophole
 from repro.errors import InvariantViolation
 from repro.local.ledger import RoundLedger
 from repro.local.network import Network
+from repro.obs.metrics import metric_gauge
+from repro.obs.spans import span
 from repro.subroutines.bfs_layering import bfs_layers, layers_to_lists
 from repro.subroutines.ruling_set import digit_ruling_set, ruling_set
 
@@ -134,32 +136,39 @@ def color_easy_and_loopholes(
     # digit ruling set pays O(log_base(palette)) knockout phases for a
     # larger — harmless — domination radius.
     virtual = build_loophole_graph(network, loopholes)
-    if deterministic:
-        membership, _, rs_result = digit_ruling_set(
-            virtual, RULING_SET_DIGIT_BASE
+    with span(
+        "easy/ruling-set", ledger=ledger, scale=LOOPHOLE_ROUND_SCALE
+    ):
+        if deterministic:
+            membership, _, rs_result = digit_ruling_set(
+                virtual, RULING_SET_DIGIT_BASE
+            )
+        else:
+            membership, rs_result = ruling_set(
+                virtual,
+                params.loophole_ruling_radius,
+                deterministic=False,
+                seed=rng.randrange(2 ** 32),
+            )
+        ledger.charge(
+            "easy/ruling-set",
+            rs_result.rounds * LOOPHOLE_ROUND_SCALE,
+            rs_result.messages,
         )
-    else:
-        membership, rs_result = ruling_set(
-            virtual,
-            params.loophole_ruling_radius,
-            deterministic=False,
-            seed=rng.randrange(2 ** 32),
-        )
-    ledger.charge(
-        "easy/ruling-set",
-        rs_result.rounds * LOOPHOLE_ROUND_SCALE,
-        rs_result.messages,
-    )
     selected = [loopholes[i] for i in range(len(loopholes)) if membership[i]]
+    metric_gauge("easy.loopholes", len(loopholes))
+    metric_gauge("easy.selected_loopholes", len(selected))
+    metric_gauge("easy.gl_max_degree", virtual.max_degree)
 
     # Line 4: BFS layering of the uncolored subgraph.
-    sub, mapping = network.subnetwork(uncolored, name="easy-subgraph")
-    position = {v: i for i, v in enumerate(mapping)}
-    sources = sorted(
-        {position[v] for loophole in selected for v in loophole.vertices}
-    )
-    depths, bfs_result = bfs_layers(sub, sources)
-    ledger.charge_result("easy/bfs-layering", bfs_result)
+    with span("easy/bfs-layering", ledger=ledger):
+        sub, mapping = network.subnetwork(uncolored, name="easy-subgraph")
+        position = {v: i for i, v in enumerate(mapping)}
+        sources = sorted(
+            {position[v] for loophole in selected for v in loophole.vertices}
+        )
+        depths, bfs_result = bfs_layers(sub, sources)
+        ledger.charge_result("easy/bfs-layering", bfs_result)
     if any(d is None for d in depths):
         missing = mapping[depths.index(None)]
         raise InvariantViolation(
@@ -182,17 +191,20 @@ def color_easy_and_loopholes(
         )
 
     # Line 8: brute-force the selected loopholes (Lemma 7).
-    for loophole in selected:
-        lists = {}
-        for v in loophole.vertices:
-            forbidden = {
-                colors[u] for u in network.adjacency[v] if colors[u] is not None
-            }
-            lists[v] = [c for c in palette if c not in forbidden]
-        assignment = color_loophole(network, loophole.vertices, lists)
-        for v, color in assignment.items():
-            colors[v] = color
-    ledger.charge("easy/loophole-bruteforce", BRUTEFORCE_ROUNDS)
+    with span("easy/loophole-bruteforce", ledger=ledger):
+        for loophole in selected:
+            lists = {}
+            for v in loophole.vertices:
+                forbidden = {
+                    colors[u]
+                    for u in network.adjacency[v]
+                    if colors[u] is not None
+                }
+                lists[v] = [c for c in palette if c not in forbidden]
+            assignment = color_loophole(network, loophole.vertices, lists)
+            for v, color in assignment.items():
+                colors[v] = color
+        ledger.charge("easy/loophole-bruteforce", BRUTEFORCE_ROUNDS)
 
     return {
         "loopholes": len(loopholes),

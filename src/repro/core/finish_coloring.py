@@ -30,6 +30,8 @@ from repro.core.triads import SlackTriad
 from repro.errors import InvariantViolation
 from repro.local.ledger import RoundLedger
 from repro.local.network import Network
+from repro.obs.metrics import metric_observe
+from repro.obs.spans import span
 from repro.subroutines.deg_list_coloring import (
     deg_plus_one_list_coloring,
     randomized_list_coloring,
@@ -57,28 +59,32 @@ def color_instance(
     vertices = [v for v in vertices if colors[v] is None]
     if not vertices:
         return
-    sub, mapping = network.subnetwork(vertices, name=label)
-    palette = list(palette)
-    lists = []
-    for v in mapping:
-        forbidden = {
-            colors[u] for u in network.adjacency[v] if colors[u] is not None
-        }
-        lists.append([c for c in palette if c not in forbidden])
-    for index, v in enumerate(mapping):
-        if len(lists[index]) <= sub.degree(index):
-            raise InvariantViolation(
-                f"{label}: vertex {v} has {len(lists[index])} available "
-                f"colors but instance degree {sub.degree(index)}; the "
-                "slack argument of Lemma 17 failed"
-            )
-    if deterministic:
-        chosen, result = deg_plus_one_list_coloring(sub, lists)
-    else:
-        chosen, result = randomized_list_coloring(sub, lists, seed=seed)
-    ledger.charge_result(label, result)
-    for index, v in enumerate(mapping):
-        colors[v] = chosen[index]
+    metric_observe("instance.size", len(vertices))
+    with span(label, ledger=ledger):
+        sub, mapping = network.subnetwork(vertices, name=label)
+        palette = list(palette)
+        lists = []
+        for v in mapping:
+            forbidden = {
+                colors[u]
+                for u in network.adjacency[v]
+                if colors[u] is not None
+            }
+            lists.append([c for c in palette if c not in forbidden])
+        for index, v in enumerate(mapping):
+            if len(lists[index]) <= sub.degree(index):
+                raise InvariantViolation(
+                    f"{label}: vertex {v} has {len(lists[index])} available "
+                    f"colors but instance degree {sub.degree(index)}; the "
+                    "slack argument of Lemma 17 failed"
+                )
+        if deterministic:
+            chosen, result = deg_plus_one_list_coloring(sub, lists)
+        else:
+            chosen, result = randomized_list_coloring(sub, lists, seed=seed)
+        ledger.charge_result(label, result)
+        for index, v in enumerate(mapping):
+            colors[v] = chosen[index]
 
 
 def finish_hard_cliques(

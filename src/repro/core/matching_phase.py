@@ -27,6 +27,8 @@ from repro.core.hardness import Classification
 from repro.errors import InvariantViolation
 from repro.local.ledger import RoundLedger
 from repro.local.network import Network
+from repro.obs.metrics import metric_count, metric_gauge
+from repro.obs.spans import span
 from repro.subroutines.heg import Hypergraph, hyperedge_grabbing
 from repro.subroutines.maximal_matching import maximal_matching
 
@@ -131,10 +133,12 @@ def compute_balanced_matching(
         for u in network.adjacency[v]
         if v < u and u in usable and clique_of[u] != clique_of[v]
     ]
-    f1, mm_result = maximal_matching(
-        network, hard_edges, deterministic=deterministic, seed=seed
-    )
-    ledger.charge_result("hard/phase1/maximal-matching", mm_result)
+    with span("hard/phase1/maximal-matching", ledger=ledger):
+        f1, mm_result = maximal_matching(
+            network, hard_edges, deterministic=deterministic, seed=seed
+        )
+        ledger.charge_result("hard/phase1/maximal-matching", mm_result)
+    metric_gauge("phase1.f1_size", len(f1))
 
     matched_edge: dict[int, tuple[int, int]] = {}
     for edge in f1:
@@ -275,11 +279,19 @@ def compute_balanced_matching(
             )
         stats["lemma11_satisfied"] = min_degree > params.heg_slack_factor * rank
 
-        grab, heg_result = hyperedge_grabbing(
-            hypergraph, deterministic=deterministic, seed=seed
-        )
-        ledger.charge("hard/phase1/heg", heg_result.rounds * HEG_ROUND_SCALE,
-                      heg_result.messages)
+        with span(
+            "hard/phase1/heg", ledger=ledger, scale=HEG_ROUND_SCALE
+        ):
+            grab, heg_result = hyperedge_grabbing(
+                hypergraph, deterministic=deterministic, seed=seed
+            )
+            ledger.charge(
+                "hard/phase1/heg", heg_result.rounds * HEG_ROUND_SCALE,
+                heg_result.messages,
+            )
+        metric_gauge("phase1.heg_rank", rank)
+        metric_gauge("phase1.heg_min_degree", min_degree)
+        metric_count("phase1.heg_cliques", len(heg_cliques))
 
         # --- Step 4: rearrange F1 into the oriented matching F2. -------
         phi_of = {(subclique_of[v], proposal[v]): v for v in proposal}

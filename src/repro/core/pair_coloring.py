@@ -22,6 +22,8 @@ from repro.errors import InvariantViolation
 from repro.local.ledger import RoundLedger
 from repro.local.network import Network
 from repro.local.virtual import VirtualNetwork
+from repro.obs.metrics import metric_gauge
+from repro.obs.spans import span
 from repro.subroutines.deg_list_coloring import (
     deg_plus_one_list_coloring,
     randomized_list_coloring,
@@ -89,15 +91,22 @@ def color_slack_pairs(
                 f"{len(palette)}); expected degree <= Delta - 2"
             )
 
-    if deterministic:
-        colors, result = deg_plus_one_list_coloring(virtual, lists)
-    else:
-        colors, result = randomized_list_coloring(virtual, lists, seed=seed)
-    ledger.charge(
-        "hard/phase4a/pair-coloring",
-        virtual.base_rounds(result.rounds),
-        result.messages,
-    )
+    with span(
+        "hard/phase4a/pair-coloring", ledger=ledger, scale=PAIR_ROUND_SCALE
+    ):
+        if deterministic:
+            colors, result = deg_plus_one_list_coloring(virtual, lists)
+        else:
+            colors, result = randomized_list_coloring(
+                virtual, lists, seed=seed
+            )
+        ledger.charge(
+            "hard/phase4a/pair-coloring",
+            virtual.base_rounds(result.rounds),
+            result.messages,
+        )
+    metric_gauge("phase4a.gv_nodes", virtual.n)
+    metric_gauge("phase4a.gv_max_degree", virtual.max_degree)
 
     assignment: dict[int, int] = {}
     for index, triad in enumerate(triads):

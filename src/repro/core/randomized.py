@@ -49,6 +49,8 @@ from repro.errors import GraphStructureError
 from repro.graphs.validation import assert_no_delta_plus_one_clique
 from repro.local.ledger import RoundLedger
 from repro.local.network import Network
+from repro.obs.metrics import metric_gauge
+from repro.obs.spans import span
 from repro.types import ColoringResult
 from repro.verify.coloring import verify_coloring
 
@@ -91,12 +93,18 @@ def delta_color_randomized(
     palette = list(range(delta))
     colors: list[int | None] = [None] * network.n
 
-    if acd is None:
-        acd = compute_acd(network, params.epsilon)
-    acd.require_dense()
-    ledger.charge("acd", ACD_ROUNDS)
-    classification = classify_cliques(network, acd, delta=delta)
-    ledger.charge("classify", CLASSIFY_ROUNDS)
+    with span("acd", ledger=ledger):
+        if acd is None:
+            acd = compute_acd(network, params.epsilon)
+        acd.require_dense()
+        ledger.charge("acd", ACD_ROUNDS)
+    with span("classify", ledger=ledger):
+        classification = classify_cliques(network, acd, delta=delta)
+        ledger.charge("classify", CLASSIFY_ROUNDS)
+    metric_gauge("acd.num_cliques", acd.num_cliques)
+    metric_gauge("classify.hard_cliques", len(classification.hard))
+    metric_gauge("classify.easy_cliques", len(classification.easy))
+    metric_gauge("palette.size", len(palette))
 
     branch = force_branch
     if branch is None:
@@ -129,29 +137,40 @@ def delta_color_randomized(
                 "activation_probability": activation_probability,
                 "max_iterations": 2,
             }
-        shattering = place_t_nodes(
-            network, classification, rng=rng,
-            target_bad_fraction=0.0, ledger=ledger, **placement_kwargs,
-        )
-        stats["shattering"] = shattering.stats
-        for triad in shattering.triads:
-            colors[triad.pair[0]] = 0
-            colors[triad.pair[1]] = 0
+        with span("preshatter", ledger=ledger):
+            shattering = place_t_nodes(
+                network, classification, rng=rng,
+                target_bad_fraction=0.0, ledger=ledger, **placement_kwargs,
+            )
+            stats["shattering"] = shattering.stats
+            for triad in shattering.triads:
+                colors[triad.pair[0]] = 0
+                colors[triad.pair[1]] = 0
 
-        # Slack propagates from the T-nodes through a constant number of
-        # BFS layers over the hard vertices; cliques beyond the horizon
-        # (or cut off once bad cliques are removed — a monotone fixpoint)
-        # form the shattered components.
-        bad_cliques, depths, sub_mapping, fix_iterations = _shattered_cliques(
-            network, classification, shattering.triads, colors,
-            layer_depth=params.loophole_ruling_radius,
-        )
-        ledger.charge(
-            "preshatter/layering-bfs",
-            params.loophole_ruling_radius * max(fix_iterations, 1),
-        )
-        components = _clique_components(network, classification, bad_cliques)
+            # Slack propagates from the T-nodes through a constant number
+            # of BFS layers over the hard vertices; cliques beyond the
+            # horizon (or cut off once bad cliques are removed — a
+            # monotone fixpoint) form the shattered components.
+            bad_cliques, depths, sub_mapping, fix_iterations = (
+                _shattered_cliques(
+                    network, classification, shattering.triads, colors,
+                    layer_depth=params.loophole_ruling_radius,
+                )
+            )
+            ledger.charge(
+                "preshatter/layering-bfs",
+                params.loophole_ruling_radius * max(fix_iterations, 1),
+            )
+            components = _clique_components(
+                network, classification, bad_cliques
+            )
         component_sizes = sorted((len(c) for c in components), reverse=True)
+        metric_gauge("shattering.bad_cliques", len(bad_cliques))
+        metric_gauge("shattering.num_components", len(components))
+        metric_gauge(
+            "shattering.max_component",
+            component_sizes[0] if component_sizes else 0,
+        )
         stats["shattering"]["bad_cliques"] = len(bad_cliques)
         stats["shattering"]["num_components"] = len(components)
         stats["shattering"]["component_sizes"] = component_sizes
@@ -166,46 +185,51 @@ def delta_color_randomized(
         elif branch == "large-delta":
             stats["large_delta_precondition_held"] = True
 
-        worst_component_ledger: RoundLedger | None = None
-        for component in components:
-            component_ledger = RoundLedger()
-            _color_component(
-                network, classification, component, colors, palette,
-                params=params, ledger=component_ledger,
-            )
-            if (
-                worst_component_ledger is None
-                or component_ledger.total_rounds
-                > worst_component_ledger.total_rounds
-            ):
-                worst_component_ledger = component_ledger
-        if worst_component_ledger is not None:
-            # Components are vertex-disjoint and run in parallel in the
-            # LOCAL model: charge the most expensive one.
-            ledger.merge(worst_component_ledger, prefix="post-shattering")
+        with span("post-shattering", ledger=ledger):
+            worst_component_ledger: RoundLedger | None = None
+            for component in components:
+                component_ledger = RoundLedger()
+                _color_component(
+                    network, classification, component, colors, palette,
+                    params=params, ledger=component_ledger,
+                )
+                if (
+                    worst_component_ledger is None
+                    or component_ledger.total_rounds
+                    > worst_component_ledger.total_rounds
+                ):
+                    worst_component_ledger = component_ledger
+            if worst_component_ledger is not None:
+                # Components are vertex-disjoint and run in parallel in
+                # the LOCAL model: charge the most expensive one.
+                ledger.merge(worst_component_ledger, prefix="post-shattering")
 
         # Post-processing: color the T-node layers outermost-first, then
         # the slack vertices (their same-colored pair grants the final
         # unit of slack).
-        _color_layers(
-            network, depths, sub_mapping, colors, palette,
-            ledger=ledger, rng=rng,
-        )
-        hard_vertices = classification.hard_vertices()
-        leftovers = [v for v in sorted(hard_vertices) if colors[v] is None]
-        color_instance(
-            network, leftovers, colors, palette,
-            label="postprocess/slack-vertices", ledger=ledger,
-            deterministic=False, seed=rng.randrange(2 ** 32),
-        )
+        with span("postprocess", ledger=ledger):
+            _color_layers(
+                network, depths, sub_mapping, colors, palette,
+                ledger=ledger, rng=rng,
+            )
+            hard_vertices = classification.hard_vertices()
+            leftovers = [
+                v for v in sorted(hard_vertices) if colors[v] is None
+            ]
+            color_instance(
+                network, leftovers, colors, palette,
+                label="postprocess/slack-vertices", ledger=ledger,
+                deterministic=False, seed=rng.randrange(2 ** 32),
+            )
     else:
         raise ValueError(f"unknown branch {branch!r}")
 
-    stats["easy_phase"] = color_easy_and_loopholes(
-        network, classification, colors, palette,
-        params=params, ledger=ledger, deterministic=False,
-        seed=rng.randrange(2 ** 32),
-    )
+    with span("easy", ledger=ledger):
+        stats["easy_phase"] = color_easy_and_loopholes(
+            network, classification, colors, palette,
+            params=params, ledger=ledger, deterministic=False,
+            seed=rng.randrange(2 ** 32),
+        )
 
     if verify:
         verify_coloring(network, colors, delta)

@@ -28,6 +28,8 @@ from repro.core.matching_phase import BalancedMatching
 from repro.errors import InvariantViolation
 from repro.local.ledger import RoundLedger
 from repro.local.network import Network
+from repro.obs.metrics import metric_count, metric_gauge
+from repro.obs.spans import span
 from repro.subroutines.degree_splitting import iterated_split
 
 #: O(1) LOCAL rounds for the local trim/repair after the split.
@@ -85,14 +87,15 @@ def sparsify_matching(
         a, b = network.uids[tail], network.uids[head]
         edge_uids.append(min(a, b) * id_space + max(a, b))
 
-    split = iterated_split(
-        2 * len(classification.hard),
-        gq_edges,
-        params.split_iterations,
-        epsilon=params.split_epsilon,
-        edge_uids=edge_uids,
-    )
-    ledger.charge("hard/phase2/degree-splitting", split.rounds)
+    with span("hard/phase2/degree-splitting", ledger=ledger):
+        split = iterated_split(
+            2 * len(classification.hard),
+            gq_edges,
+            params.split_iterations,
+            epsilon=params.split_epsilon,
+            edge_uids=edge_uids,
+        )
+        ledger.charge("hard/phase2/degree-splitting", split.rounds)
 
     kept = [i for i, part in enumerate(split.part_of) if part == 0]
     kept_set = set(kept)
@@ -142,7 +145,11 @@ def sparsify_matching(
                     f">= {params.subclique_count}"
                 )
         final.update(chosen)
-    ledger.charge("hard/phase2/repair", REPAIR_ROUNDS)
+    with span("hard/phase2/repair", ledger=ledger):
+        ledger.charge("hard/phase2/repair", REPAIR_ROUNDS)
+    metric_count("phase2.repairs", repairs)
+    metric_count("phase2.trimmed", trimmed)
+    metric_gauge("phase2.f3_size", len(final))
 
     f3 = [balanced.edges[i] for i in sorted(final)]
     bound = incoming_bound(delta, params.epsilon)

@@ -19,6 +19,8 @@ from repro.core.sparsify_phase import SparsifiedMatching, incoming_bound
 from repro.errors import InvariantViolation
 from repro.local.ledger import RoundLedger
 from repro.local.network import Network
+from repro.obs.metrics import metric_gauge
+from repro.obs.spans import span
 
 #: O(1) LOCAL rounds: triads are formed from 1-hop information.
 TRIAD_ROUNDS = 1
@@ -66,30 +68,36 @@ def form_slack_triads(
         outgoing.setdefault(clique_of[tail], []).append((tail, head))
 
     triads: list[SlackTriad] = []
-    for index in sparsified.type1plus:
-        edges = sorted(
-            outgoing.get(index, []), key=lambda e: network.uids[e[0]]
-        )
-        if len(edges) < 2:
-            raise InvariantViolation(
-                f"Type I+ clique {index} has {len(edges)} outgoing F3 "
-                "edges; Lemma 13 guarantees exactly "
-                f"{params.outgoing_kept}"
+    with span("hard/phase3/triads", ledger=ledger):
+        for index in sparsified.type1plus:
+            edges = sorted(
+                outgoing.get(index, []), key=lambda e: network.uids[e[0]]
             )
-        (u, w), (v, _v_prime) = edges[0], edges[1]
-        if w in network.neighbor_set(v):
-            raise InvariantViolation(
-                f"slack pair ({w}, {v}) of clique {index} is adjacent; "
-                "Lemma 9 property 3 (no outside vertex with two neighbors "
-                "in a hard clique) was violated"
-            )
-        if v not in network.neighbor_set(u) or w not in network.neighbor_set(u):
-            raise InvariantViolation(
-                f"triad ({u}, {v}, {w}) of clique {index} is not a triad: "
-                "both pair vertices must neighbor the slack vertex"
-            )
-        triads.append(SlackTriad(clique=index, slack=u, pair=(w, v)))
-    ledger.charge("hard/phase3/triads", TRIAD_ROUNDS)
+            if len(edges) < 2:
+                raise InvariantViolation(
+                    f"Type I+ clique {index} has {len(edges)} outgoing F3 "
+                    "edges; Lemma 13 guarantees exactly "
+                    f"{params.outgoing_kept}"
+                )
+            (u, w), (v, _v_prime) = edges[0], edges[1]
+            if w in network.neighbor_set(v):
+                raise InvariantViolation(
+                    f"slack pair ({w}, {v}) of clique {index} is adjacent; "
+                    "Lemma 9 property 3 (no outside vertex with two "
+                    "neighbors in a hard clique) was violated"
+                )
+            if (
+                v not in network.neighbor_set(u)
+                or w not in network.neighbor_set(u)
+            ):
+                raise InvariantViolation(
+                    f"triad ({u}, {v}, {w}) of clique {index} is not a "
+                    "triad: both pair vertices must neighbor the slack "
+                    "vertex"
+                )
+            triads.append(SlackTriad(clique=index, slack=u, pair=(w, v)))
+        ledger.charge("hard/phase3/triads", TRIAD_ROUNDS)
+    metric_gauge("phase3.num_triads", len(triads))
 
     _verify_disjoint(triads)
 

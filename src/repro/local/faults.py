@@ -290,8 +290,17 @@ def run_with_faults(
         due.sort()
         api.round = rnd
         scheduled = 0
+        # Tracer parity with the fault-free loop: ``delivered`` counts
+        # only messages a live node actually gets to process this round.
+        # A due node whose crash round has arrived is skipped below, so
+        # its inbox must not be counted (drops never enter inboxes and
+        # are excluded by construction, same as the fast path).
         delivered = (
-            sum(len(inboxes[index]) for index in due)
+            sum(
+                len(inboxes[index])
+                for index in due
+                if crash_round[index] > rnd
+            )
             if tracer is not None
             else 0
         )

@@ -12,6 +12,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+def _validate_scale(scale: int, label: str) -> None:
+    """Reject non-positive virtual-round scales at the call site.
+
+    A ``scale <= 0`` would either silently erase a phase's cost
+    (``scale == 0`` sails through :class:`LedgerEntry` validation) or
+    fail deep inside ``LedgerEntry.__post_init__`` with a message that
+    does not say *which* phase was mischarged — so name the label here.
+    """
+    if scale <= 0:
+        raise ValueError(
+            f"virtual-round scale must be positive, got {scale} "
+            f"while charging {label!r}"
+        )
+
+
 @dataclass(frozen=True)
 class LedgerEntry:
     """One charged phase: a label, its LOCAL rounds, and messages sent."""
@@ -44,6 +59,7 @@ class RoundLedger:
 
     def charge_result(self, label: str, result: "RunResult", scale: int = 1) -> None:
         """Charge a simulator :class:`RunResult`, scaling virtual rounds."""
+        _validate_scale(scale, label)
         self.charge(label, result.rounds * scale, result.messages)
 
     @property
@@ -62,6 +78,14 @@ class RoundLedger:
             if entry.label.startswith(label_prefix)
         )
 
+    def messages_for(self, label_prefix: str) -> int:
+        """Total messages of all entries whose label starts with the prefix."""
+        return sum(
+            entry.messages
+            for entry in self.entries
+            if entry.label.startswith(label_prefix)
+        )
+
     def breakdown(self) -> dict[str, int]:
         """Rounds per top-level label (text before the first '/')."""
         table: dict[str, int] = {}
@@ -70,8 +94,26 @@ class RoundLedger:
             table[key] = table.get(key, 0) + entry.rounds
         return table
 
+    def messages_breakdown(self) -> dict[str, int]:
+        """Messages per top-level label (text before the first '/')."""
+        table: dict[str, int] = {}
+        for entry in self.entries:
+            key = entry.label.split("/", 1)[0]
+            table[key] = table.get(key, 0) + entry.messages
+        return table
+
+    def breakdown_full(self) -> dict[str, tuple[int, int]]:
+        """``(rounds, messages)`` per top-level label, in one pass."""
+        table: dict[str, tuple[int, int]] = {}
+        for entry in self.entries:
+            key = entry.label.split("/", 1)[0]
+            rounds, messages = table.get(key, (0, 0))
+            table[key] = (rounds + entry.rounds, messages + entry.messages)
+        return table
+
     def merge(self, other: "RoundLedger", prefix: str = "", scale: int = 1) -> None:
         """Fold another ledger into this one, optionally scaled/prefixed."""
+        _validate_scale(scale, prefix or "<merge>")
         for entry in other.entries:
             label = f"{prefix}/{entry.label}" if prefix else entry.label
             self.charge(label, entry.rounds * scale, entry.messages)

@@ -27,6 +27,7 @@ from repro.errors import RoundLimitExceeded, SimulationError
 from repro.local.algorithm import BROADCAST, Api, DistributedAlgorithm
 from repro.local.node import Node
 from repro.local.result import RunResult
+from repro.obs import _runtime as _obs
 
 #: Default safety cap on simulated rounds.
 DEFAULT_MAX_ROUNDS = 2_000_000
@@ -308,7 +309,30 @@ class Network:
         injected loop in :mod:`repro.local.faults`, and the result then
         additionally carries the fault accounting fields of
         :class:`RunResult`.
+
+        When an observability collector is installed
+        (:func:`repro.obs.observed`), every execution — fast path,
+        fault-injected, or legacy — is reported to it, and a tracer is
+        created automatically when the collector samples rounds.  With
+        no collector installed (the default) this costs one module-global
+        ``is None`` check and the run is bit-identical to the
+        uninstrumented engine.
         """
+        observer = _obs.ACTIVE
+        own_tracer = None
+        if observer is not None and tracer is None and observer.sample_rounds:
+            tracer = own_tracer = observer.new_tracer()
+
+        def _observed(result: RunResult) -> RunResult:
+            if observer is not None:
+                observer.record_run(
+                    self.name,
+                    algorithm.name,
+                    result,
+                    own_tracer.samples if own_tracer is not None else None,
+                )
+            return result
+
         if faults is not None and not faults.is_noop:
             if _FORCE_LEGACY:
                 raise SimulationError(
@@ -317,7 +341,7 @@ class Network:
                 )
             from repro.local.faults import run_with_faults
 
-            return run_with_faults(
+            return _observed(run_with_faults(
                 self,
                 algorithm,
                 faults,
@@ -325,18 +349,18 @@ class Network:
                 measure_bandwidth=measure_bandwidth,
                 bandwidth_limit=bandwidth_limit,
                 tracer=tracer,
-            )
+            ))
         if _FORCE_LEGACY:
             from repro.local.legacy import run_legacy
 
-            return run_legacy(
+            return _observed(run_legacy(
                 self,
                 algorithm,
                 max_rounds=max_rounds,
                 measure_bandwidth=measure_bandwidth,
                 bandwidth_limit=bandwidth_limit,
                 tracer=tracer,
-            )
+            ))
 
         n = self.n
         nodes = self.nodes
@@ -497,11 +521,11 @@ class Network:
             pending = flush_outbox()
             last_activity_round = rnd
 
-        return RunResult(
+        return _observed(RunResult(
             rounds=last_activity_round,
             messages=messages_sent,
             outputs=[node.output for node in nodes],
             halted=[node.halted for node in nodes],
             max_message_words=max_words,
             total_message_words=total_words,
-        )
+        ))

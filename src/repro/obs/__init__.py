@@ -1,0 +1,96 @@
+"""Unified observability: phase spans, metrics, and telemetry export.
+
+The paper's headline claim is a *round-complexity decomposition*
+(Theorem 1 is proved phase-by-phase, Lemma 18 / experiment E7 attribute
+rounds to each phase), and the ROADMAP's production north star needs the
+same thing operationally: a single subsystem that can answer "where did
+this run spend its rounds, messages, and wall time?" for any pipeline,
+any engine run, and any campaign cell.
+
+Three layers, all inert until a collector is installed:
+
+* **Spans** (:func:`span`) — a hierarchical context manager wrapping
+  every pipeline phase.  A span captures wall time and, when linked to
+  a :class:`~repro.local.ledger.RoundLedger`, the base-network rounds
+  and messages charged while it was open; engine runs started inside a
+  span contribute simulated-round/message totals and per-round activity
+  samples (fed from :class:`~repro.local.trace.Tracer`, including the
+  fault-injected loop).
+* **Metrics** (:func:`metric_count`, :func:`metric_gauge`,
+  :func:`metric_observe`) — a process-wide registry of counters, gauges,
+  and histogram summaries for structural quantities (palette sizes,
+  clique counts, HEG iterations, dropped messages, ...).
+* **Exporters** (:mod:`repro.obs.export`) — a JSON telemetry document
+  (schema: ``telemetry.schema.json``), a JSONL event stream, a
+  deterministic campaign-row summary, and a text renderer that prints
+  the phase-breakdown tree with roll-ups matching
+  :meth:`RoundLedger.breakdown`.
+
+Zero-overhead contract
+----------------------
+With no collector installed (the default) every hook compiles down to a
+single module-global ``is None`` check: :func:`span` returns a shared
+no-op singleton (no allocation), the metric functions return
+immediately, and the engine neither creates a tracer nor records runs —
+so the PR-1 hot path and the engine-parity suite stay bit-identical.
+Install a collector with :func:`observed`::
+
+    from repro import obs
+
+    with obs.observed() as collector:
+        result = delta_color_deterministic(network)
+    document = obs.telemetry_document(collector, result=result)
+    print(obs.render_phase_tree(document))
+"""
+
+from repro.obs.collector import (
+    Collector,
+    active_collector,
+    install,
+    observed,
+    uninstall,
+)
+from repro.obs.export import (
+    TELEMETRY_VERSION,
+    events_jsonl,
+    phase_tree,
+    render_phase_tree,
+    telemetry_document,
+    telemetry_summary,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    metric_count,
+    metric_gauge,
+    metric_observe,
+)
+from repro.obs.schema import (
+    load_telemetry_schema,
+    schema_errors,
+    validate_document,
+)
+from repro.obs.spans import NULL_SPAN, SpanRecord, span
+
+__all__ = [
+    "Collector",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "SpanRecord",
+    "TELEMETRY_VERSION",
+    "active_collector",
+    "events_jsonl",
+    "install",
+    "load_telemetry_schema",
+    "metric_count",
+    "metric_gauge",
+    "metric_observe",
+    "observed",
+    "phase_tree",
+    "render_phase_tree",
+    "schema_errors",
+    "span",
+    "telemetry_document",
+    "telemetry_summary",
+    "uninstall",
+    "validate_document",
+]

@@ -1,0 +1,18 @@
+"""The installed-collector slot shared by every observability hook.
+
+Kept in its own leaf module so the hot-path hooks (:func:`span`, the
+metric functions, :meth:`Network.run`) can read one module global with
+no import cycles: :mod:`repro.local.network` imports this module, and
+this module imports nothing from the package.
+"""
+
+from __future__ import annotations
+
+#: The installed collector, or None (the zero-overhead default).
+#: Mutated only by :func:`repro.obs.collector.install` / ``uninstall``.
+ACTIVE = None
+
+
+def active():
+    """The installed :class:`~repro.obs.collector.Collector`, or None."""
+    return ACTIVE

@@ -1,0 +1,275 @@
+"""Exporters: telemetry document, JSONL events, campaign summary, text tree.
+
+The single JSON **telemetry document** is the machine-readable record of
+one observed execution.  Its round decomposition (``phases``) is built
+directly from the :class:`~repro.local.ledger.RoundLedger`, so the
+per-phase totals *always* sum exactly to ``total_rounds`` /
+``total_messages`` and the top level reproduces
+:meth:`RoundLedger.breakdown` — the span tree adds wall time and engine
+activity on top without ever being allowed to disagree with the paper's
+accounting.  The document validates against the checked-in
+``telemetry.schema.json`` (see :mod:`repro.obs.schema`).
+
+:func:`telemetry_summary` is the deterministic subset attached to
+campaign rows: no wall-clock fields, so campaign artifacts stay
+byte-identical across runs and machines (the runner's determinism
+contract).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+from repro.local.ledger import RoundLedger
+from repro.obs.collector import Collector
+from repro.obs.spans import SpanRecord
+
+__all__ = [
+    "TELEMETRY_VERSION",
+    "events_jsonl",
+    "phase_tree",
+    "render_phase_tree",
+    "span_tree",
+    "telemetry_document",
+    "telemetry_summary",
+]
+
+#: Bumped whenever the document shape changes incompatibly.
+TELEMETRY_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Phase tree (from the ledger — the authoritative round decomposition)
+# ----------------------------------------------------------------------
+
+
+def phase_tree(ledger: RoundLedger) -> list[dict[str, Any]]:
+    """Nest the ledger's slash-labelled entries into a phase tree.
+
+    Every node carries the *subtree* totals, so the top level equals
+    ``ledger.breakdown()`` and the node sum equals ``total_rounds``.
+    Repeated labels (e.g. the per-layer ``easy/layer-k`` instances run
+    by several components) aggregate into one node.
+    """
+    roots: list[dict[str, Any]] = []
+    index: dict[str, dict[str, Any]] = {}
+    for entry in ledger.entries:
+        parts = entry.label.split("/")
+        path = ""
+        siblings = roots
+        for part in parts:
+            path = f"{path}/{part}" if path else part
+            node = index.get(path)
+            if node is None:
+                node = index[path] = {
+                    "label": part,
+                    "path": path,
+                    "rounds": 0,
+                    "messages": 0,
+                    "children": [],
+                }
+                siblings.append(node)
+            node["rounds"] += entry.rounds
+            node["messages"] += entry.messages
+            siblings = node["children"]
+    return roots
+
+
+def _phases_flat(ledger: RoundLedger) -> dict[str, dict[str, int]]:
+    """Full-label aggregation: {label: {rounds, messages}} in label order."""
+    flat: dict[str, dict[str, int]] = {}
+    for entry in ledger.entries:
+        node = flat.setdefault(entry.label, {"rounds": 0, "messages": 0})
+        node["rounds"] += entry.rounds
+        node["messages"] += entry.messages
+    return dict(sorted(flat.items()))
+
+
+# ----------------------------------------------------------------------
+# Span tree serialization
+# ----------------------------------------------------------------------
+
+
+def span_tree(record: SpanRecord) -> list[dict[str, Any]]:
+    """Serialize a span record's children as JSON-ready nodes."""
+    return [_span_node(child) for child in record.children]
+
+
+def _span_node(record: SpanRecord) -> dict[str, Any]:
+    node: dict[str, Any] = {
+        "label": record.label,
+        "count": record.count,
+        "wall_seconds": round(record.wall_seconds, 6),
+        "rounds": record.rounds,
+        "messages": record.messages,
+        "scale": record.scale,
+        "runs": record.runs,
+        "sim_rounds": record.sim_rounds,
+        "sim_messages": record.sim_messages,
+        "executed_rounds": record.executed_rounds,
+        "peak_scheduled": record.peak_scheduled,
+        "children": [_span_node(child) for child in record.children],
+    }
+    if record.samples:
+        node["samples"] = [list(sample) for sample in record.samples]
+        node["dropped_samples"] = record.dropped_samples
+    return node
+
+
+# ----------------------------------------------------------------------
+# The telemetry document
+# ----------------------------------------------------------------------
+
+
+def telemetry_document(
+    collector: Collector,
+    *,
+    ledger: RoundLedger | None = None,
+    result=None,
+    context: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Build the JSON telemetry document of one observed execution.
+
+    ``result`` (a :class:`~repro.types.ColoringResult`) supplies the
+    ledger and run context when given; ``ledger`` can be passed alone
+    for engine-level traces; ``context`` adds/overrides context fields
+    (method, seed, instance description, ...).
+    """
+    if ledger is None and result is not None:
+        ledger = result.ledger
+    if ledger is None:
+        ledger = RoundLedger()
+    doc_context: dict[str, Any] = {}
+    if result is not None:
+        doc_context["algorithm"] = result.algorithm
+        for key in ("n", "delta"):
+            if key in result.stats:
+                doc_context[key] = result.stats[key]
+        doc_context["num_colors"] = result.num_colors
+    if context:
+        doc_context.update(context)
+    return {
+        "version": TELEMETRY_VERSION,
+        "context": doc_context,
+        "total_rounds": ledger.total_rounds,
+        "total_messages": ledger.total_messages,
+        "breakdown": ledger.breakdown(),
+        "messages_breakdown": ledger.messages_breakdown(),
+        "phases": phase_tree(ledger),
+        "spans": span_tree(collector.root),
+        "metrics": collector.registry.as_dict(),
+        "engine": {
+            "runs": collector.total_runs,
+            "sim_rounds": collector.total_sim_rounds,
+            "sim_messages": collector.total_sim_messages,
+        },
+    }
+
+
+def telemetry_summary(
+    collector: Collector, ledger: RoundLedger
+) -> dict[str, Any]:
+    """Deterministic per-cell summary for campaign artifact rows.
+
+    Strictly wall-clock-free: phase rounds/messages by full label, the
+    top-level breakdowns, and the metrics registry — all pure functions
+    of the cell, preserving byte-identical campaign artifacts.
+    """
+    return {
+        "total_rounds": ledger.total_rounds,
+        "total_messages": ledger.total_messages,
+        "breakdown": ledger.breakdown(),
+        "messages_breakdown": ledger.messages_breakdown(),
+        "phases": _phases_flat(ledger),
+        "metrics": collector.registry.as_dict(),
+    }
+
+
+# ----------------------------------------------------------------------
+# JSONL event stream
+# ----------------------------------------------------------------------
+
+
+def events_jsonl(collector: Collector) -> Iterator[str]:
+    """Yield the observed execution as a JSONL event stream.
+
+    One ``begin`` header, the raw span/run events in wall-clock order
+    (requires the collector to have been built with
+    ``record_events=True``), a ``metrics`` snapshot, and an ``end``
+    trailer with the engine totals.
+    """
+    yield json.dumps({"event": "begin", "version": TELEMETRY_VERSION})
+    for event in collector.events:
+        yield json.dumps(event, separators=(",", ":"))
+    if not collector.registry.is_empty:
+        yield json.dumps(
+            {"event": "metrics", **collector.registry.as_dict()},
+            separators=(",", ":"),
+        )
+    yield json.dumps(
+        {
+            "event": "end",
+            "runs": collector.total_runs,
+            "sim_rounds": collector.total_sim_rounds,
+            "sim_messages": collector.total_sim_messages,
+        },
+        separators=(",", ":"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Text renderer
+# ----------------------------------------------------------------------
+
+
+def _wall_by_path(nodes: list[dict[str, Any]], table: dict[str, float]) -> None:
+    for node in nodes:
+        table[node["label"]] = table.get(node["label"], 0.0) + node["wall_seconds"]
+        _wall_by_path(node["children"], table)
+
+
+def render_phase_tree(document: dict[str, Any]) -> str:
+    """Render the document's phase tree as aligned text.
+
+    Rounds and messages come from the ledger-backed phase tree (so the
+    printed roll-ups match ``RoundLedger.breakdown()`` exactly); wall
+    time is joined on from the span tree wherever a span used the same
+    absolute label.
+    """
+    wall: dict[str, float] = {}
+    _wall_by_path(document["spans"], wall)
+
+    label_width = 46
+    lines = []
+    context = document.get("context", {})
+    header = context.get("algorithm", "run")
+    extras = [
+        f"{key}={context[key]}" for key in ("n", "delta") if key in context
+    ]
+    if extras:
+        header += f" ({', '.join(extras)})"
+    lines.append(header)
+    lines.append(
+        f"{'phase':<{label_width}} {'rounds':>8} {'messages':>10}  wall"
+    )
+
+    def emit(nodes: list[dict[str, Any]], prefix: str) -> None:
+        for position, node in enumerate(nodes):
+            last = position == len(nodes) - 1
+            branch = "└─ " if last else "├─ "
+            name = f"{prefix}{branch}{node['label']}"
+            wall_s = wall.get(node["path"])
+            wall_text = f"{wall_s:8.3f}s" if wall_s is not None else ""
+            lines.append(
+                f"{name:<{label_width}} {node['rounds']:>8} "
+                f"{node['messages']:>10}  {wall_text}".rstrip()
+            )
+            emit(node["children"], prefix + ("   " if last else "│  "))
+
+    emit(document["phases"], "")
+    lines.append(
+        f"{'TOTAL':<{label_width}} {document['total_rounds']:>8} "
+        f"{document['total_messages']:>10}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Process-wide metrics registry: counters, gauges, histogram summaries.
+
+Structural quantities that are not rounds (palette sizes, clique counts
+by type, HEG iterations, dropped-message counts, instance sizes) are
+reported through three module-level functions::
+
+    metric_count("heg.iterations")              # counter += 1
+    metric_gauge("acd.num_cliques", 34)         # last-value gauge
+    metric_observe("instance.size", len(v))     # histogram summary
+
+All three are inert without an installed collector: a single module
+global ``is None`` check, no allocation, no dict lookup — so leaving
+the calls in hot-ish library code costs nothing in production runs.
+
+Histograms are stored as deterministic summaries (count / total / min /
+max), not reservoirs, so campaign telemetry stays byte-identical across
+runs and machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs import _runtime
+
+__all__ = [
+    "HistogramSummary",
+    "MetricsRegistry",
+    "metric_count",
+    "metric_gauge",
+    "metric_observe",
+]
+
+
+@dataclass
+class HistogramSummary:
+    """Deterministic summary of an observed distribution."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def as_dict(self) -> dict[str, float]:
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": mean,
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Counters, gauges, and histogram summaries keyed by metric name."""
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, HistogramSummary] = field(default_factory=dict)
+
+    def count(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        summary = self.histograms.get(name)
+        if summary is None:
+            summary = self.histograms[name] = HistogramSummary()
+        summary.observe(value)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: summary.as_dict()
+                for name, summary in sorted(self.histograms.items())
+            },
+        }
+
+
+def metric_count(name: str, value: float = 1) -> None:
+    """Increment a counter (no-op without an installed collector)."""
+    collector = _runtime.ACTIVE
+    if collector is not None:
+        collector.registry.count(name, value)
+
+
+def metric_gauge(name: str, value: float) -> None:
+    """Set a last-value gauge (no-op without an installed collector)."""
+    collector = _runtime.ACTIVE
+    if collector is not None:
+        collector.registry.gauge(name, value)
+
+
+def metric_observe(name: str, value: float) -> None:
+    """Add one histogram observation (no-op without a collector)."""
+    collector = _runtime.ACTIVE
+    if collector is not None:
+        collector.registry.observe(name, value)

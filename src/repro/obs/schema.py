@@ -1,0 +1,145 @@
+"""Telemetry-document schema validation (dependency-free).
+
+The container deliberately carries no ``jsonschema`` package, so this
+module implements the small JSON-Schema subset the checked-in
+``telemetry.schema.json`` actually uses — ``type``, ``required``,
+``properties``, ``additionalProperties`` (as a schema), ``items``,
+``enum``, ``minimum``, and ``$ref`` into ``$defs`` — plus the semantic
+invariant a structural schema cannot express: the top-level phase
+rounds/messages must sum *exactly* to the document totals (which in
+turn equal ``RoundLedger.total_rounds`` / ``total_messages``).
+
+Used by the ``make trace`` smoke target (via
+``scripts/check_telemetry.py``), CI, and the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = ["load_telemetry_schema", "schema_errors", "validate_document"]
+
+_SCHEMA_PATH = Path(__file__).resolve().parent / "telemetry.schema.json"
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def load_telemetry_schema() -> dict[str, Any]:
+    """The checked-in telemetry document schema."""
+    return json.loads(_SCHEMA_PATH.read_text())
+
+
+def _type_ok(value: Any, expected: str) -> bool:
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return (
+            isinstance(value, (int, float)) and not isinstance(value, bool)
+        )
+    return isinstance(value, _TYPES[expected])
+
+
+def _resolve(schema: dict[str, Any], root: dict[str, Any]) -> dict[str, Any]:
+    ref = schema.get("$ref")
+    if ref is None:
+        return schema
+    if not ref.startswith("#/"):
+        raise ValueError(f"unsupported $ref {ref!r} (only local refs)")
+    node: Any = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def _check(
+    value: Any,
+    schema: dict[str, Any],
+    root: dict[str, Any],
+    path: str,
+    errors: list[str],
+) -> None:
+    schema = _resolve(schema, root)
+    expected = schema.get("type")
+    if expected is not None and not _type_ok(value, expected):
+        errors.append(
+            f"{path or '$'}: expected {expected}, "
+            f"got {type(value).__name__}"
+        )
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path or '$'}: {value!r} not in {schema['enum']}")
+    minimum = schema.get("minimum")
+    if minimum is not None and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < minimum:
+        errors.append(f"{path or '$'}: {value} < minimum {minimum}")
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                errors.append(f"{path or '$'}: missing required key {name!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties")
+        for key, item in value.items():
+            key_path = f"{path}.{key}" if path else key
+            if key in properties:
+                _check(item, properties[key], root, key_path, errors)
+            elif isinstance(additional, dict):
+                _check(item, additional, root, key_path, errors)
+    elif isinstance(value, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, item in enumerate(value):
+                _check(item, items, root, f"{path}[{i}]", errors)
+
+
+def schema_errors(
+    document: Any, schema: dict[str, Any] | None = None
+) -> list[str]:
+    """Structural schema violations (empty list = valid)."""
+    if schema is None:
+        schema = load_telemetry_schema()
+    errors: list[str] = []
+    _check(document, schema, schema, "", errors)
+    return errors
+
+
+def _consistency_errors(document: dict[str, Any]) -> list[str]:
+    errors: list[str] = []
+    for field, key in (("rounds", "total_rounds"),
+                       ("messages", "total_messages")):
+        top_sum = sum(node[field] for node in document["phases"])
+        if top_sum != document[key]:
+            errors.append(
+                f"phase {field} sum {top_sum} != {key} {document[key]}"
+            )
+    for field in ("rounds", "messages"):
+        breakdown_key = "breakdown" if field == "rounds" else "messages_breakdown"
+        by_label = {
+            node["label"]: node[field] for node in document["phases"]
+        }
+        if by_label != document[breakdown_key]:
+            errors.append(
+                f"top-level phase {field} disagree with {breakdown_key}: "
+                f"{by_label} != {document[breakdown_key]}"
+            )
+    return errors
+
+
+def validate_document(
+    document: Any, schema: dict[str, Any] | None = None
+) -> None:
+    """Raise ``ValueError`` listing every schema/consistency violation."""
+    errors = schema_errors(document, schema)
+    if not errors and isinstance(document, dict):
+        errors = _consistency_errors(document)
+    if errors:
+        raise ValueError(
+            "telemetry document is invalid:\n  " + "\n  ".join(errors)
+        )

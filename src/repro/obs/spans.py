@@ -1,0 +1,158 @@
+"""Hierarchical phase spans.
+
+A span wraps one pipeline phase::
+
+    with span("hard/phase2/degree-splitting", ledger=ledger):
+        ...
+
+Span labels are *absolute* slash-paths mirroring the
+:class:`~repro.local.ledger.RoundLedger` label namespace (the Lemma 18
+phase names), so the exporters can join wall-clock time onto the round
+decomposition without guessing.  Nesting is still tracked dynamically:
+a span opened inside another becomes its child in the collector's span
+tree, and sibling spans with the same label (e.g. the per-component
+phases of the randomized algorithm's post-shattering loop) merge into
+one record with accumulated totals.
+
+When a ``ledger`` is passed, the span attributes to itself every ledger
+entry charged between enter and exit — base-network rounds and
+messages — which is what ties the wall-time tree to the paper's round
+accounting.  Engine runs executed while a span is open are recorded
+onto it by the collector (see :meth:`Collector.record_run`).
+
+With no collector installed, :func:`span` returns the shared
+:data:`NULL_SPAN` singleton: no object is allocated and enter/exit are
+no-ops, preserving the engine hot path bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.obs import _runtime
+
+__all__ = ["NULL_SPAN", "SpanRecord", "span"]
+
+
+@dataclass
+class SpanRecord:
+    """Aggregated observations of one span label at one tree position.
+
+    Attributes
+    ----------
+    label:
+        Absolute slash-path phase label (ledger namespace).
+    count:
+        How many times the span was entered at this position (sibling
+        spans with equal labels merge).
+    wall_seconds:
+        Total wall-clock time spent inside the span.
+    rounds / messages:
+        Base-network rounds and messages charged to the linked ledger
+        while the span was open (inclusive of child spans that share
+        the ledger); 0 when the span was never linked.
+    scale:
+        Virtual-round scale of the phase (base rounds simulated per
+        virtual round); 1 for phases on the base network.
+    runs / sim_rounds / sim_messages:
+        Engine executions started while this span was innermost, with
+        their summed simulated rounds and sent messages.
+    executed_rounds / peak_scheduled:
+        Per-round activity aggregates fed from the engine tracer (only
+        populated when the collector samples rounds).
+    samples:
+        Raw ``(round, scheduled, delivered, halted_total)`` tuples when
+        the collector keeps samples, capped at its ``max_samples``.
+    dropped_samples:
+        Samples discarded by the cap.
+    children:
+        Child spans in entry order.
+    """
+
+    label: str
+    count: int = 0
+    wall_seconds: float = 0.0
+    rounds: int = 0
+    messages: int = 0
+    scale: int = 1
+    runs: int = 0
+    sim_rounds: int = 0
+    sim_messages: int = 0
+    executed_rounds: int = 0
+    peak_scheduled: int = 0
+    samples: list[tuple[int, int, int, int]] = field(default_factory=list)
+    dropped_samples: int = 0
+    children: list["SpanRecord"] = field(default_factory=list)
+
+    def child(self, label: str) -> "SpanRecord | None":
+        for record in self.children:
+            if record.label == label:
+                return record
+        return None
+
+
+class _NullSpan:
+    """Shared no-op span: the disabled-collector fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+#: The singleton returned by :func:`span` when no collector is active.
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Live span bound to an installed collector (context manager)."""
+
+    __slots__ = ("_collector", "_ledger", "_record", "_start_entry", "_t0")
+
+    def __init__(self, collector, label: str, ledger, scale: int):
+        self._collector = collector
+        self._ledger = ledger
+        self._record = collector._enter_span(label, scale)
+        self._start_entry = 0
+        self._t0 = 0.0
+
+    def __enter__(self) -> SpanRecord:
+        if self._ledger is not None:
+            self._start_entry = len(self._ledger.entries)
+        self._t0 = time.perf_counter()
+        return self._record
+
+    def __exit__(self, *exc_info) -> None:
+        record = self._record
+        record.wall_seconds += time.perf_counter() - self._t0
+        if self._ledger is not None:
+            for entry in self._ledger.entries[self._start_entry:]:
+                record.rounds += entry.rounds
+                record.messages += entry.messages
+        self._collector._exit_span(record)
+
+
+def span(label: str, *, ledger=None, scale: int = 1):
+    """Open a phase span; a no-op singleton when no collector is active.
+
+    Parameters
+    ----------
+    label:
+        Absolute slash-path phase label (use the ledger label namespace).
+    ledger:
+        When given, ledger entries charged while the span is open are
+        attributed to it (rounds + messages, inclusive of nested spans
+        charging the same ledger).
+    scale:
+        Virtual-round scale of the phase, recorded for the telemetry
+        document (purely informational; rounds fed from the ledger are
+        already base rounds).
+    """
+    collector = _runtime.ACTIVE
+    if collector is None:
+        return NULL_SPAN
+    return _Span(collector, label, ledger, scale)

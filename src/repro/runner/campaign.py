@@ -62,6 +62,7 @@ import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Sequence
@@ -132,6 +133,8 @@ class CampaignCell:
     method: str = "randomized"      # "randomized" | "deterministic" | "general"
     seed: int | None = None
     options: tuple[tuple[str, Any], ...] = ()
+    #: Attach a deterministic ``repro.obs`` telemetry summary to the row.
+    telemetry: bool = False
 
     def option_dict(self) -> dict[str, Any]:
         return dict(self.options)
@@ -176,33 +179,45 @@ def run_cell(cell: CampaignCell) -> dict[str, Any]:
     from repro.core.deterministic import delta_color_deterministic
     from repro.core.randomized import delta_color_randomized
     from repro.core.sparse import delta_color_general
+    from repro.obs import Collector, observed, telemetry_summary
 
     instance = _build_instance(cell)
     params = bench_params(cell.epsilon)
     options = cell.option_dict()
-    if cell.method == "randomized":
-        acd = workload_acd(
-            cell.num_cliques, cell.delta, cell.epsilon, cell.graph_seed,
-            cell.easy_fraction,
-        )
-        result = delta_color_randomized(
-            instance.network, params=params, acd=acd, seed=cell.seed,
-            **options,
-        )
-    elif cell.method == "deterministic":
-        acd = workload_acd(
-            cell.num_cliques, cell.delta, cell.epsilon, cell.graph_seed,
-            cell.easy_fraction,
-        )
-        result = delta_color_deterministic(
-            instance.network, params=params, acd=acd, **options
-        )
-    elif cell.method == "general":
-        result = delta_color_general(
-            instance.network, params=params, seed=cell.seed, **options
-        )
-    else:
-        raise ReproError(f"unknown campaign method {cell.method!r}")
+    # The telemetry collector samples no rounds and records no events:
+    # the summary attached to the row must stay a pure function of the
+    # cell (no wall-clock, no allocation-order noise) to preserve the
+    # byte-identical-artifacts contract above.
+    collector = (
+        Collector(sample_rounds=False) if cell.telemetry else None
+    )
+    context = (
+        observed(collector) if collector is not None else nullcontext()
+    )
+    with context:
+        if cell.method == "randomized":
+            acd = workload_acd(
+                cell.num_cliques, cell.delta, cell.epsilon, cell.graph_seed,
+                cell.easy_fraction,
+            )
+            result = delta_color_randomized(
+                instance.network, params=params, acd=acd, seed=cell.seed,
+                **options,
+            )
+        elif cell.method == "deterministic":
+            acd = workload_acd(
+                cell.num_cliques, cell.delta, cell.epsilon, cell.graph_seed,
+                cell.easy_fraction,
+            )
+            result = delta_color_deterministic(
+                instance.network, params=params, acd=acd, **options
+            )
+        elif cell.method == "general":
+            result = delta_color_general(
+                instance.network, params=params, seed=cell.seed, **options
+            )
+        else:
+            raise ReproError(f"unknown campaign method {cell.method!r}")
 
     row: dict[str, Any] = {
         "label": cell.label,
@@ -216,6 +231,8 @@ def run_cell(cell: CampaignCell) -> dict[str, Any]:
     }
     if "shattering" in result.stats:
         row["shattering"] = result.stats["shattering"]
+    if collector is not None:
+        row["telemetry"] = telemetry_summary(collector, result.ledger)
     return row
 
 
@@ -316,6 +333,7 @@ def run_campaign(
     checkpoint: str | Path | None = None,
     resume: str | Path | None = None,
     cell_runner: Callable[[CampaignCell], dict[str, Any]] | None = None,
+    telemetry: bool = False,
 ) -> CampaignResult:
     """Run every cell; fan out over a process pool when ``jobs > 1``.
 
@@ -359,6 +377,11 @@ def run_campaign(
         Override for :func:`run_cell` (must be a picklable module-level
         callable).  Exists for the chaos test-suite, which needs workers
         that crash, hang, or fail on demand.
+    telemetry:
+        When True, every cell runs with ``telemetry=True`` so its row
+        carries a deterministic ``repro.obs`` phase/metrics summary
+        (see :func:`repro.obs.telemetry_summary`); report builders use
+        it for E7-style round-decomposition tables.
 
     Raises
     ------
@@ -371,6 +394,11 @@ def run_campaign(
         else replace(cell, seed=derive_cell_seed(base_seed, index, cell.label))
         for index, cell in enumerate(cells)
     ]
+    if telemetry:
+        resolved = [
+            cell if cell.telemetry else replace(cell, telemetry=True)
+            for cell in resolved
+        ]
     report = (
         _default_progress if progress is True
         else progress if callable(progress)

@@ -322,6 +322,64 @@ class TestEngineIntegration:
         assert tracer.samples  # per-round samples were recorded
 
 
+class TestTracerParity:
+    """The fault loop's tracer must account like the fault-free loop:
+    crashed nodes are never counted as scheduled, and dropped messages
+    never count as delivered."""
+
+    def test_harmless_plan_samples_match_hot_path(self):
+        # A crash scheduled far beyond the run forces the fault loop
+        # without injecting anything; its samples must be bit-identical
+        # to the fault-free loop's.
+        network = path_network(6)
+        plain = Tracer()
+        network.run(Flood(), tracer=plain)
+        forced = Tracer()
+        network.run(
+            Flood(), tracer=forced,
+            faults=FaultPlan(crashes=((0, 10 ** 6),)),
+        )
+        assert forced.samples == plain.samples
+
+    def test_crashed_node_never_scheduled(self):
+        # Flood on a path reaches node i in round i; node 3 crashes at
+        # round 2, so only nodes 1 and 2 ever execute a round.
+        network = path_network(6)
+        tracer = Tracer()
+        network.run(
+            Flood(), tracer=tracer, faults=FaultPlan(crashes=((3, 2),))
+        )
+        assert sum(s.scheduled for s in tracer.samples) == 2
+
+    def test_crashed_node_inbox_not_counted_as_delivered(self):
+        # Node 2 crashes exactly when the flood token would reach it:
+        # the token is dropped at delivery time (node 0's copy is a
+        # silent halted-node drop), so the only delivery the samples may
+        # count is node 1's token in round 1.
+        network = path_network(4)
+        tracer = Tracer()
+        result = network.run(
+            Flood(), tracer=tracer, faults=FaultPlan(crashes=((2, 2),))
+        )
+        assert result.messages == 3
+        assert result.dropped_messages == 1
+        assert sum(s.delivered for s in tracer.samples) == 1
+        assert sum(s.scheduled for s in tracer.samples) == 1
+
+    def test_dropped_messages_excluded_from_delivered(self):
+        # Gossip nodes halt only at the horizon and never send to halted
+        # nodes, so delivered must equal sent minus dropped exactly.
+        network = random_network(12, 30, seed=3)
+        tracer = Tracer()
+        result = network.run(
+            Gossip(horizon=4), tracer=tracer,
+            faults=FaultPlan(seed=1, drop_probability=0.4),
+        )
+        assert result.dropped_messages > 0
+        delivered = sum(s.delivered for s in tracer.samples)
+        assert delivered == result.messages - result.dropped_messages
+
+
 class TestGracefulDegradation:
     def triangle(self) -> Network:
         return Network.from_edges(3, [(0, 1), (1, 2), (0, 2)])

@@ -52,3 +52,78 @@ class TestLedger:
         ledger = RoundLedger()
         assert ledger.total_rounds == 0
         assert ledger.breakdown() == {}
+
+    def test_messages_for_prefix(self):
+        ledger = RoundLedger()
+        ledger.charge("hard/phase1/mm", 3, 10)
+        ledger.charge("hard/phase1/heg", 4, 20)
+        ledger.charge("hard/phase2/split", 5, 40)
+        ledger.charge("easy/layer-1", 2, 80)
+        assert ledger.messages_for("hard/phase1") == 30
+        assert ledger.messages_for("hard") == 70
+        assert ledger.messages_for("nope") == 0
+
+    def test_messages_breakdown_groups_by_top_level_label(self):
+        ledger = RoundLedger()
+        ledger.charge("hard/phase1/mm", 3, 10)
+        ledger.charge("hard/phase2/split", 4, 5)
+        ledger.charge("easy/layer-1", 2, 7)
+        ledger.charge("acd", 6)
+        assert ledger.messages_breakdown() == {
+            "hard": 15, "easy": 7, "acd": 0,
+        }
+
+    def test_messages_breakdown_totals_match(self):
+        ledger = RoundLedger()
+        ledger.charge("a/x", 1, 3)
+        ledger.charge("a/y", 2, 4)
+        ledger.charge("b", 3, 5)
+        assert (
+            sum(ledger.messages_breakdown().values())
+            == ledger.total_messages
+        )
+        assert sum(ledger.breakdown().values()) == ledger.total_rounds
+
+    def test_breakdown_full_pairs_rounds_and_messages(self):
+        ledger = RoundLedger()
+        ledger.charge("hard/phase1/mm", 3, 10)
+        ledger.charge("hard/phase2/split", 4, 5)
+        ledger.charge("easy", 2, 7)
+        assert ledger.breakdown_full() == {
+            "hard": (7, 15), "easy": (2, 7),
+        }
+
+
+class TestScaleValidation:
+    @pytest.mark.parametrize("scale", [0, -1, -7])
+    def test_charge_result_rejects_nonpositive_scale(self, scale):
+        ledger = RoundLedger()
+        result = RunResult(rounds=4, messages=9, outputs=[])
+        with pytest.raises(ValueError, match="virtual"):
+            ledger.charge_result("virtual-phase", result, scale=scale)
+
+    def test_charge_result_error_names_the_label(self):
+        ledger = RoundLedger()
+        result = RunResult(rounds=4, messages=9, outputs=[])
+        with pytest.raises(ValueError, match="hard/phase1/heg"):
+            ledger.charge_result("hard/phase1/heg", result, scale=0)
+
+    @pytest.mark.parametrize("scale", [0, -2])
+    def test_merge_rejects_nonpositive_scale(self, scale):
+        inner = RoundLedger()
+        inner.charge("mm", 2, 5)
+        outer = RoundLedger()
+        with pytest.raises(ValueError, match="component"):
+            outer.merge(inner, prefix="component", scale=scale)
+
+    def test_merge_error_without_prefix_uses_placeholder(self):
+        outer = RoundLedger()
+        with pytest.raises(ValueError, match="<merge>"):
+            outer.merge(RoundLedger(), scale=0)
+
+    def test_nothing_charged_on_rejection(self):
+        ledger = RoundLedger()
+        result = RunResult(rounds=4, messages=9, outputs=[])
+        with pytest.raises(ValueError):
+            ledger.charge_result("x", result, scale=0)
+        assert ledger.entries == []

@@ -1,0 +1,497 @@
+"""Tests for the repro.obs observability subsystem.
+
+Covers the span API (nesting, sibling merging, ledger attribution), the
+metrics registry, the zero-overhead disabled path (no collector ->
+no allocation, shared null-span singleton, untouched engine runs), the
+telemetry document + schema validation, the exporters, campaign
+telemetry summaries, and the ``repro trace`` CLI command.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.local import Network, RoundLedger
+from repro.obs import (
+    NULL_SPAN,
+    Collector,
+    MetricsRegistry,
+    active_collector,
+    events_jsonl,
+    install,
+    metric_count,
+    metric_gauge,
+    metric_observe,
+    observed,
+    phase_tree,
+    render_phase_tree,
+    schema_errors,
+    span,
+    telemetry_document,
+    telemetry_summary,
+    uninstall,
+    validate_document,
+)
+from repro.obs import _runtime
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_collector():
+    """Every test starts and ends with observability disabled."""
+    uninstall()
+    yield
+    uninstall()
+
+
+def flood_network(n: int = 5) -> Network:
+    return Network.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def run_flood(network: Network):
+    from tests.test_local_network import Flood
+
+    return network.run(Flood())
+
+
+class TestSpans:
+    def test_disabled_span_is_the_shared_singleton(self):
+        assert span("anything") is NULL_SPAN
+        assert span("other", ledger=RoundLedger(), scale=3) is NULL_SPAN
+        with span("scoped") as record:
+            assert record is NULL_SPAN
+
+    def test_span_tree_nesting(self):
+        with observed() as collector:
+            with span("outer"):
+                with span("outer/inner"):
+                    pass
+                with span("outer/other"):
+                    pass
+        roots = collector.root.children
+        assert [r.label for r in roots] == ["outer"]
+        assert [c.label for c in roots[0].children] == [
+            "outer/inner", "outer/other",
+        ]
+
+    def test_sibling_spans_with_equal_labels_merge(self):
+        with observed() as collector:
+            for _ in range(3):
+                with span("phase"):
+                    pass
+        (record,) = collector.root.children
+        assert record.count == 3
+
+    def test_ledger_attribution(self):
+        ledger = RoundLedger()
+        with observed() as collector:
+            ledger.charge("before", 100, 7)  # outside: not attributed
+            with span("hard", ledger=ledger):
+                ledger.charge("hard/phase1", 5, 10)
+                ledger.charge("hard/phase2", 6, 20)
+        (record,) = collector.root.children
+        assert record.rounds == 11
+        assert record.messages == 30
+
+    def test_nested_ledger_attribution_is_inclusive(self):
+        ledger = RoundLedger()
+        with observed() as collector:
+            with span("hard", ledger=ledger):
+                with span("hard/phase1", ledger=ledger):
+                    ledger.charge("hard/phase1", 5, 10)
+        outer = collector.root.children[0]
+        inner = outer.children[0]
+        assert inner.rounds == 5
+        assert outer.rounds == 5  # parent includes the child's charges
+
+    def test_span_records_wall_time_and_scale(self):
+        with observed() as collector:
+            with span("scaled", scale=7):
+                pass
+        (record,) = collector.root.children
+        assert record.scale == 7
+        assert record.wall_seconds >= 0.0
+
+    def test_span_stack_unwinds_on_exception(self):
+        with observed() as collector:
+            with pytest.raises(RuntimeError, match="boom"):
+                with span("failing"):
+                    raise RuntimeError("boom")
+            assert collector.current_span is collector.root
+
+
+class TestMetrics:
+    def test_disabled_metrics_are_noops(self):
+        metric_count("c")
+        metric_gauge("g", 5)
+        metric_observe("h", 1.5)
+        assert active_collector() is None
+
+    def test_counter_gauge_histogram(self):
+        with observed() as collector:
+            metric_count("c")
+            metric_count("c", 4)
+            metric_gauge("g", 5)
+            metric_gauge("g", 9)
+            metric_observe("h", 2)
+            metric_observe("h", 6)
+        table = collector.registry.as_dict()
+        assert table["counters"] == {"c": 5}
+        assert table["gauges"] == {"g": 9}
+        assert table["histograms"]["h"] == {
+            "count": 2, "total": 8.0, "min": 2, "max": 6, "mean": 4.0,
+        }
+
+    def test_empty_registry(self):
+        registry = MetricsRegistry()
+        assert registry.is_empty
+        assert registry.as_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
+class TestZeroOverheadDisabled:
+    def test_no_tracer_allocated_without_collector(self, monkeypatch):
+        from repro.local import trace
+
+        instantiated = []
+        original = trace.Tracer.__init__
+
+        def counting(self, *args, **kwargs):
+            instantiated.append(self)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(trace.Tracer, "__init__", counting)
+        run_flood(flood_network())
+        assert instantiated == []
+
+    def test_run_results_identical_with_and_without_collector(self):
+        baseline = run_flood(flood_network())
+        with observed():
+            observed_result = run_flood(flood_network())
+        assert observed_result == baseline
+
+    def test_no_samples_stored_unless_requested(self):
+        with observed(keep_samples=False) as collector:
+            with span("run"):
+                run_flood(flood_network())
+        (record,) = collector.root.children
+        assert record.samples == []
+        assert record.executed_rounds > 0  # aggregates still flow
+
+    def test_sample_rounds_off_skips_tracers_entirely(self, monkeypatch):
+        from repro.local import trace
+
+        instantiated = []
+        original = trace.Tracer.__init__
+
+        def counting(self, *args, **kwargs):
+            instantiated.append(self)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(trace.Tracer, "__init__", counting)
+        with observed(sample_rounds=False):
+            run_flood(flood_network())
+        assert instantiated == []
+
+
+class TestCollector:
+    def test_engine_runs_attach_to_innermost_span(self):
+        with observed() as collector:
+            with span("outer"):
+                with span("outer/inner"):
+                    result = run_flood(flood_network())
+        inner = collector.root.children[0].children[0]
+        assert inner.runs == 1
+        assert inner.sim_rounds == result.rounds
+        assert inner.sim_messages == result.messages
+        assert collector.total_runs == 1
+
+    def test_caller_supplied_tracer_not_double_counted(self):
+        from repro.local import Tracer
+        from tests.test_local_network import Flood
+
+        tracer = Tracer()
+        with observed() as collector:
+            flood_network().run(Flood(), tracer=tracer)
+        assert collector.root.runs == 1
+        assert collector.root.executed_rounds == 0  # caller owns samples
+        assert tracer.samples
+
+    def test_keep_samples_caps_at_max(self):
+        with observed(keep_samples=True, max_samples=2) as collector:
+            with span("run"):
+                run_flood(flood_network(6))
+        (record,) = collector.root.children
+        assert len(record.samples) == 2
+        assert record.dropped_samples > 0
+
+    def test_install_uninstall(self):
+        collector = install()
+        assert active_collector() is collector
+        uninstall()
+        assert active_collector() is None
+
+    def test_observed_restores_previous_collector(self):
+        outer = install()
+        with observed() as inner:
+            assert active_collector() is inner
+        assert active_collector() is outer
+
+    def test_fault_metrics_recorded(self):
+        from repro.local import FaultPlan
+        from tests.test_local_network import Flood
+
+        with observed() as collector:
+            flood_network().run(
+                Flood(), faults=FaultPlan(crashes=((2, 1),))
+            )
+        counters = collector.registry.as_dict()["counters"]
+        assert counters["engine.crashed_nodes"] == 1
+        assert counters["engine.dropped_messages"] >= 1
+
+
+class TestExport:
+    def coloring_document(self):
+        from repro.constants import AlgorithmParameters
+        from repro.core.deterministic import delta_color_deterministic
+        from repro.graphs import mixed_dense_graph
+
+        instance = mixed_dense_graph(34, 16, easy_fraction=0.3, seed=5)
+        with observed(record_events=True) as collector:
+            result = delta_color_deterministic(
+                instance.network, params=AlgorithmParameters(epsilon=0.25)
+            )
+        return collector, result
+
+    def test_phase_tree_sums_to_ledger_totals(self):
+        ledger = RoundLedger()
+        ledger.charge("hard/phase1/mm", 3, 10)
+        ledger.charge("hard/phase1/heg", 4, 20)
+        ledger.charge("hard/phase2/split", 5, 0)
+        ledger.charge("easy", 2, 7)
+        roots = phase_tree(ledger)
+        assert {n["label"]: n["rounds"] for n in roots} == ledger.breakdown()
+        assert sum(n["rounds"] for n in roots) == ledger.total_rounds
+        assert sum(n["messages"] for n in roots) == ledger.total_messages
+        hard = next(n for n in roots if n["label"] == "hard")
+        phase1 = next(
+            c for c in hard["children"] if c["label"] == "phase1"
+        )
+        assert phase1["rounds"] == 7
+        assert phase1["path"] == "hard/phase1"
+
+    def test_document_validates_and_sums(self):
+        collector, result = self.coloring_document()
+        document = telemetry_document(collector, result=result)
+        validate_document(document)
+        assert document["total_rounds"] == result.ledger.total_rounds
+        assert (
+            sum(node["rounds"] for node in document["phases"])
+            == result.ledger.total_rounds
+        )
+        assert document["breakdown"] == result.ledger.breakdown()
+        assert document["engine"]["runs"] == collector.total_runs
+
+    def test_document_reproduces_e7_labels(self):
+        collector, result = self.coloring_document()
+        document = telemetry_document(collector, result=result)
+        assert set(document["breakdown"]) == {
+            "acd", "classify", "hard", "easy",
+        }
+        paths = set()
+
+        def walk(nodes):
+            for node in nodes:
+                paths.add(node["path"])
+                walk(node["children"])
+
+        walk(document["phases"])
+        assert "hard/phase1/maximal-matching" in paths
+        assert "hard/phase2/degree-splitting" in paths
+        assert "hard/phase4a/pair-coloring" in paths
+
+    def test_render_phase_tree(self):
+        collector, result = self.coloring_document()
+        document = telemetry_document(collector, result=result)
+        text = render_phase_tree(document)
+        lines = text.splitlines()
+        assert "deterministic-delta-coloring" in lines[0]
+        assert any("degree-splitting" in line for line in lines)
+        assert lines[-1].startswith("TOTAL")
+        assert str(result.ledger.total_rounds) in lines[-1]
+
+    def test_summary_is_wall_free_and_consistent(self):
+        collector, result = self.coloring_document()
+        summary = telemetry_summary(collector, result.ledger)
+        assert "wall" not in json.dumps(summary)
+        assert summary["total_rounds"] == result.ledger.total_rounds
+        assert (
+            sum(p["rounds"] for p in summary["phases"].values())
+            == summary["total_rounds"]
+        )
+        assert (
+            sum(p["messages"] for p in summary["phases"].values())
+            == summary["total_messages"]
+        )
+
+    def test_events_jsonl_stream(self):
+        collector, _ = self.coloring_document()
+        lines = list(events_jsonl(collector))
+        events = [json.loads(line) for line in lines]
+        assert events[0]["event"] == "begin"
+        assert events[-1]["event"] == "end"
+        kinds = {event["event"] for event in events}
+        assert {"span_enter", "span_exit", "run", "metrics"} <= kinds
+        exits = [e for e in events if e["event"] == "span_exit"]
+        acd_exit = next(e for e in exits if e["label"] == "acd")
+        assert acd_exit["rounds"] == 6
+
+
+class TestSchema:
+    def minimal_document(self):
+        collector = Collector()
+        return telemetry_document(collector, ledger=RoundLedger())
+
+    def test_minimal_document_is_valid(self):
+        validate_document(self.minimal_document())
+
+    def test_missing_required_key(self):
+        document = self.minimal_document()
+        del document["engine"]
+        errors = schema_errors(document)
+        assert any("engine" in error for error in errors)
+
+    def test_wrong_type_detected(self):
+        document = self.minimal_document()
+        document["total_rounds"] = "many"
+        errors = schema_errors(document)
+        assert any("total_rounds" in error for error in errors)
+
+    def test_bool_is_not_an_integer(self):
+        document = self.minimal_document()
+        document["total_rounds"] = True
+        assert schema_errors(document)
+
+    def test_negative_minimum_detected(self):
+        document = self.minimal_document()
+        document["total_messages"] = -1
+        assert any("minimum" in e for e in schema_errors(document))
+
+    def test_unknown_version_detected(self):
+        document = self.minimal_document()
+        document["version"] = 99
+        assert any("version" in e for e in schema_errors(document))
+
+    def test_inconsistent_phase_sum_rejected(self):
+        ledger = RoundLedger()
+        ledger.charge("a", 5)
+        document = telemetry_document(Collector(), ledger=ledger)
+        document["total_rounds"] = 6  # break the invariant
+        with pytest.raises(ValueError, match="sum"):
+            validate_document(document)
+
+    def test_breakdown_disagreement_rejected(self):
+        ledger = RoundLedger()
+        ledger.charge("a", 5)
+        document = telemetry_document(Collector(), ledger=ledger)
+        document["breakdown"] = {"a": 4, "b": 1}
+        with pytest.raises(ValueError, match="breakdown"):
+            validate_document(document)
+
+
+class TestCampaignTelemetry:
+    def cells(self):
+        from repro.runner import CampaignCell
+
+        return [
+            CampaignCell(
+                label="det", workload="mixed", num_cliques=34, delta=16,
+                easy_fraction=0.3, graph_seed=5, epsilon=0.25,
+                method="deterministic",
+            ),
+        ]
+
+    def test_rows_carry_deterministic_summaries(self):
+        from repro.runner import run_campaign
+
+        first = run_campaign(self.cells(), telemetry=True)
+        second = run_campaign(self.cells(), telemetry=True)
+        assert json.dumps(first.rows) == json.dumps(second.rows)
+        summary = first.rows[0]["telemetry"]
+        assert summary["total_rounds"] == first.rows[0]["rounds"]
+        assert summary["breakdown"] == first.rows[0]["breakdown"]
+
+    def test_telemetry_is_opt_in(self):
+        from repro.runner import run_campaign
+
+        result = run_campaign(self.cells())
+        assert "telemetry" not in result.rows[0]
+
+    def test_cell_run_leaves_observability_disabled(self):
+        from repro.runner import run_campaign
+
+        run_campaign(self.cells(), telemetry=True)
+        assert _runtime.ACTIVE is None
+
+
+class TestTraceCli:
+    def trace(self, *extra):
+        return main(
+            ["trace", "--kind", "mixed", "--cliques", "34", "--delta",
+             "16", "--easy-fraction", "0.3", "--graph-seed", "5",
+             "--epsilon", "0.25", *extra]
+        )
+
+    def test_text_tree(self, capsys):
+        assert self.trace() == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+        assert "degree-splitting" in out
+
+    def test_json_document_validates(self, capsys):
+        assert self.trace("--json") == 0
+        document = json.loads(capsys.readouterr().out)
+        validate_document(document)
+        assert (
+            sum(node["rounds"] for node in document["phases"])
+            == document["total_rounds"]
+        )
+        assert document["context"]["method"] == "deterministic"
+
+    def test_json_to_file_and_events(self, tmp_path, capsys):
+        doc_path = tmp_path / "trace.json"
+        events_path = tmp_path / "events.jsonl"
+        assert self.trace(
+            "--json", str(doc_path), "--events", str(events_path)
+        ) == 0
+        document = json.loads(doc_path.read_text())
+        validate_document(document)
+        lines = events_path.read_text().splitlines()
+        assert json.loads(lines[0])["event"] == "begin"
+        assert json.loads(lines[-1])["event"] == "end"
+        # The text tree still prints when --json goes to a file.
+        assert "TOTAL" in capsys.readouterr().out
+
+    def test_randomized_method(self, capsys):
+        assert self.trace("--method", "randomized", "--seed", "3") == 0
+        assert "randomized" in capsys.readouterr().out
+
+    def test_instance_file(self, tmp_path, capsys):
+        instance_path = tmp_path / "g.json"
+        assert main(
+            ["generate", "--kind", "mixed", "--cliques", "34", "--delta",
+             "16", "--easy-fraction", "0.3", "--seed", "5",
+             "-o", str(instance_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["trace", str(instance_path), "--epsilon", "0.25"]
+        ) == 0
+        assert "TOTAL" in capsys.readouterr().out
+
+    def test_trace_leaves_observability_disabled(self):
+        self.trace()
+        assert _runtime.ACTIVE is None

@@ -47,3 +47,51 @@ class TestTracer:
     def test_quiet_fraction_degenerate(self):
         tracer = Tracer()
         assert tracer.quiet_fraction(0) == 0.0
+
+
+class _AlarmScript:
+    """Scripted run: one node wakes at fixed alarm rounds, then halts.
+
+    The gaps between alarms are fast-forwarded quiet rounds, so both the
+    activity profile and the quiet fraction are known exactly.
+    """
+
+    name = "alarm-script"
+
+    def __init__(self, wake_rounds):
+        self.wake_rounds = list(wake_rounds)
+
+    def on_start(self, node, api):
+        api.set_alarm(self.wake_rounds[0])
+
+    def on_round(self, node, api, inbox):
+        remaining = [r for r in self.wake_rounds if r > api.round]
+        if remaining:
+            api.set_alarm(remaining[0])
+        else:
+            api.halt(api.round)
+
+
+class TestScriptedProfiles:
+    def test_activity_profile_matches_script(self):
+        net = Network.from_edges(1, [])
+        tracer = Tracer()
+        result = net.run(_AlarmScript([3, 7, 20]), tracer=tracer)
+        assert result.rounds == 20
+        assert tracer.activity_profile() == [(3, 1), (7, 1), (20, 1)]
+
+    def test_quiet_fraction_matches_script(self):
+        net = Network.from_edges(1, [])
+        tracer = Tracer()
+        result = net.run(_AlarmScript([5, 10]), tracer=tracer)
+        # 2 executed rounds out of 10 LOCAL rounds -> 80% quiet.
+        assert tracer.executed_rounds == 2
+        assert tracer.quiet_fraction(result.rounds) == 0.8
+
+    def test_quiet_fraction_clamped_for_partial_totals(self):
+        net = Network.from_edges(1, [])
+        tracer = Tracer()
+        net.run(_AlarmScript([2, 4]), tracer=tracer)
+        # A caller-supplied total smaller than executed_rounds clamps.
+        assert tracer.quiet_fraction(1) == 0.0
+        assert tracer.quiet_fraction(100) == 0.98
