@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test test-all bench chaos trace report examples ci lint clean
+.PHONY: install test test-all bench chaos trace report examples ci lint lint-repro typecheck clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -28,12 +28,27 @@ ci:
 	PYTHONPATH=src python -m pytest -x -q
 	$(MAKE) trace
 	$(MAKE) lint
+	$(MAKE) lint-repro
+	$(MAKE) typecheck
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks; \
 	else \
 		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
+
+# The repo's own static analyzer: LOCAL-model locality, determinism,
+# ledger accounting (see DESIGN.md section 9).  Always available — it is
+# part of the package and needs no third-party tools.
+lint-repro:
+	PYTHONPATH=src python -m repro.cli lint src
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro/types.py src/repro/constants.py src/repro/errors.py src/repro/obs; \
+	else \
+		echo "mypy not installed; skipping typecheck (CI runs it)"; \
 	fi
 
 report: 

@@ -138,6 +138,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep raw per-round activity samples on the span records",
     )
 
+    lint = commands.add_parser(
+        "lint",
+        help="static analysis: LOCAL-model, determinism, ledger rules",
+        description=(
+            "AST-based static analysis of the repro sources.  Rule "
+            "families: LOC (per-node code must stay inside the LOCAL "
+            "model), DET (deterministic paths must be reproducible), "
+            "LED (every engine run must reach the RoundLedger), MSG "
+            "(CONGEST message discipline, opt-in via --congest).  "
+            "Suppress single findings with '# repro: lint-exempt[RULE]' "
+            "pragmas; grandfather old ones in a baseline file.  Exits 1 "
+            "when new findings remain."
+        ),
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    output_format = lint.add_mutually_exclusive_group()
+    output_format.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON report",
+    )
+    output_format.add_argument(
+        "--github", action="store_true",
+        help="emit GitHub Actions annotations (inline PR-diff findings)",
+    )
+    lint.add_argument(
+        "--select", action="append", default=None, metavar="RULES",
+        help="comma-separated rule ids or family prefixes (e.g. DET or "
+             "DET002,LOC); runs only those rules",
+    )
+    lint.add_argument(
+        "--congest", action="store_true",
+        help="also run the opt-in MSG message-discipline family",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file of grandfathered findings (default: "
+             "lint-baseline.json when it exists)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding as new",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--verbose", action="store_true",
+        help="also list baselined findings in text output",
+    )
+
     campaign = commands.add_parser(
         "campaign",
         help="run an experiment campaign across a process pool",
@@ -334,6 +388,60 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Baseline file picked up automatically when present in the CWD.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.lint import (
+        Baseline,
+        render_github,
+        render_json,
+        render_text,
+        run_lint,
+        select_rules,
+    )
+
+    selectors = None
+    if args.select:
+        selectors = [
+            token for group in args.select for token in group.split(",")
+        ]
+    rules = select_rules(selectors, congest=args.congest)
+
+    baseline_path: Path | None = None
+    baseline = None
+    if not args.no_baseline:
+        if args.baseline:
+            baseline_path = Path(args.baseline)
+            if not (args.update_baseline and not baseline_path.exists()):
+                baseline = Baseline.load(baseline_path)
+        elif Path(DEFAULT_BASELINE).exists():
+            baseline_path = Path(DEFAULT_BASELINE)
+            baseline = Baseline.load(baseline_path)
+
+    report = run_lint(args.paths, rules=rules, baseline=baseline)
+
+    if args.update_baseline:
+        target = baseline_path or Path(DEFAULT_BASELINE)
+        Baseline.from_findings([*report.new, *report.baselined]).save(target)
+        print(
+            f"baseline {target}: {len(report.new) + len(report.baselined)} "
+            f"finding(s) recorded"
+        )
+        return 0
+
+    if args.json:
+        print(render_json(report))
+    elif args.github:
+        print(render_github(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
 def _write_rows(rows, output) -> None:
     from pathlib import Path
 
@@ -349,7 +457,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         cells = builder()
     else:
         try:
-            spec = json.loads(open(args.spec).read())
+            with open(args.spec) as stream:
+                spec = json.load(stream)
         except OSError as error:
             raise ReproError(f"cannot read campaign spec: {error}") from error
         except json.JSONDecodeError as error:
@@ -411,6 +520,7 @@ _COMMANDS = {
     "color": _cmd_color,
     "verify": _cmd_verify,
     "trace": _cmd_trace,
+    "lint": _cmd_lint,
     "campaign": _cmd_campaign,
 }
 

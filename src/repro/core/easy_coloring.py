@@ -54,9 +54,8 @@ def build_loophole_graph(
     or are adjacent in the base graph."""
     closed: list[set[int]] = []
     for loophole in loopholes:
-        vertices = set(loophole.vertices)
-        closure = set(vertices)
-        for v in vertices:
+        closure = set(loophole.vertices)
+        for v in loophole.vertices:
             closure.update(network.adjacency[v])
         closed.append(closure)
     vertex_sets = [set(l.vertices) for l in loopholes]

@@ -108,13 +108,13 @@ def compute_balanced_matching(
     # exactly like Type II members.
     usable = hard_vertices - unusable
     anchor_degree: dict[int, int] = {}
-    for v in usable:
+    for v in sorted(usable):
         anchor_degree[v] = sum(
             1
             for u in network.adjacency[v]
             if u in usable and clique_of[u] != clique_of[v]
         )
-    peel_queue = [v for v in usable if anchor_degree[v] == 0]
+    peel_queue = [v for v in sorted(usable) if anchor_degree[v] == 0]
     while peel_queue:
         v = peel_queue.pop()
         if v not in usable:
@@ -165,7 +165,7 @@ def compute_balanced_matching(
     proposal: dict[int, tuple[int, int]] = {}  # v -> phi(v), an F1 edge
     proposers: dict[tuple[int, int], int] = {}  # F1 edge -> #proposers
     usable_members: dict[int, list[int]] = {index: [] for index in classification.hard}
-    for v in usable:
+    for v in sorted(usable):
         usable_members[clique_of[v]].append(v)
     for index, members in usable_members.items():
         # Lemma 10 (strengthened): in a hard clique, any two members

@@ -7,6 +7,8 @@ still distinguishing the failure mode by subclass.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
@@ -32,9 +34,11 @@ class NotDenseError(GraphStructureError):
 class InvalidColoringError(ReproError):
     """A produced or supplied coloring is not a proper coloring."""
 
-    def __init__(self, message: str, *, violations: list | None = None):
+    def __init__(
+        self, message: str, *, violations: Sequence[str] | None = None
+    ) -> None:
         super().__init__(message)
-        self.violations = violations or []
+        self.violations: list[str] = list(violations or [])
 
 
 class InvariantViolation(ReproError):

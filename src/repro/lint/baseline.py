@@ -1,0 +1,110 @@
+"""Baseline files: grandfathered findings that do not fail the run.
+
+A baseline entry records the *content* of an offending line — not its
+number — so edits elsewhere in the file do not invalidate it::
+
+    {
+      "version": 1,
+      "entries": [
+        {"path": "src/repro/foo.py", "rule": "DET002",
+         "line_text": "for v in vertices:", "count": 1}
+      ]
+    }
+
+Matching consumes counts: two identical findings need ``count: 2``.
+Entries that match nothing are reported as *stale* so the baseline
+shrinks monotonically as findings are fixed — the workflow is
+``repro lint --update-baseline`` after every fix batch, reviewed like
+any other diff.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "BaselineError", "partition_findings"]
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ReproError):
+    """The baseline file is missing, malformed, or version-incompatible."""
+
+
+@dataclass
+class Baseline:
+    """Grandfathered finding fingerprints with multiplicity."""
+
+    counts: dict[tuple[str, str, str], int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        file_path = Path(path)
+        try:
+            document = json.loads(file_path.read_text(encoding="utf-8"))
+        except OSError as error:
+            raise BaselineError(f"cannot read baseline {file_path}: {error}") from error
+        except json.JSONDecodeError as error:
+            raise BaselineError(
+                f"baseline {file_path} is not valid JSON: {error}"
+            ) from error
+        if not isinstance(document, dict) or document.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline {file_path} has unsupported version "
+                f"{document.get('version') if isinstance(document, dict) else document!r}"
+                f" (expected {BASELINE_VERSION})"
+            )
+        counts: dict[tuple[str, str, str], int] = {}
+        for entry in document.get("entries", []):
+            try:
+                key = (entry["path"], entry["rule"], entry["line_text"])
+                count = int(entry.get("count", 1))
+            except (KeyError, TypeError) as error:
+                raise BaselineError(
+                    f"baseline {file_path} has a malformed entry: {entry!r}"
+                ) from error
+            counts[key] = counts.get(key, 0) + count
+        return cls(counts)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        counts: dict[tuple[str, str, str], int] = {}
+        for finding in findings:
+            key = finding.fingerprint()
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    def save(self, path: str | Path) -> None:
+        entries = [
+            {"path": key[0], "rule": key[1], "line_text": key[2], "count": count}
+            for key, count in sorted(self.counts.items())
+        ]
+        document = {"version": BASELINE_VERSION, "entries": entries}
+        Path(path).write_text(
+            json.dumps(document, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+
+def partition_findings(
+    findings: list[Finding], baseline: Baseline | None
+) -> tuple[list[Finding], list[Finding], list[tuple[str, str, str]]]:
+    """Split findings into (new, baselined) plus stale baseline keys."""
+    if baseline is None:
+        return list(findings), [], []
+    remaining = dict(baseline.counts)
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        key = finding.fingerprint()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = [key for key, count in sorted(remaining.items()) if count > 0]
+    return new, grandfathered, stale

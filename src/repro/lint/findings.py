@@ -1,0 +1,62 @@
+"""Finding and severity types for the static analyzer.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+identity for baseline matching is the ``(path, rule, line_text)``
+triple — the *content* of the offending line rather than its number —
+so unrelated edits above a grandfathered finding do not invalidate the
+baseline (see :mod:`repro.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Severity levels, ordered.  ``error`` findings fail the lint run;
+#: ``warning`` findings fail it too unless baselined (the split exists
+#: so output consumers can triage, not so warnings are free).
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    path:
+        Path of the offending file as given to the engine (normalized
+        to POSIX separators for stable output across platforms).
+    line / col:
+        1-based line and 0-based column of the offending AST node.
+    rule:
+        Rule identifier, e.g. ``DET002``.
+    severity:
+        ``error`` or ``warning``.
+    message:
+        Human-readable description naming the violated invariant.
+    line_text:
+        The stripped source line, used as the baseline fingerprint.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str = field(compare=False)
+    severity: str = field(compare=False)
+    message: str = field(compare=False)
+    line_text: str = field(compare=False, default="")
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Baseline identity: file, rule, and offending line content."""
+        return (self.path, self.rule, self.line_text)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }

@@ -1,0 +1,61 @@
+"""Inline suppression pragmas.
+
+Two comment forms suppress findings on the line they annotate (or, for
+a comment-only line, on the next code line below it)::
+
+    colors = {hash(tag)}  # repro: lint-exempt[DET005] -- tag set is per-run
+
+    # repro: congest-exempt -- O(Delta) proposal list, LOCAL-model phase
+    api.broadcast([p for p in proposals])
+
+``lint-exempt`` takes a bracketed comma-separated list of rule ids;
+``congest-exempt`` is shorthand for the message-discipline family
+(``MSG001``).  Pragmas are deliberately rule-scoped — there is no
+blanket ``lint-exempt`` without brackets — so a suppression can never
+hide a *different* rule that later starts firing on the same line.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["CONGEST_RULES", "parse_pragmas"]
+
+#: Rules covered by the ``congest-exempt`` shorthand.
+CONGEST_RULES = frozenset({"MSG001"})
+
+_EXEMPT = re.compile(r"#\s*repro:\s*lint-exempt\[([A-Z0-9,\s]+)\]")
+_CONGEST = re.compile(r"#\s*repro:\s*congest-exempt\b")
+_COMMENT_ONLY = re.compile(r"^\s*#")
+
+
+def parse_pragmas(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule ids suppressed there.
+
+    A pragma on a comment-only line also covers the next non-blank
+    line, so a suppression can sit *above* a long statement.  Pragmas
+    inside string literals are intentionally honored too: the parser is
+    line-based for speed, and a pragma-shaped string literal in lint
+    fixtures is a feature, not a bug.
+    """
+    suppressions: dict[int, set[str]] = {}
+    lines = source.splitlines()
+    for lineno, text in enumerate(lines, start=1):
+        rules: set[str] = set()
+        match = _EXEMPT.search(text)
+        if match:
+            rules.update(
+                rule.strip() for rule in match.group(1).split(",") if rule.strip()
+            )
+        if _CONGEST.search(text):
+            rules.update(CONGEST_RULES)
+        if not rules:
+            continue
+        suppressions.setdefault(lineno, set()).update(rules)
+        if _COMMENT_ONLY.match(text):
+            # Attach to the next non-blank line as well.
+            for below in range(lineno + 1, len(lines) + 1):
+                if lines[below - 1].strip():
+                    suppressions.setdefault(below, set()).update(rules)
+                    break
+    return {lineno: frozenset(rules) for lineno, rules in suppressions.items()}

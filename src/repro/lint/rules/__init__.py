@@ -1,0 +1,51 @@
+"""Rule registry for the repro static analyzer.
+
+Rules register by instantiation here; :data:`ALL_RULES` is the
+canonical ordered list the engine runs.  Ids are grouped by family:
+
+* ``LOC``: LOCAL-model locality (per-node code sees only local state),
+* ``DET``: determinism (reproducible outputs for fixed inputs/seeds),
+* ``LED``: ledger accounting (no simulated rounds escape telemetry),
+* ``MSG``: message discipline (CONGEST groundwork, opt-in).
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.base import Rule
+from repro.lint.rules.congest import WidePayload
+from repro.lint.rules.determinism import (
+    GlobalRandom,
+    OsEntropy,
+    StringHash,
+    UnorderedSetIteration,
+    WallClockRead,
+)
+from repro.lint.rules.ledger import DiscardedRunResult, UnaccountedRun
+from repro.lint.rules.locality import (
+    EngineInternalsAccess,
+    GlobalGraphRead,
+    NetworkCapture,
+)
+
+__all__ = ["ALL_RULES", "RULES_BY_ID", "Rule", "default_rules"]
+
+ALL_RULES: tuple[Rule, ...] = (
+    GlobalGraphRead(),
+    EngineInternalsAccess(),
+    NetworkCapture(),
+    GlobalRandom(),
+    UnorderedSetIteration(),
+    WallClockRead(),
+    OsEntropy(),
+    StringHash(),
+    DiscardedRunResult(),
+    UnaccountedRun(),
+    WidePayload(),
+)
+
+RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}
+
+
+def default_rules() -> tuple[Rule, ...]:
+    """The rules that run without explicit selection."""
+    return tuple(rule for rule in ALL_RULES if rule.default_enabled)

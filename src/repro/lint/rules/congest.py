@@ -1,0 +1,98 @@
+"""Message-discipline rules: groundwork for a CONGEST mode.
+
+The LOCAL model allows unbounded messages, so these rules are *opt-in*
+(``default_enabled = False``; enable with ``repro lint --congest``).
+When a future CONGEST mode lands, every payload that is not obviously
+``O(log n)`` bits wide must either shrink or carry an explicit
+``# repro: congest-exempt`` pragma naming why the width is acceptable
+— exactly the accounting discipline the [BMN+25]-derived subroutines
+(hyperedge grabbing, degree splitting) already follow dynamically via
+``message_words`` / ``bandwidth_limit``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import (
+    Rule,
+    callback_functions,
+    distributed_algorithm_classes,
+)
+from repro.lint.source import SourceModule
+
+__all__ = ["WidePayload"]
+
+#: Call shapes that put a payload on the wire.
+SEND_METHODS = frozenset({"send", "broadcast"})
+
+#: Payload argument position: ``api.send(neighbor, payload)`` vs
+#: ``api.broadcast(payload)``.
+PAYLOAD_INDEX = {"send": 1, "broadcast": 0}
+
+
+def _is_wide(payload: ast.AST) -> bool:
+    """True for payload expressions that are not obviously O(1) words.
+
+    Wide: comprehensions, ``list``/``dict``/``set``/``tuple`` calls
+    over iterables, and non-constant container displays.  Narrow:
+    scalars, names (sized where they were built), and small constant
+    displays like ``(round, color)``.
+    """
+    if isinstance(payload, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+        return True
+    if isinstance(payload, ast.Call):
+        func = payload.func
+        if isinstance(func, ast.Name) and func.id in ("list", "dict", "set", "tuple", "sorted"):
+            return bool(payload.args)
+        return False
+    if isinstance(payload, (ast.List, ast.Set)):
+        return any(_is_wide(elt) or isinstance(elt, ast.Starred) for elt in payload.elts)
+    if isinstance(payload, ast.Tuple):
+        return any(_is_wide(elt) or isinstance(elt, ast.Starred) for elt in payload.elts)
+    if isinstance(payload, ast.Dict):
+        return any(
+            value is not None and _is_wide(value) for value in payload.values
+        ) or any(key is None for key in payload.keys)
+    return False
+
+
+class WidePayload(Rule):
+    """MSG001: a send/broadcast payload is not obviously word-sized.
+
+    Fires on payloads built as comprehensions or whole-container
+    conversions inside per-node callbacks.  Such messages are legal in
+    LOCAL but would overflow CONGEST's O(log n)-bit links; each site
+    needs a ``# repro: congest-exempt`` pragma stating the intended
+    width so a future CONGEST mode knows what to re-engineer.
+    """
+
+    rule_id = "MSG001"
+    title = "send payload not obviously word-sized"
+    severity = "warning"
+    default_enabled = False
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for class_def in distributed_algorithm_classes(module):
+            for method in callback_functions(class_def):
+                for node in ast.walk(method):
+                    if not (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in SEND_METHODS
+                    ):
+                        continue
+                    index = PAYLOAD_INDEX[node.func.attr]
+                    if len(node.args) <= index:
+                        continue
+                    payload = node.args[index]
+                    if _is_wide(payload):
+                        yield self.finding(
+                            module, payload,
+                            f"{class_def.name}.{method.name} sends a "
+                            "container-built payload — not O(log n) bits; "
+                            "add '# repro: congest-exempt' with the intended "
+                            "width, or restructure for CONGEST",
+                        )

@@ -1,0 +1,264 @@
+"""Determinism rules: the deterministic paths must be reproducible.
+
+Theorem 1 is deterministic, and even the randomized pipeline must be a
+pure function of ``(instance, seed)`` — that is what makes the parity
+suite, byte-stable campaign artifacts, and checkpoint resume sound.
+Three ways Python code silently breaks this:
+
+* *process-global entropy* — the module-level ``random.*`` functions,
+  ``os.urandom``, ``uuid.uuid4`` (DET001/DET004);
+* *wall-clock reads* — ``time.time()``, ``datetime.now()`` feeding
+  anything that lands in an artifact (DET003);
+* *hash-randomized ordering* — iterating a ``set``/``frozenset`` of
+  non-int elements (str hashes differ per process unless
+  ``PYTHONHASHSEED`` is pinned) into an order-sensitive construct, or
+  calling ``hash()`` on strings outright (DET002/DET005).
+
+Sets of ``int`` are exempt from DET002: CPython's int hash is the
+identity, so for a fixed insertion sequence the iteration order is
+reproducible across processes — the codebase's vertex sets rely on
+this.  The inference only trusts *provable* int-ness (annotations,
+``set(range(...))``, int literals); anything unclear must be wrapped
+in ``sorted(...)`` or annotated.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import (
+    ANY_SET,
+    ORDER_FREE_CONSUMERS,
+    Rule,
+    SetKinds,
+    dotted_name,
+    iter_scopes,
+    walk_scope,
+)
+from repro.lint.source import SourceModule
+
+__all__ = [
+    "GlobalRandom",
+    "UnorderedSetIteration",
+    "WallClockRead",
+    "OsEntropy",
+    "StringHash",
+]
+
+
+class _DeterministicPathRule(Rule):
+    def applies(self, module: SourceModule) -> bool:
+        return module.deterministic_path
+
+
+class GlobalRandom(_DeterministicPathRule):
+    """DET001: module-level ``random.*`` in a deterministic path.
+
+    The module-level functions share one process-global, unseeded (or
+    ambiently seeded) Mersenne Twister: two imports racing on it, or a
+    library consumer calling ``random.seed``, silently changes every
+    draw.  Use an explicitly seeded ``random.Random(seed)`` instance
+    threaded through the call chain instead.
+    """
+
+    rule_id = "DET001"
+    title = "process-global random module function"
+    severity = "error"
+
+    #: Attributes of the random module that are classes/constructors of
+    #: independently seeded generators — the sanctioned usage.
+    ALLOWED = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "random"
+                and node.attr not in self.ALLOWED
+            ):
+                yield self.finding(
+                    module, node,
+                    f"'random.{node.attr}' uses the process-global RNG — "
+                    "thread an explicitly seeded random.Random(seed) "
+                    "instance instead (deterministic path)",
+                )
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                bad = [
+                    alias.name for alias in node.names
+                    if alias.name not in self.ALLOWED
+                ]
+                if bad:
+                    yield self.finding(
+                        module, node,
+                        f"'from random import {', '.join(bad)}' imports "
+                        "process-global RNG functions — import random.Random "
+                        "and seed it explicitly (deterministic path)",
+                    )
+
+
+class UnorderedSetIteration(_DeterministicPathRule):
+    """DET002: iteration over a set of unproven element type.
+
+    ``for x in s:`` over a set of strings (or tuples containing
+    strings) visits elements in a per-process order under hash
+    randomization; if the loop breaks ties, appends to a list, or
+    charges a ledger, outputs differ between runs.  Wrap the iterable
+    in ``sorted(...)`` — or prove int-ness with a ``set[int]``
+    annotation, which the strict mypy pass then holds you to.
+    """
+
+    rule_id = "DET002"
+    title = "iteration over a set with unproven element order"
+    severity = "error"
+
+    #: Comprehension/loop shapes whose result depends on iteration
+    #: order.  SetComp is exempt: a set built from a set is the same
+    #: set whatever the visit order.
+    _ORDERED_COMPREHENSIONS = (ast.ListComp, ast.GeneratorExp, ast.DictComp)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for scope in iter_scopes(module):
+            kinds = SetKinds(scope)
+            for node in walk_scope(scope):
+                iters: list[ast.AST] = []
+                if isinstance(node, ast.For):
+                    iters.append(node.iter)
+                elif isinstance(node, self._ORDERED_COMPREHENSIONS):
+                    if self._order_free_context(module, node):
+                        continue
+                    iters.extend(gen.iter for gen in node.generators)
+                for iter_expr in iters:
+                    if kinds.expr_kind(iter_expr) == ANY_SET:
+                        name = (
+                            f"'{dotted_name(iter_expr)}'"
+                            if dotted_name(iter_expr)
+                            else "a set expression"
+                        )
+                        yield self.finding(
+                            module, iter_expr,
+                            f"iteration over {name} whose element order is "
+                            "not provably reproducible — wrap in sorted(...) "
+                            "or annotate the set as set[int]",
+                        )
+
+    def _order_free_context(self, module: SourceModule, node: ast.AST) -> bool:
+        """True when the comprehension feeds an order-insensitive callee."""
+        parent = module.parent(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in ORDER_FREE_CONSUMERS
+            and node in parent.args
+        )
+
+
+class WallClockRead(_DeterministicPathRule):
+    """DET003: wall-clock read in a deterministic path.
+
+    Timestamps belong to the observability layer (`repro.obs`), which
+    strips them from anything compared byte-for-byte.  A wall-clock
+    read inside the pipeline leaks into artifacts and breaks
+    resume/parity byte-stability.
+    """
+
+    rule_id = "DET003"
+    title = "wall-clock read in a deterministic path"
+    severity = "error"
+
+    FORBIDDEN_CALLS = frozenset({
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    })
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in self.FORBIDDEN_CALLS:
+                    yield self.finding(
+                        module, node,
+                        f"'{name}()' reads the wall clock in a deterministic "
+                        "path — timing belongs in repro.obs spans, which are "
+                        "excluded from byte-stable artifacts",
+                    )
+
+
+class OsEntropy(_DeterministicPathRule):
+    """DET004: operating-system entropy in a deterministic path."""
+
+    rule_id = "DET004"
+    title = "OS entropy source in a deterministic path"
+    severity = "error"
+
+    FORBIDDEN_CALLS = frozenset({
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbelow",
+        "secrets.choice",
+    })
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in self.FORBIDDEN_CALLS:
+                    yield self.finding(
+                        module, node,
+                        f"'{name}()' draws OS entropy — derive per-cell "
+                        "seeds from the campaign's SHA-256 scheme instead",
+                    )
+
+
+class StringHash(_DeterministicPathRule):
+    """DET005: builtin ``hash()`` on a non-int value.
+
+    ``hash(str)`` differs per process under hash randomization
+    (PYTHONHASHSEED); any tie-break or bucketing derived from it is
+    unreproducible.  ``__hash__`` implementations are exempt — they
+    define object identity for containers, not algorithmic choices.
+    """
+
+    rule_id = "DET005"
+    title = "hash() of a non-int value in a deterministic path"
+    severity = "error"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+                and len(node.args) == 1
+            ):
+                continue
+            argument = node.args[0]
+            if isinstance(argument, ast.Constant) and isinstance(
+                argument.value, int
+            ) and not isinstance(argument.value, bool):
+                continue
+            enclosing = module.enclosing_function(node)
+            if enclosing is not None and enclosing.name == "__hash__":
+                continue
+            yield self.finding(
+                module, node,
+                "builtin hash() is randomized per process for str/bytes — "
+                "use a stable key (sorted tuple, explicit index, or "
+                "hashlib) for any value that feeds an ordering or artifact",
+            )

@@ -1,0 +1,188 @@
+"""Locality rules: per-node code must stay inside the LOCAL model.
+
+Theorem 1 is a LOCAL-model algorithm: in each round a node may consult
+only its own state, its received messages, and its immediate
+neighborhood.  The simulator enforces *communication* locality (sends
+to non-neighbors raise), but nothing stops a callback from simply
+*reading* global graph state off a captured ``Network`` — which would
+silently turn an r-round algorithm into one with unbounded view radius
+while still reporting r rounds.  These rules close that hole
+statically for every ``DistributedAlgorithm`` subclass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import (
+    Rule,
+    callback_functions,
+    distributed_algorithm_classes,
+)
+from repro.lint.source import SourceModule
+
+__all__ = ["GlobalGraphRead", "EngineInternalsAccess", "NetworkCapture"]
+
+#: Attribute names that only exist on global graph state (the Network,
+#: a GraphInstance, or the engine's delivery structures).  Reading any
+#: of these from per-node code is a locality escape.
+GLOBAL_STATE_ATTRS = frozenset({
+    "graph",
+    "adjacency",
+    "uids",
+    "nodes",
+    "_inboxes",
+})
+
+#: Network methods that answer global questions.
+GLOBAL_STATE_METHODS = frozenset({
+    "neighbor_set",
+    "edges",
+    "subnetwork",
+    "max_degree",
+    "edge_count",
+})
+
+#: Private attributes of the Api / engine that callbacks must not touch.
+ENGINE_INTERNAL_ATTRS = frozenset({
+    "_network",
+    "_outbox",
+    "_alarms",
+    "_node",
+})
+
+
+def _callback_scopes(module: SourceModule):
+    for class_def in distributed_algorithm_classes(module):
+        for method in callback_functions(class_def):
+            yield class_def, method
+
+
+class GlobalGraphRead(Rule):
+    """LOC001: per-node code reads global graph state.
+
+    Flags attribute reads like ``network.graph``, ``instance.adjacency``
+    or ``net.uids`` — and calls of global accessors such as
+    ``neighbor_set`` / ``edges`` — inside code reachable from
+    ``on_start`` / ``on_round``.  A node may use ``node.neighbors``
+    (its own neighborhood), its inbox, and read-only configuration
+    stored in ``__init__``; everything wider must arrive by message.
+    """
+
+    rule_id = "LOC001"
+    title = "per-node code reads global graph state"
+    severity = "error"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for class_def, method in _callback_scopes(module):
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                if node.attr in GLOBAL_STATE_ATTRS:
+                    yield self.finding(
+                        module, node,
+                        f"{class_def.name}.{method.name} reads global graph "
+                        f"state '.{node.attr}' — per-node code may only see "
+                        "messages, node.neighbors, and own state "
+                        "(LOCAL model, Theorem 1)",
+                    )
+                elif node.attr in GLOBAL_STATE_METHODS:
+                    yield self.finding(
+                        module, node,
+                        f"{class_def.name}.{method.name} calls global "
+                        f"accessor '.{node.attr}' — topology beyond the "
+                        "node's own neighborhood must arrive by message",
+                    )
+
+
+class EngineInternalsAccess(Rule):
+    """LOC002: per-node code touches Api/engine internals.
+
+    ``api._network``, ``api._outbox``, ``api._alarms`` bypass the
+    send/alarm discipline entirely: writing the outbox directly can
+    forge sender indices, and reading ``_network`` is an unbounded
+    view.  Only the public ``Api`` surface is legal in callbacks.
+    """
+
+    rule_id = "LOC002"
+    title = "per-node code accesses engine internals"
+    severity = "error"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for class_def, method in _callback_scopes(module):
+            for node in ast.walk(method):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and node.attr in ENGINE_INTERNAL_ATTRS
+                ):
+                    yield self.finding(
+                        module, node,
+                        f"{class_def.name}.{method.name} accesses engine "
+                        f"internal '.{node.attr}' — use the public Api "
+                        "surface (send/broadcast/set_alarm/output/halt)",
+                    )
+
+
+class NetworkCapture(Rule):
+    """LOC003: an algorithm stores the live Network as configuration.
+
+    ``__init__`` is the sanctioned place for *read-only* config
+    (palettes, thresholds, seeds).  Capturing the ``Network`` object
+    itself hands every callback an oracle for the whole graph; even if
+    today's code only reads its own row, nothing keeps it honest.
+    Detected when an ``__init__`` parameter named/annotated ``Network``
+    is assigned onto ``self``.
+    """
+
+    rule_id = "LOC003"
+    title = "algorithm captures the Network object"
+    severity = "error"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for class_def in distributed_algorithm_classes(module):
+            init = next(
+                (
+                    node for node in class_def.body
+                    if isinstance(node, ast.FunctionDef) and node.name == "__init__"
+                ),
+                None,
+            )
+            if init is None:
+                continue
+            network_params = set()
+            for arg in [*init.args.posonlyargs, *init.args.args, *init.args.kwonlyargs]:
+                annotation = arg.annotation
+                annotated = (
+                    isinstance(annotation, ast.Name) and annotation.id == "Network"
+                ) or (
+                    isinstance(annotation, ast.Constant)
+                    and annotation.value == "Network"
+                ) or (
+                    isinstance(annotation, ast.Attribute)
+                    and annotation.attr == "Network"
+                )
+                if annotated or arg.arg == "network":
+                    network_params.add(arg.arg)
+            if not network_params:
+                continue
+            for node in ast.walk(init):
+                if (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in network_params
+                    and any(
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        for target in node.targets
+                    )
+                ):
+                    yield self.finding(
+                        module, node,
+                        f"{class_def.name}.__init__ stores the live Network "
+                        f"'{node.value.id}' on self — pass the node-local "
+                        "facts (degrees, palettes, id space) instead of a "
+                        "whole-graph oracle",
+                    )

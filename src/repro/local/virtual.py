@@ -77,7 +77,10 @@ class VirtualNetwork(Network):
                 edges.add((min(a, b), max(a, b)))
 
         adjacency: list[list[int]] = [[] for _ in self.groups]
-        for a, b in edges:
+        # Sorted for a canonical neighbor order: edge-set iteration order
+        # is an implementation detail, and adjacency order feeds message
+        # delivery order in the engine.
+        for a, b in sorted(edges):
             adjacency[a].append(b)
             adjacency[b].append(a)
         # Virtual uid = smallest base uid in the group: unique and locally

@@ -8,11 +8,16 @@ this module imports nothing from the package.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.collector import Collector
+
 #: The installed collector, or None (the zero-overhead default).
 #: Mutated only by :func:`repro.obs.collector.install` / ``uninstall``.
-ACTIVE = None
+ACTIVE: Collector | None = None
 
 
-def active():
+def active() -> Collector | None:
     """The installed :class:`~repro.obs.collector.Collector`, or None."""
     return ACTIVE

@@ -22,9 +22,13 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from repro.obs import _runtime
+
+if TYPE_CHECKING:
+    from repro.local.result import RunResult
+    from repro.local.trace import RoundSample, Tracer
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanRecord
 
@@ -59,7 +63,7 @@ class Collector:
         keep_samples: bool = False,
         max_samples: int = 4096,
         record_events: bool = False,
-    ):
+    ) -> None:
         self.sample_rounds = sample_rounds
         self.keep_samples = keep_samples
         self.max_samples = max_samples
@@ -123,7 +127,7 @@ class Collector:
     # Engine hooks
     # ------------------------------------------------------------------
 
-    def new_tracer(self):
+    def new_tracer(self) -> Tracer:
         """A fresh per-run tracer (engine calls this when sampling)."""
         from repro.local.trace import Tracer
 
@@ -133,8 +137,8 @@ class Collector:
         self,
         network_name: str,
         algorithm_name: str,
-        result,
-        samples: list | None = None,
+        result: RunResult,
+        samples: Sequence[RoundSample] | None = None,
     ) -> None:
         """Attach one engine execution to the innermost open span.
 
@@ -203,7 +207,7 @@ def uninstall() -> None:
 
 @contextmanager
 def observed(
-    collector: Collector | None = None, **collector_kwargs
+    collector: Collector | None = None, **collector_kwargs: Any
 ) -> Iterator[Collector]:
     """Scoped installation::
 

@@ -19,11 +19,14 @@ contract).
 from __future__ import annotations
 
 import json
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.local.ledger import RoundLedger
 from repro.obs.collector import Collector
 from repro.obs.spans import SpanRecord
+
+if TYPE_CHECKING:
+    from repro.types import ColoringResult
 
 __all__ = [
     "TELEMETRY_VERSION",
@@ -126,7 +129,7 @@ def telemetry_document(
     collector: Collector,
     *,
     ledger: RoundLedger | None = None,
-    result=None,
+    result: "ColoringResult | None" = None,
     context: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Build the JSON telemetry document of one observed execution.

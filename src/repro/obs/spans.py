@@ -29,8 +29,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.obs import _runtime
+
+if TYPE_CHECKING:
+    from repro.local.ledger import RoundLedger
+    from repro.obs.collector import Collector
 
 __all__ = ["NULL_SPAN", "SpanRecord", "span"]
 
@@ -100,7 +105,7 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         return None
 
 
@@ -113,7 +118,13 @@ class _Span:
 
     __slots__ = ("_collector", "_ledger", "_record", "_start_entry", "_t0")
 
-    def __init__(self, collector, label: str, ledger, scale: int):
+    def __init__(
+        self,
+        collector: Collector,
+        label: str,
+        ledger: RoundLedger | None,
+        scale: int,
+    ) -> None:
         self._collector = collector
         self._ledger = ledger
         self._record = collector._enter_span(label, scale)
@@ -126,7 +137,7 @@ class _Span:
         self._t0 = time.perf_counter()
         return self._record
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         record = self._record
         record.wall_seconds += time.perf_counter() - self._t0
         if self._ledger is not None:
@@ -136,7 +147,9 @@ class _Span:
         self._collector._exit_span(record)
 
 
-def span(label: str, *, ledger=None, scale: int = 1):
+def span(
+    label: str, *, ledger: RoundLedger | None = None, scale: int = 1
+) -> "_Span | _NullSpan":
     """Open a phase span; a no-op singleton when no collector is active.
 
     Parameters

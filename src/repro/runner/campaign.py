@@ -62,7 +62,7 @@ import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from contextlib import nullcontext
+from contextlib import nullcontext, suppress
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Sequence
@@ -313,10 +313,8 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
     """Terminate a pool's workers (stuck or broken) and discard it."""
     processes = getattr(pool, "_processes", None) or {}
     for process in list(processes.values()):
-        try:
+        with suppress(Exception):
             process.terminate()
-        except Exception:
-            pass
     pool.shutdown(wait=False, cancel_futures=True)
 
 
@@ -436,7 +434,9 @@ def run_campaign(
     journal = None
     if journal_path is not None:
         journal_path.parent.mkdir(parents=True, exist_ok=True)
-        journal = open(journal_path, "a")
+        # Long-lived append handle: stays open across the whole campaign
+        # (closed in the finally below) so resumes see flushed records.
+        journal = open(journal_path, "a")  # noqa: SIM115
 
     def journal_write(index: int) -> None:
         if journal is None:

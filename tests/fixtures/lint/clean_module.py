@@ -1,0 +1,40 @@
+"""Fixture: idiomatic code that every rule family accepts."""
+
+import random
+
+from repro.local.algorithm import DistributedAlgorithm
+
+
+class ProperAlgorithm(DistributedAlgorithm):
+    name = "proper"
+
+    def __init__(self, palette, seed):
+        self.palette = tuple(palette)  # read-only config
+        self.rng = random.Random(seed)  # explicitly seeded
+
+    def on_start(self, node, api):
+        api.broadcast(node.uid)
+
+    def on_round(self, node, api, inbox):
+        smallest = min(message for _, message in inbox)
+        api.halt(smallest)
+
+
+def run_and_charge(network, algorithm, ledger):
+    result = network.run(algorithm)
+    ledger.charge_result("fixture/run", result)
+    return result.rounds
+
+
+def run_and_return(network, algorithm):
+    # Returning the RunResult passes accounting duty to the caller.
+    return network.run(algorithm)
+
+
+def deterministic_order(vertices):
+    pending: set[int] = set(vertices)
+    ordered = [v for v in sorted(pending)]
+    span = sum(v for v in pending)  # order-free consumer: fine unsorted
+    indices = set(range(10))
+    doubled = [2 * v for v in indices]  # provably int elements
+    return ordered, span, doubled

@@ -1,0 +1,7 @@
+"""Fixture: process-global random module usage (DET001)."""
+
+import random
+
+
+def pick_color(palette):
+    return random.choice(palette)

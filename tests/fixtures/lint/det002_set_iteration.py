@@ -1,0 +1,9 @@
+"""Fixture: order-sensitive iteration over a non-int set (DET002)."""
+
+
+def first_tag(tags):
+    labels = {str(tag) for tag in tags}
+    ordered = []
+    for label in labels:
+        ordered.append(label)
+    return ordered[0]

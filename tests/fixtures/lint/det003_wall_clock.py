@@ -1,0 +1,7 @@
+"""Fixture: wall-clock read on a deterministic path (DET003)."""
+
+import time
+
+
+def stamp_result(result):
+    return {"rounds": result, "at": time.time()}

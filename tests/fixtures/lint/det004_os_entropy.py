@@ -1,0 +1,7 @@
+"""Fixture: OS entropy on a deterministic path (DET004)."""
+
+import os
+
+
+def fresh_seed():
+    return int.from_bytes(os.urandom(8), "big")

@@ -1,0 +1,5 @@
+"""Fixture: builtin hash() of a string value (DET005)."""
+
+
+def bucket_of(label, buckets):
+    return hash(label) % buckets

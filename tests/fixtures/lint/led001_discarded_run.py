@@ -1,0 +1,6 @@
+"""Fixture: engine run result discarded (LED001)."""
+
+
+def warm_up(network, algorithm):
+    network.run(algorithm)
+    return True

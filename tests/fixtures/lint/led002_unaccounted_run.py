@@ -1,0 +1,7 @@
+"""Fixture: RunResult used, but its rounds never escape (LED002)."""
+
+
+def outputs_only(network, algorithm):
+    result = network.run(algorithm)
+    colors = result.outputs
+    return colors

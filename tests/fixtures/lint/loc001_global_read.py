@@ -1,0 +1,16 @@
+"""Fixture: per-node callback reads global graph state (LOC001)."""
+
+from repro.local.algorithm import DistributedAlgorithm
+
+
+class GlobalPeek(DistributedAlgorithm):
+    name = "global-peek"
+
+    def __init__(self, degrees):
+        self.degrees = degrees  # read-only config: allowed
+
+    def on_round(self, node, api, inbox):
+        # Reading another vertex's row of the adjacency is an unbounded
+        # view — the violation under test.
+        other = self.degrees.adjacency[node.index + 1]
+        api.output(len(other))

@@ -1,0 +1,11 @@
+"""Fixture: per-node callback touches Api internals (LOC002)."""
+
+from repro.local.algorithm import DistributedAlgorithm
+
+
+class OutboxForger(DistributedAlgorithm):
+    name = "outbox-forger"
+
+    def on_round(self, node, api, inbox):
+        # Forging an outbox row bypasses send validation.
+        api._outbox.append((0, node.index, "forged"))

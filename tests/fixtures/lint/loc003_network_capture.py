@@ -1,0 +1,13 @@
+"""Fixture: algorithm stores the live Network as config (LOC003)."""
+
+from repro.local.algorithm import DistributedAlgorithm
+
+
+class NetworkHoarder(DistributedAlgorithm):
+    name = "network-hoarder"
+
+    def __init__(self, network):
+        self.net = network  # whole-graph oracle captured
+
+    def on_round(self, node, api, inbox):
+        api.halt(node.uid)

@@ -1,0 +1,10 @@
+"""Fixture: send payload built as a whole container (MSG001)."""
+
+from repro.local.algorithm import DistributedAlgorithm
+
+
+class NeighborhoodDump(DistributedAlgorithm):
+    name = "neighborhood-dump"
+
+    def on_round(self, node, api, inbox):
+        api.broadcast([message for _, message in inbox])
