@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test test-all bench chaos trace report examples ci lint lint-repro typecheck clean
+.PHONY: install test test-all bench chaos trace serve-smoke report examples ci lint lint-repro typecheck clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -23,10 +23,17 @@ chaos:
 trace:
 	PYTHONPATH=src python scripts/check_telemetry.py
 
-# Mirrors .github/workflows/ci.yml: tier-1 suite + telemetry smoke + lint.
+# Serving smoke: boot `repro serve` as a subprocess and assert the
+# end-to-end contract (byte-match vs direct call, cache hit, load
+# shedding, SIGTERM drain).  Bounded: a hung server must fail, not stall.
+serve-smoke:
+	PYTHONPATH=src timeout 300 python scripts/serve_smoke.py
+
+# Mirrors .github/workflows/ci.yml: tier-1 suite + smokes + lint.
 ci:
 	PYTHONPATH=src python -m pytest -x -q
 	$(MAKE) trace
+	$(MAKE) serve-smoke
 	$(MAKE) lint
 	$(MAKE) lint-repro
 	$(MAKE) typecheck

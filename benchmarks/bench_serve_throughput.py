@@ -1,0 +1,209 @@
+"""ES — Serving: micro-batched throughput vs single-request dispatch.
+
+The serving layer exists because the status-quo way to consume this
+repo — one process launch or one blocking request per coloring — pays
+the per-task dispatch overhead (~1ms on the reference box) and the full
+structural analysis (validation + ACD) on *every* call.  This
+experiment quantifies what the server's micro-batcher buys on the E2
+hard workload (16 cliques, Δ=8, n=128, randomized pipeline, distinct
+seeds so the result cache never helps):
+
+* **baseline** — closed loop, concurrency 1: one request in flight at
+  a time against the same server, the serving equivalent of the
+  one-shot CLI usage.
+* **batched** — open loop at saturation: the micro-batcher coalesces
+  up to ``max_batch`` requests per worker task and batch mates share
+  the per-instance validation + ACD inside the worker.
+* **batch-bound sweep** — the same open-loop workload against servers
+  capped at max_batch ∈ {1, 4, 8, 16}, separating the two effects:
+  open-loop pipelining (batch 1 vs closed baseline) and actual batch
+  amortization (batch 8/16 vs batch 1).
+* **cache** — a 50% duplicate-seed workload, showing hits served
+  without touching the pool.
+
+The acceptance bar (and the assertion below): batched throughput at a
+mean batch size ≥ 8 is at least 2× the unbatched single-request
+throughput.  Latency numbers are wall-clock and box-dependent; the
+*ratios* are the experiment.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.bench import print_table, save_artifact  # noqa: E402
+from repro.serve import LoadgenConfig, run_loadgen  # noqa: E402
+
+CLIQUES, DELTA, GRAPH_SEED = 16, 8, 3
+EPSILON = 0.25
+METHOD = "randomized"
+BASELINE_REQUESTS = 48
+BATCHED_REQUESTS = 192
+SWEEP_BATCH_BOUNDS = (1, 4, 8, 16)
+SWEEP_REQUESTS = 96
+
+_ARTIFACT: dict = {}
+
+
+@contextmanager
+def serving(*extra: str):
+    """Boot a real ``repro serve`` subprocess on a UNIX socket."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        sock = os.path.join(tmp, "serve.sock")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--unix", sock,
+             "-j", "1", *extra],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env,
+        )
+        deadline = time.time() + 60
+        while not os.path.exists(sock):
+            if proc.poll() is not None:
+                raise RuntimeError(
+                    f"server exited early:\n{proc.stdout.read()}"
+                )
+            if time.time() > deadline:
+                proc.kill()
+                raise RuntimeError("server did not bind within 60s")
+            time.sleep(0.05)
+        try:
+            yield sock
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+                try:
+                    proc.wait(timeout=60)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+
+
+def _loadgen(sock: str, **overrides) -> dict:
+    options = dict(
+        unix_path=sock,
+        method=METHOD,
+        workload="hard",
+        cliques=CLIQUES,
+        delta=DELTA,
+        graph_seed=GRAPH_SEED,
+        epsilon=EPSILON,
+        base_seed=1,
+    )
+    options.update(overrides)
+    report = run_loadgen(LoadgenConfig(**options))
+    assert report["completed"] == report["requests"], report["by_status"]
+    return report
+
+
+def test_batched_throughput_at_least_2x_single_request(benchmark, once):
+    def measure():
+        with serving(
+            "--max-batch", "16", "--linger-ms", "5", "--cache-size", "0",
+        ) as sock:
+            baseline = _loadgen(
+                sock, mode="closed", concurrency=1,
+                requests=BASELINE_REQUESTS,
+            )
+            batched = _loadgen(
+                sock, mode="open", concurrency=64,
+                requests=BATCHED_REQUESTS, base_seed=2,
+            )
+        return baseline, batched
+
+    baseline, batched = once(benchmark, measure)
+    speedup = batched["throughput_rps"] / baseline["throughput_rps"]
+    _ARTIFACT["baseline_single_request"] = baseline
+    _ARTIFACT["batched_saturation"] = batched
+    _ARTIFACT["speedup"] = round(speedup, 2)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["mean_batch_size"] = batched["mean_batch_size"]
+    # The tentpole acceptance bar: ≥2× at a mean batch of ≥8.
+    assert batched["mean_batch_size"] >= 8
+    assert speedup >= 2.0, (
+        f"batched {batched['throughput_rps']} req/s is only {speedup:.2f}x "
+        f"the single-request {baseline['throughput_rps']} req/s"
+    )
+
+
+def test_batch_bound_sweep(benchmark, once):
+    def sweep():
+        rows = []
+        for bound in SWEEP_BATCH_BOUNDS:
+            with serving(
+                "--max-batch", str(bound), "--linger-ms", "5",
+                "--cache-size", "0",
+            ) as sock:
+                report = _loadgen(
+                    sock, mode="open", concurrency=64,
+                    requests=SWEEP_REQUESTS, base_seed=3,
+                )
+            rows.append({
+                "max_batch": bound,
+                "throughput_rps": report["throughput_rps"],
+                "mean_batch_size": report["mean_batch_size"],
+                "p50_ms": report["latency_ms"]["p50"],
+                "p99_ms": report["latency_ms"]["p99"],
+            })
+        return rows
+
+    rows = once(benchmark, sweep)
+    _ARTIFACT["batch_bound_sweep"] = rows
+    by_bound = {row["max_batch"]: row for row in rows}
+    # Amortization must be visible: batching beats per-request dispatch
+    # on the same open-loop workload.
+    assert by_bound[16]["throughput_rps"] > by_bound[1]["throughput_rps"]
+    benchmark.extra_info["sweep"] = {
+        str(row["max_batch"]): row["throughput_rps"] for row in rows
+    }
+
+
+def test_cache_serves_duplicates_without_computing(benchmark, once):
+    def measure():
+        with serving("--max-batch", "8", "--linger-ms", "2") as sock:
+            return _loadgen(
+                sock, mode="closed", concurrency=4, requests=64,
+                duplicate_fraction=0.5, base_seed=4,
+            )
+
+    report = once(benchmark, measure)
+    _ARTIFACT["cache_workload"] = report
+    assert report["by_status"].get("cached", 0) >= 8
+    benchmark.extra_info["cached"] = report["by_status"].get("cached", 0)
+
+
+def teardown_module(module):
+    if not _ARTIFACT:
+        return
+    if "batch_bound_sweep" in _ARTIFACT:
+        print_table(
+            ["max_batch", "req/s", "mean batch", "p50 ms", "p99 ms"],
+            [
+                [row["max_batch"], row["throughput_rps"],
+                 row["mean_batch_size"], row["p50_ms"], row["p99_ms"]]
+                for row in _ARTIFACT["batch_bound_sweep"]
+            ],
+            title="ES open-loop throughput vs batch bound "
+                  f"(hard {CLIQUES}/{DELTA}, {METHOD})",
+        )
+    if "speedup" in _ARTIFACT:
+        print(
+            f"ES speedup: batched "
+            f"{_ARTIFACT['batched_saturation']['throughput_rps']} req/s vs "
+            f"single-request "
+            f"{_ARTIFACT['baseline_single_request']['throughput_rps']} req/s "
+            f"= {_ARTIFACT['speedup']}x"
+        )
+    path = save_artifact("serve_throughput", _ARTIFACT)
+    print(f"artifact: {path}")

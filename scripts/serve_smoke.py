@@ -1,0 +1,198 @@
+"""Serving smoke check: boot ``repro serve``, exercise the contract.
+
+Used by ``make serve-smoke`` and the CI serving step.  Boots the real
+server as a subprocess (worker pool, UNIX socket) and asserts the
+end-to-end guarantees the serving layer advertises:
+
+1. the server starts and answers ``health``;
+2. a ``color`` response byte-matches a direct in-process
+   ``delta_color_deterministic`` call on the same instance (the
+   determinism contract across the wire);
+3. resubmitting the same request is answered from the result cache;
+4. a second server with ``--max-queue 1`` sheds concurrent overload
+   with ``shed`` errors while still completing admitted work;
+5. SIGTERM drains gracefully: the process exits 0 and reports the
+   drain on stdout.
+
+Exit status 0 on success; nonzero with a FAIL message otherwise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.constants import AlgorithmParameters  # noqa: E402
+from repro.core.deterministic import delta_color_deterministic  # noqa: E402
+from repro.graphs import hard_clique_graph  # noqa: E402
+from repro.serve import ServeClient  # noqa: E402
+
+EPSILON = 0.25
+CLIQUES, DELTA, GRAPH_SEED = 16, 8, 3
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    raise SystemExit(1)
+
+
+def ok(message: str) -> None:
+    print(f"ok: {message}")
+
+
+def start_server(sock: str, *extra: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--unix", sock,
+         "-j", "1", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    deadline = time.time() + 60
+    while not os.path.exists(sock):
+        if proc.poll() is not None:
+            fail(f"server exited early:\n{proc.stdout.read()}")
+        if time.time() > deadline:
+            proc.kill()
+            fail("server did not bind its socket within 60s")
+        time.sleep(0.05)
+    return proc
+
+
+def instance_payload() -> dict:
+    instance = hard_clique_graph(CLIQUES, DELTA, seed=GRAPH_SEED)
+    return {
+        "n": instance.n,
+        "edges": [list(edge) for edge in instance.network.edges()],
+        "delta": instance.delta,
+        "uids": list(instance.network.uids),
+    }
+
+
+async def check_correctness_and_cache(sock: str) -> None:
+    payload = instance_payload()
+    direct = delta_color_deterministic(
+        hard_clique_graph(CLIQUES, DELTA, seed=GRAPH_SEED).network,
+        params=AlgorithmParameters(epsilon=EPSILON),
+    )
+    client = ServeClient(unix_path=sock)
+    await client.connect()
+    try:
+        health = await client.request({"op": "health"})
+        if not health.get("ok") or health.get("status") != "ok":
+            fail(f"health check: {health}")
+        ok("server is up and healthy")
+
+        first = await client.request({
+            "op": "color", "method": "deterministic", "epsilon": EPSILON,
+            "instance": payload,
+        })
+        if not first.get("ok"):
+            fail(f"color request failed: {first}")
+        if first["result"]["colors"] != direct.colors:
+            fail("served coloring does not byte-match the direct call")
+        if first["result"]["num_colors"] != direct.num_colors:
+            fail("served num_colors does not match the direct call")
+        if first["cached"]:
+            fail("first submission must not be a cache hit")
+        ok("color response byte-matches delta_color_deterministic")
+
+        again = await client.request({
+            "op": "color", "method": "deterministic", "epsilon": EPSILON,
+            "instance_hash": first["instance_hash"],
+        })
+        if not again.get("ok") or not again.get("cached"):
+            fail(f"resubmission was not served from the cache: {again}")
+        if again["result"]["colors"] != direct.colors:
+            fail("cached coloring differs from the computed one")
+        ok("identical resubmission served from the result cache")
+    finally:
+        await client.close()
+
+
+async def check_shedding(sock: str) -> None:
+    payload = instance_payload()
+    client = ServeClient(unix_path=sock)
+    await client.connect()
+    try:
+        registered = await client.request(
+            {"op": "register", "instance": payload}
+        )
+        if not registered.get("ok"):
+            fail(f"register failed: {registered}")
+        responses = await asyncio.gather(*(
+            client.request({
+                "op": "color", "method": "randomized", "seed": seed,
+                "epsilon": EPSILON, "include_colors": False,
+                "instance_hash": registered["instance_hash"],
+            })
+            for seed in range(8)
+        ))
+        shed = sum(
+            1 for r in responses
+            if not r.get("ok") and r["error"]["code"] == "shed"
+        )
+        completed = sum(1 for r in responses if r.get("ok"))
+        if shed < 1:
+            fail(f"no request shed past max_queue=1 (statuses: {responses})")
+        if completed < 1:
+            fail("every request shed; admitted work must still complete")
+        ok(f"load shedding past the queue bound ({shed} shed, "
+           f"{completed} completed)")
+    finally:
+        await client.close()
+
+
+def check_sigterm_drain(proc: subprocess.Popen, label: str) -> None:
+    proc.send_signal(signal.SIGTERM)
+    try:
+        stdout, _ = proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        fail(f"{label}: server did not exit within 60s of SIGTERM")
+    if proc.returncode != 0:
+        fail(f"{label}: exit code {proc.returncode} after SIGTERM:\n{stdout}")
+    if "drained" not in stdout:
+        fail(f"{label}: no drain report on stdout:\n{stdout}")
+    ok(f"{label}: SIGTERM drained gracefully (exit 0)")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+        sock_a = os.path.join(tmp, "a.sock")
+        server_a = start_server(sock_a)
+        try:
+            asyncio.run(check_correctness_and_cache(sock_a))
+        except BaseException:
+            server_a.kill()
+            raise
+        check_sigterm_drain(server_a, "main server")
+
+        sock_b = os.path.join(tmp, "b.sock")
+        server_b = start_server(
+            sock_b, "--max-queue", "1", "--max-batch", "1",
+            "--linger-ms", "0", "--cache-size", "0",
+        )
+        try:
+            asyncio.run(check_shedding(sock_b))
+        except BaseException:
+            server_b.kill()
+            raise
+        check_sigterm_drain(server_b, "overload server")
+    print("serving smoke check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -250,6 +250,86 @@ def build_parser() -> argparse.ArgumentParser:
              "every result row",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the async coloring service (NDJSON over TCP/UNIX)",
+        description=(
+            "Long-lived Delta-coloring server: micro-batches concurrent "
+            "requests onto a crash-isolated worker pool, caches results "
+            "by canonical instance hash, sheds load past the queue "
+            "bound, and drains gracefully on SIGTERM or the 'drain' op.  "
+            "See DESIGN.md §10 for the protocol and architecture."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0: ephemeral, printed)")
+    serve.add_argument("--unix", default=None, metavar="PATH",
+                       help="serve on a UNIX socket instead of TCP")
+    serve.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes (0: run batches inline, no isolation)",
+    )
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="micro-batch size bound (default 8)")
+    serve.add_argument(
+        "--linger-ms", type=float, default=2.0,
+        help="how long an open batch waits for company (default 2ms)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=256,
+        help="admission bound; requests past it are shed (default 256)",
+    )
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="in-memory result cache entries (0 disables)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="also persist cached results on disk")
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="default per-request deadline when the client sets none",
+    )
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="drive a deterministic workload against a running server",
+        description=(
+            "Seeded open- or closed-loop client: registers one generated "
+            "instance, issues per-seed color requests, and reports "
+            "throughput, latency percentiles, and shed/cache counts."
+        ),
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=0)
+    loadgen.add_argument("--unix", default=None, metavar="PATH")
+    loadgen.add_argument("-n", "--requests", type=int, default=100)
+    loadgen.add_argument("--mode", choices=("open", "closed"), default="open")
+    loadgen.add_argument(
+        "-c", "--concurrency", type=int, default=32,
+        help="open: max outstanding; closed: serial lanes",
+    )
+    loadgen.add_argument(
+        "--method", choices=("deterministic", "randomized", "general",
+                             "baseline-brooks", "baseline-dplus1"),
+        default="randomized",
+    )
+    loadgen.add_argument("--workload", choices=("hard", "mixed"),
+                         default="hard")
+    loadgen.add_argument("--cliques", type=int, default=16)
+    loadgen.add_argument("--delta", type=int, default=8)
+    loadgen.add_argument("--easy-fraction", type=float, default=0.5)
+    loadgen.add_argument("--graph-seed", type=int, default=3)
+    loadgen.add_argument("--epsilon", type=float, default=0.25)
+    loadgen.add_argument("--base-seed", type=int, default=1)
+    loadgen.add_argument(
+        "--duplicate-fraction", type=float, default=0.0,
+        help="fraction of requests reusing an earlier seed (cache hits)",
+    )
+    loadgen.add_argument("--deadline-ms", type=float, default=None)
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the full report as JSON")
+    loadgen.add_argument("-o", "--output", default=None,
+                         help="write the report JSON to a file")
+
     return parser
 
 
@@ -514,6 +594,112 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ColoringServer, ServeConfig
+
+    if args.jobs < 0:
+        raise ReproError(f"--jobs must be >= 0, got {args.jobs}")
+    if args.max_batch < 1:
+        raise ReproError(f"--max-batch must be >= 1, got {args.max_batch}")
+    if args.linger_ms < 0:
+        raise ReproError(f"--linger-ms must be >= 0, got {args.linger_ms}")
+    if args.max_queue < 1:
+        raise ReproError(f"--max-queue must be >= 1, got {args.max_queue}")
+    if args.cache_size < 0:
+        raise ReproError(f"--cache-size must be >= 0, got {args.cache_size}")
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        raise ReproError(
+            f"--deadline-ms must be positive, got {args.deadline_ms}"
+        )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        jobs=args.jobs,
+        max_batch=args.max_batch,
+        linger_ms=args.linger_ms,
+        max_queue=args.max_queue,
+        cache_size=args.cache_size,
+        cache_dir=args.cache_dir,
+        default_deadline_ms=args.deadline_ms,
+        handle_signals=True,
+    )
+
+    async def _serve() -> int:
+        server = ColoringServer(config)
+        await server.start()
+        print(
+            f"serving on {server.address} (jobs={config.jobs}, "
+            f"max_batch={config.max_batch}, linger={config.linger_ms}ms, "
+            f"max_queue={config.max_queue})",
+            flush=True,
+        )
+        try:
+            await server.wait_stopped()
+        finally:
+            await server.close()
+        print(
+            f"drained after {server.admission.admitted_total} requests "
+            f"({server.admission.shed_total} shed)",
+            flush=True,
+        )
+        return 0
+
+    return asyncio.run(_serve())
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve import LoadgenConfig, run_loadgen
+
+    if args.unix is None and args.port == 0:
+        raise ReproError("loadgen needs a target: --port or --unix")
+    config = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        requests=args.requests,
+        mode=args.mode,
+        concurrency=args.concurrency,
+        method=args.method,
+        workload=args.workload,
+        cliques=args.cliques,
+        delta=args.delta,
+        easy_fraction=args.easy_fraction,
+        graph_seed=args.graph_seed,
+        epsilon=args.epsilon,
+        base_seed=args.base_seed,
+        duplicate_fraction=args.duplicate_fraction,
+        deadline_ms=args.deadline_ms,
+    )
+    try:
+        report = run_loadgen(config)
+    except ConnectionError as error:
+        raise ReproError(f"cannot reach the server: {error}") from error
+    except OSError as error:
+        raise ReproError(f"cannot reach the server: {error}") from error
+    if args.output:
+        from pathlib import Path
+
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=1))
+    if args.json:
+        print(json.dumps(report, indent=1))
+    else:
+        latency = report["latency_ms"]
+        print(
+            f"{report['mode']} loadgen: {report['completed']}/"
+            f"{report['requests']} ok, {report['throughput_rps']} req/s, "
+            f"p50 {latency['p50']}ms p99 {latency['p99']}ms, "
+            f"statuses {report['by_status']}"
+        )
+        if args.output:
+            print(f"report written to {args.output}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
@@ -522,6 +708,8 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "lint": _cmd_lint,
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

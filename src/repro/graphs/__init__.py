@@ -25,7 +25,7 @@ from repro.graphs.generators import (
     regular_bipartite_graph,
     sparse_dense_mix,
 )
-from repro.graphs.instance import DenseInstance
+from repro.graphs.instance import DenseInstance, canonical_instance_hash
 from repro.graphs.io import load_coloring, load_instance, save_coloring, save_instance
 from repro.graphs.validation import (
     assert_no_delta_plus_one_clique,
@@ -37,6 +37,7 @@ from repro.graphs.validation import (
 __all__ = [
     "DenseInstance",
     "brooks_obstruction",
+    "canonical_instance_hash",
     "assert_no_delta_plus_one_clique",
     "assert_regular",
     "check_instance",

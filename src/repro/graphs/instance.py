@@ -8,10 +8,48 @@ the hard/easy classification should recover.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable, Sequence
 
 from repro.local.network import Network
+
+__all__ = ["DenseInstance", "canonical_instance_hash"]
+
+
+def canonical_instance_hash(
+    n: int,
+    edges: Iterable[tuple[int, int]],
+    delta: int,
+    uids: Sequence[int] | None = None,
+) -> str:
+    """SHA-256 over a canonical serialization of an instance topology.
+
+    The serialization covers everything the coloring pipeline reads —
+    vertex count, maximum degree, the uid assignment, and the edge set
+    normalized to sorted ``(min, max)`` pairs.  Uids are part of the key
+    because the pipeline breaks symmetry by uid: two topologically equal
+    graphs with different uid assignments can legitimately produce
+    different colorings, so they must not share a cache entry.  Planted
+    oracle structure (cliques, generator metadata) is deliberately
+    excluded: the pipeline never reads it, so it must not fragment the
+    key space.
+
+    The hex digest is stable across processes, Python versions, and
+    machines (unlike ``hash()``, which is salted per interpreter), which
+    is what makes it usable as a serving-cache key.
+    """
+    if uids is None:
+        uids = range(n)
+    canonical = sorted(
+        (u, v) if u < v else (v, u) for u, v in edges
+    )
+    digest = hashlib.sha256()
+    digest.update(f"v1:{n}:{delta}:".encode())
+    digest.update(",".join(str(uid) for uid in uids).encode())
+    digest.update(b":")
+    digest.update(",".join(f"{u}-{v}" for u, v in canonical).encode())
+    return digest.hexdigest()
 
 
 @dataclass
@@ -56,6 +94,21 @@ class DenseInstance:
             for v in members:
                 owner[v] = index
         return owner
+
+    def canonical_hash(self) -> str:
+        """Stable SHA-256 identity of the instance topology.
+
+        See :func:`canonical_instance_hash` for what the key covers and
+        why.  ``save_instance``/``load_instance`` round-trips preserve
+        this hash, so a persisted instance and its in-memory original
+        address the same serving-cache entries.
+        """
+        return canonical_instance_hash(
+            self.network.n,
+            self.network.edges(),
+            self.delta,
+            self.network.uids,
+        )
 
     def describe(self) -> str:
         return (

@@ -39,6 +39,10 @@ DETERMINISM_EXEMPT_PACKAGES = (
     "report",
     "analysis",
     "lint",
+    # The serving layer measures wall-clock latency, lingers, and
+    # deadlines by design; its *results* stay deterministic because it
+    # only ever calls the pipelines with explicit (instance, seed).
+    "serve",
 )
 
 #: Engine implementation modules: the only code allowed to own inboxes,

@@ -26,6 +26,7 @@ from repro.runner.campaign import (
     run_campaign,
     run_cell,
 )
+from repro.runner.pool import WorkerPool
 from repro.runner.presets import (
     PRESETS,
     e2_component_cell,
@@ -42,6 +43,7 @@ __all__ = [
     "CampaignResult",
     "CellTimeout",
     "PRESETS",
+    "WorkerPool",
     "cells_from_spec",
     "derive_cell_seed",
     "load_journal",

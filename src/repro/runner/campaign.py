@@ -60,14 +60,15 @@ import os
 import sys
 import time
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures.process import BrokenProcessPool
-from contextlib import nullcontext, suppress
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro.errors import ReproError
+from repro.runner.pool import WorkerPool
 
 __all__ = [
     "CampaignCell",
@@ -92,10 +93,6 @@ _GRID_FIELDS = (
     "method",
     "seed",
 )
-
-#: Cap on the exponential retry backoff, in seconds.
-_MAX_BACKOFF = 30.0
-
 
 class CellTimeout(ReproError):
     """A campaign cell exceeded its wall-clock timeout."""
@@ -307,15 +304,6 @@ def load_journal(path: str | Path) -> dict[int, dict[str, Any]]:
 
 def _default_progress(done: int, total: int, label: str) -> None:
     print(f"[campaign {done}/{total}] {label}", file=sys.stderr, flush=True)
-
-
-def _kill_pool(pool: ProcessPoolExecutor) -> None:
-    """Terminate a pool's workers (stuck or broken) and discard it."""
-    processes = getattr(pool, "_processes", None) or {}
-    for process in list(processes.values()):
-        with suppress(Exception):
-            process.terminate()
-    pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_campaign(
@@ -554,17 +542,8 @@ def _run_pool(
         (index, 0, False) for index in pending
     )
     inflight: dict[Future, tuple[int, float, int, bool]] = {}
-    pool = ProcessPoolExecutor(max_workers=jobs)
-    rebuilds = 0
+    pool = WorkerPool(jobs, backoff=backoff)
     suspects_open = 0  # crash-requeued cells not yet resolved
-
-    def rebuild_pool() -> None:
-        nonlocal pool, rebuilds
-        _kill_pool(pool)
-        rebuilds += 1
-        if backoff > 0:
-            time.sleep(min(_MAX_BACKOFF, backoff * (2 ** (rebuilds - 1))))
-        pool = ProcessPoolExecutor(max_workers=jobs)
 
     def resolve(index: int, suspect: bool, error, row,
                 kind: str = "error") -> None:
@@ -599,7 +578,7 @@ def _run_pool(
                     ]
                     inflight.clear()
                     crash_out(affected, error)
-                    rebuild_pool()
+                    pool.rebuild()
                     window = 1 if suspects_open else jobs
                     continue
                 deadline = (
@@ -641,7 +620,7 @@ def _run_pool(
                     crashed.append((index, attempts, suspect))
                 inflight.clear()
                 crash_out(crashed, crash_error)
-                rebuild_pool()
+                pool.rebuild()
                 continue
 
             if timeout is not None:
@@ -670,10 +649,9 @@ def _run_pool(
                     for index, _, attempts, suspect in inflight.values():
                         queue.appendleft((index, attempts, suspect))
                     inflight.clear()
-                    _kill_pool(pool)
-                    pool = ProcessPoolExecutor(max_workers=jobs)
+                    pool.restart()
     finally:
-        _kill_pool(pool)
+        pool.kill()
 
 
 def cells_from_spec(spec: dict[str, Any]) -> list[CampaignCell]:

@@ -1,0 +1,58 @@
+"""repro.serve — async Δ-coloring service.
+
+Turns the repro pipelines into a long-lived service: a line-delimited
+JSON protocol (:mod:`protocol`), admission control with load shedding
+(:mod:`admission`), micro-batching onto a crash-isolated worker pool
+(:mod:`batching`, :mod:`server`), a determinism-backed result cache
+(:mod:`cache`), and a deterministic load generator (:mod:`loadgen`).
+``repro serve`` / ``repro loadgen`` are the CLI entry points; see
+DESIGN.md §10 for the architecture.
+
+Everything here measures wall-clock time and talks to sockets, so the
+package is exempt from the determinism lint rule — the *results* it
+returns remain pure functions of (instance, seed, parameters), which is
+precisely what makes the cache sound.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.batching import MicroBatcher, PendingRequest
+from repro.serve.cache import InstanceRegistry, ResultCache, make_cache_key
+from repro.serve.loadgen import LoadgenConfig, ServeClient, run_loadgen
+from repro.serve.protocol import (
+    METHODS,
+    OPS,
+    ColorRequest,
+    ProtocolError,
+    normalize_instance_payload,
+    parse_color_request,
+    parse_request,
+)
+from repro.serve.server import (
+    ColoringServer,
+    ServeConfig,
+    execute_batch,
+    run_server,
+)
+
+__all__ = [
+    "METHODS",
+    "OPS",
+    "AdmissionController",
+    "ColorRequest",
+    "ColoringServer",
+    "InstanceRegistry",
+    "LoadgenConfig",
+    "MicroBatcher",
+    "PendingRequest",
+    "ProtocolError",
+    "ResultCache",
+    "ServeClient",
+    "ServeConfig",
+    "execute_batch",
+    "make_cache_key",
+    "normalize_instance_payload",
+    "parse_color_request",
+    "parse_request",
+    "run_loadgen",
+    "run_server",
+]

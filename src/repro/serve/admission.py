@@ -1,0 +1,76 @@
+"""Admission control: bounded queue, deadlines, graceful drain.
+
+The service admits a ``color`` request only when there is room for it.
+``depth`` counts every admitted request from admission until its
+response is written — queued in the micro-batcher *or* executing in a
+worker — so the bound caps total in-flight work, which is what protects
+memory and tail latency on an overloaded box.  A request over the bound
+is *shed* with a 429-style ``shed`` error instead of queueing without
+limit; clients retry with backoff.
+
+Draining is the cooperative half of shutdown (SIGTERM or the ``drain``
+op): new ``color`` admissions are refused with ``draining`` while
+already-admitted requests run to completion; ``wait_drained`` resolves
+when the last one finishes.  Read-only ops (status/health/metrics) keep
+working throughout so operators can watch the drain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Counting-semaphore-with-opinions for the coloring service."""
+
+    def __init__(self, max_depth: int):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self.depth = 0
+        self.admitted_total = 0
+        self.shed_total = 0
+        self.draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    def try_admit(self) -> str | None:
+        """Admit one request, or return the refusal code.
+
+        ``None`` means admitted (the caller owes one :meth:`release`);
+        ``"draining"`` and ``"shed"`` are protocol error codes.
+        """
+        if self.draining:
+            return "draining"
+        if self.depth >= self.max_depth:
+            self.shed_total += 1
+            return "shed"
+        self.depth += 1
+        self.admitted_total += 1
+        self._idle.clear()
+        return None
+
+    def release(self) -> None:
+        """One admitted request finished (response written or failed)."""
+        if self.depth <= 0:
+            raise RuntimeError("release() without a matching try_admit()")
+        self.depth -= 1
+        if self.depth == 0:
+            self._idle.set()
+
+    def begin_drain(self) -> None:
+        """Stop admitting; in-flight requests keep running."""
+        self.draining = True
+        if self.depth == 0:
+            self._idle.set()
+
+    async def wait_drained(self) -> None:
+        """Resolve once draining has started and depth has hit zero."""
+        await self._idle.wait()
+
+    def state(self) -> str:
+        if not self.draining:
+            return "accepting"
+        return "drained" if self.depth == 0 else "draining"

@@ -1,0 +1,170 @@
+"""Result cache and instance registry for the coloring service.
+
+Caching colorings is sound because every pipeline in this repo is a
+pure function of ``(instance, seed, parameters)`` — the determinism
+contract the test suite and ``repro lint`` enforce.  The cache key is
+therefore the canonical instance hash (:func:`repro.graphs.\
+canonical_instance_hash`) joined with the method, seed, epsilon, and
+any result-shaping options; two requests with equal keys are entitled
+to byte-identical results.
+
+Two small pieces:
+
+* :class:`ResultCache` — bounded in-memory LRU with hit/miss/eviction
+  counters and an optional on-disk spill directory.  Disk entries
+  survive restarts and LRU eviction; a memory miss that lands on disk
+  is promoted back and still counts as a hit.
+* :class:`InstanceRegistry` — bounded LRU of instance payloads keyed by
+  canonical hash, so clients upload a graph once (``register`` op, or
+  implicitly on the first inline ``color``) and then send requests that
+  are a few dozen bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any
+
+__all__ = ["InstanceRegistry", "ResultCache", "make_cache_key"]
+
+
+def make_cache_key(
+    instance_hash: str,
+    method: str,
+    seed: int | None,
+    epsilon: float,
+    options: dict[str, Any] | None = None,
+) -> str:
+    """Canonical cache key for one coloring computation."""
+    payload = {
+        "instance": instance_hash,
+        "method": method,
+        "seed": seed,
+        "epsilon": epsilon,
+        "options": dict(sorted((options or {}).items())),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """LRU result cache with counters and optional disk spill.
+
+    ``capacity`` bounds the in-memory entry count (``0`` disables the
+    cache entirely: every lookup is a miss and nothing is stored).
+    ``disk_dir``, when set, persists every stored entry as
+    ``<key>.json`` so results outlive both eviction and the process.
+    """
+
+    def __init__(self, capacity: int, *, disk_dir: str | Path | None = None):
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.disk_hits = 0
+        self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Look up a result; LRU-touches on hit, falls back to disk."""
+        if self.capacity == 0:
+            self.misses += 1
+            return None
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        entry = self._load_from_disk(key)
+        if entry is not None:
+            self.hits += 1
+            self.disk_hits += 1
+            self._store_memory(key, entry)
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value: dict[str, Any]) -> None:
+        """Store a result (memory LRU + disk when configured)."""
+        if self.disk_dir is not None:
+            path = self.disk_dir / f"{key}.json"
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(value, separators=(",", ":")))
+            tmp.replace(path)
+        if self.capacity > 0:
+            self._store_memory(key, value)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+        }
+
+    def _store_memory(self, key: str, value: dict[str, Any]) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def _load_from_disk(self, key: str) -> dict[str, Any] | None:
+        if self.disk_dir is None:
+            return None
+        path = self.disk_dir / f"{key}.json"
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            entry = json.loads(text)
+        except json.JSONDecodeError:
+            # A torn write from a previous crash; treat as absent.
+            return None
+        return entry if isinstance(entry, dict) else None
+
+
+class InstanceRegistry:
+    """Bounded LRU of slim instance payloads keyed by canonical hash."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"registry capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.evictions = 0
+        self._payloads: OrderedDict[str, dict[str, Any]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def __contains__(self, instance_hash: str) -> bool:
+        return instance_hash in self._payloads
+
+    def get(self, instance_hash: str) -> dict[str, Any] | None:
+        payload = self._payloads.get(instance_hash)
+        if payload is not None:
+            self._payloads.move_to_end(instance_hash)
+        return payload
+
+    def put(self, instance_hash: str, payload: dict[str, Any]) -> None:
+        self._payloads[instance_hash] = payload
+        self._payloads.move_to_end(instance_hash)
+        while len(self._payloads) > self.capacity:
+            self._payloads.popitem(last=False)
+            self.evictions += 1

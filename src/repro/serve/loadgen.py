@@ -1,0 +1,343 @@
+"""Deterministic load generator (and asyncio client) for the service.
+
+:class:`ServeClient` is the reference client: one connection, NDJSON
+framing, request/response matching by ``id`` (responses arrive in
+*completion* order — micro-batching reorders them), usable from tests,
+the smoke script, and the benchmark.
+
+:func:`run_loadgen` drives a workload against a running server.  The
+request *stream* is fully deterministic — the instance comes from the
+seeded graph generators and per-request seeds derive from
+``derive_cell_seed`` — so two loadgen runs against equivalent servers
+ask exactly the same questions.  Two modes:
+
+* ``closed`` — ``concurrency`` lanes, each with its own connection,
+  each keeping exactly one request in flight.  ``concurrency=1`` is the
+  status-quo one-request-at-a-time client that batching is measured
+  against.
+* ``open`` — all requests issued up front on one pipelined connection,
+  bounded by ``concurrency`` outstanding.  This is the saturation
+  workload that fills micro-batches.
+
+``duplicate_fraction`` reuses earlier seeds to exercise the result
+cache at a controlled rate.  The report carries throughput, latency
+percentiles, and per-status counts; wall-clock timing makes this module
+(like the rest of :mod:`repro.serve`) determinism-lint-exempt.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ReproError
+from repro.graphs.generators import hard_clique_graph, mixed_dense_graph
+from repro.runner.campaign import derive_cell_seed
+from repro.serve.protocol import MAX_LINE_BYTES
+
+__all__ = ["LoadgenConfig", "ServeClient", "run_loadgen"]
+
+
+class ServeClient:
+    """Minimal asyncio client: one connection, id-matched futures."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: str | None = None,
+    ):
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._pending: dict[Any, asyncio.Future] = {}
+        self._reader_task: asyncio.Task | None = None
+        self._next_id = 0
+
+    async def connect(self) -> None:
+        if self.unix_path is not None:
+            self._reader, self._writer = await asyncio.open_unix_connection(
+                self.unix_path, limit=MAX_LINE_BYTES
+            )
+        else:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port, limit=MAX_LINE_BYTES
+            )
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(ConnectionError("client closed"))
+        self._pending.clear()
+
+    async def request(self, body: dict[str, Any]) -> dict[str, Any]:
+        """Send one request and await its (id-matched) response."""
+        assert self._writer is not None, "connect() first"
+        if "id" not in body:
+            self._next_id += 1
+            body = {**body, "id": f"c{self._next_id}"}
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[body["id"]] = future
+        self._writer.write(
+            json.dumps(body, separators=(",", ":")).encode() + b"\n"
+        )
+        await self._writer.drain()
+        return await future
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                break
+            try:
+                body = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            future = self._pending.pop(body.get("id"), None)
+            if future is not None and not future.done():
+                future.set_result(body)
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(
+                    ConnectionError("server closed the connection")
+                )
+        self._pending.clear()
+
+
+@dataclass
+class LoadgenConfig:
+    """One deterministic workload against a running server."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    unix_path: str | None = None
+    requests: int = 100
+    mode: str = "open"
+    concurrency: int = 32
+    method: str = "randomized"
+    workload: str = "hard"
+    cliques: int = 16
+    delta: int = 8
+    easy_fraction: float = 0.5
+    graph_seed: int = 3
+    epsilon: float = 0.25
+    base_seed: int = 1
+    duplicate_fraction: float = 0.0
+    deadline_ms: float | None = None
+    include_colors: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("open", "closed"):
+            raise ReproError(f"loadgen mode must be open|closed, got {self.mode!r}")
+        if self.requests < 1:
+            raise ReproError(f"requests must be >= 1, got {self.requests}")
+        if self.concurrency < 1:
+            raise ReproError(f"concurrency must be >= 1, got {self.concurrency}")
+        if not 0 <= self.duplicate_fraction <= 1:
+            raise ReproError(
+                f"duplicate_fraction must be in [0, 1], got {self.duplicate_fraction}"
+            )
+        if self.workload not in ("hard", "mixed"):
+            raise ReproError(
+                f"loadgen workload must be hard|mixed, got {self.workload!r}"
+            )
+
+
+def _instance_payload(config: LoadgenConfig) -> dict[str, Any]:
+    if config.workload == "hard":
+        instance = hard_clique_graph(
+            config.cliques, config.delta, seed=config.graph_seed
+        )
+    else:
+        instance = mixed_dense_graph(
+            config.cliques, config.delta,
+            easy_fraction=config.easy_fraction, seed=config.graph_seed,
+        )
+    return {
+        "n": instance.n,
+        "edges": [list(edge) for edge in instance.network.edges()],
+        "delta": instance.delta,
+        "uids": list(instance.network.uids),
+    }
+
+
+def _request_seeds(config: LoadgenConfig) -> list[int]:
+    """The deterministic seed stream, with controlled duplicates."""
+    seeds: list[int] = []
+    for index in range(config.requests):
+        if (
+            config.duplicate_fraction > 0
+            and index > 0
+            # Deterministic 'coin': duplicate every k-th request.
+            and index % max(1, round(1 / config.duplicate_fraction)) == 0
+        ):
+            seeds.append(seeds[index // 2])
+        else:
+            seeds.append(derive_cell_seed(config.base_seed, index, "loadgen"))
+    return seeds
+
+
+async def _run_async(config: LoadgenConfig) -> dict[str, Any]:
+    loop = asyncio.get_running_loop()
+    setup = ServeClient(
+        host=config.host, port=config.port, unix_path=config.unix_path
+    )
+    await setup.connect()
+    try:
+        registered = await setup.request(
+            {"op": "register", "instance": _instance_payload(config)}
+        )
+        if not registered.get("ok"):
+            raise ReproError(
+                f"instance registration failed: {registered.get('error')}"
+            )
+        instance_hash = registered["instance_hash"]
+        seeds = _request_seeds(config)
+        outcomes: list[dict[str, Any]] = [{} for _ in seeds]
+
+        def body_for(index: int) -> dict[str, Any]:
+            body: dict[str, Any] = {
+                "op": "color",
+                "id": index,
+                "method": config.method,
+                "seed": seeds[index],
+                "epsilon": config.epsilon,
+                "instance_hash": instance_hash,
+                "include_colors": config.include_colors,
+            }
+            if config.deadline_ms is not None:
+                body["deadline_ms"] = config.deadline_ms
+            return body
+
+        async def issue(client: ServeClient, index: int) -> None:
+            sent = loop.time()
+            try:
+                response = await client.request(body_for(index))
+            except ConnectionError as error:
+                outcomes[index] = {"status": "lost", "detail": str(error)}
+                return
+            latency_ms = (loop.time() - sent) * 1000.0
+            if response.get("ok"):
+                outcomes[index] = {
+                    "status": "cached" if response.get("cached") else "ok",
+                    "latency_ms": latency_ms,
+                    "batch_size": response.get("batch_size", 1),
+                }
+            else:
+                outcomes[index] = {
+                    "status": response["error"]["code"],
+                    "latency_ms": latency_ms,
+                }
+
+        started = loop.time()
+        if config.mode == "open":
+            bound = asyncio.Semaphore(config.concurrency)
+
+            async def bounded(index: int) -> None:
+                async with bound:
+                    await issue(setup, index)
+
+            await asyncio.gather(*(bounded(i) for i in range(len(seeds))))
+        else:
+            lanes = min(config.concurrency, len(seeds))
+            clients = [
+                ServeClient(
+                    host=config.host, port=config.port,
+                    unix_path=config.unix_path,
+                )
+                for _ in range(lanes)
+            ]
+            for client in clients:
+                await client.connect()
+            try:
+
+                async def lane(lane_index: int) -> None:
+                    for index in range(lane_index, len(seeds), lanes):
+                        await issue(clients[lane_index], index)
+
+                await asyncio.gather(*(lane(i) for i in range(lanes)))
+            finally:
+                for client in clients:
+                    await client.close()
+        elapsed = loop.time() - started
+        metrics = await setup.request({"op": "metrics"})
+    finally:
+        await setup.close()
+    return _report(config, instance_hash, outcomes, elapsed, metrics)
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def _report(
+    config: LoadgenConfig,
+    instance_hash: str,
+    outcomes: list[dict[str, Any]],
+    elapsed: float,
+    metrics: dict[str, Any],
+) -> dict[str, Any]:
+    by_status: dict[str, int] = {}
+    for outcome in outcomes:
+        by_status[outcome.get("status", "lost")] = (
+            by_status.get(outcome.get("status", "lost"), 0) + 1
+        )
+    completed = by_status.get("ok", 0) + by_status.get("cached", 0)
+    latencies = sorted(
+        o["latency_ms"]
+        for o in outcomes
+        if o.get("status") in ("ok", "cached") and "latency_ms" in o
+    )
+    batch_sizes = [o.get("batch_size", 1) for o in outcomes if o.get("status") == "ok"]
+    return {
+        "mode": config.mode,
+        "method": config.method,
+        "requests": config.requests,
+        "concurrency": config.concurrency,
+        "instance_hash": instance_hash,
+        "elapsed_s": round(elapsed, 4),
+        "throughput_rps": round(completed / elapsed, 2) if elapsed > 0 else 0.0,
+        "completed": completed,
+        "by_status": by_status,
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50), 3),
+            "p90": round(_percentile(latencies, 0.90), 3),
+            "p99": round(_percentile(latencies, 0.99), 3),
+            "max": round(latencies[-1], 3) if latencies else 0.0,
+        },
+        "mean_batch_size": (
+            round(sum(batch_sizes) / len(batch_sizes), 2) if batch_sizes else 0.0
+        ),
+        "server_metrics": metrics.get("server", {}),
+    }
+
+
+def run_loadgen(config: LoadgenConfig) -> dict[str, Any]:
+    """Run the workload; returns the report dict (see module docstring)."""
+    return asyncio.run(_run_async(config))

@@ -1,0 +1,291 @@
+"""Wire protocol of the coloring service: line-delimited JSON.
+
+One request per line, one JSON object per request; one response line per
+request.  The envelope is deliberately tiny so clients in any language
+can speak it with a socket and a JSON library:
+
+Request::
+
+    {"op": "color", "id": 7, "method": "randomized", "seed": 3,
+     "instance": {"n": 128, "edges": [[0, 1], ...]}}
+
+Response::
+
+    {"id": 7, "ok": true, "op": "color", "cached": false,
+     "result": {"algorithm": "...", "num_colors": 8, "colors": [...]}}
+
+Errors are first-class responses, never closed connections::
+
+    {"id": 7, "ok": false, "error": {"code": "shed",
+     "message": "queue depth 256 at bound; retry later"}}
+
+Ops: ``color`` (run a pipeline), ``register`` (upload an instance once,
+address it by canonical hash afterwards), ``status``, ``health``,
+``metrics``, ``drain``.  Instances travel either inline (``instance``,
+same payload shape as :func:`repro.graphs.save_instance`) or by
+reference (``instance_hash`` of a previously registered/submitted
+instance) — the reference form keeps steady-state requests a few dozen
+bytes.
+
+Error codes: ``bad_request`` (malformed JSON / fields), ``unsupported``
+(unknown op or method), ``unknown_instance`` (hash not registered),
+``shed`` (queue bound exceeded — the 429 of this protocol), ``deadline``
+(request expired before execution), ``draining`` (server is shutting
+down), ``internal`` (pipeline raised).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ReproError
+from repro.graphs.instance import canonical_instance_hash
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "METHODS",
+    "OPS",
+    "ColorRequest",
+    "ProtocolError",
+    "encode",
+    "error_body",
+    "normalize_instance_payload",
+    "parse_color_request",
+    "parse_request",
+]
+
+#: Per-line size bound; an instance payload for n ~ 10^5 fits comfortably.
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+OPS = ("color", "register", "status", "health", "metrics", "drain")
+
+#: Pipelines the ``color`` op dispatches to.  The paper pipelines
+#: (deterministic / randomized / general) plus the repo's baselines,
+#: which give the service a cheap-compute tier.
+METHODS = (
+    "deterministic",
+    "randomized",
+    "general",
+    "baseline-brooks",
+    "baseline-dplus1",
+)
+
+
+class ProtocolError(ReproError):
+    """A request the server understands well enough to refuse."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass
+class ColorRequest:
+    """A validated ``color`` request (instance resolved separately)."""
+
+    id: Any = None
+    method: str = "deterministic"
+    seed: int | None = None
+    epsilon: float = 0.25
+    instance: dict[str, Any] | None = None
+    instance_hash: str | None = None
+    deadline_ms: float | None = None
+    include_colors: bool = True
+    no_cache: bool = False
+    options: dict[str, Any] = field(default_factory=dict)
+
+
+def encode(body: dict[str, Any]) -> bytes:
+    """One response line: compact JSON + newline."""
+    return json.dumps(body, separators=(",", ":"), default=str).encode() + b"\n"
+
+
+def error_body(
+    code: str, message: str, *, request_id: Any = None, op: str | None = None
+) -> dict[str, Any]:
+    body: dict[str, Any] = {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+    if op is not None:
+        body["op"] = op
+    return body
+
+
+def parse_request(line: bytes | str) -> dict[str, Any]:
+    """Parse one request line into its envelope dict.
+
+    Raises :class:`ProtocolError` (``bad_request`` / ``unsupported``)
+    for anything the router should bounce before touching an op handler.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(
+                "bad_request", f"request is not valid UTF-8: {error}"
+            ) from error
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(
+            "bad_request", f"request is not valid JSON: {error}"
+        ) from error
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            "bad_request",
+            f"request must be a JSON object, got {type(data).__name__}",
+        )
+    op = data.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("bad_request", "request is missing a string 'op'")
+    if op not in OPS:
+        raise ProtocolError(
+            "unsupported", f"unknown op {op!r}; expected one of {', '.join(OPS)}"
+        )
+    return data
+
+
+def _require(data: dict[str, Any], key: str, kind: type, default: Any) -> Any:
+    value = data.get(key, default)
+    if value is default:
+        return default
+    if kind is float and isinstance(value, int) and not isinstance(value, bool):
+        value = float(value)
+    if not isinstance(value, kind) or isinstance(value, bool) and kind is not bool:
+        raise ProtocolError(
+            "bad_request", f"field {key!r} must be {kind.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def parse_color_request(data: dict[str, Any]) -> ColorRequest:
+    """Validate the fields of a ``color`` envelope."""
+    method = _require(data, "method", str, "deterministic")
+    if method not in METHODS:
+        raise ProtocolError(
+            "unsupported",
+            f"unknown method {method!r}; expected one of {', '.join(METHODS)}",
+        )
+    seed = _require(data, "seed", int, None)
+    epsilon = _require(data, "epsilon", float, 0.25)
+    if not 0 < epsilon < 1:
+        raise ProtocolError(
+            "bad_request", f"epsilon must be in (0, 1), got {epsilon}"
+        )
+    deadline_ms = _require(data, "deadline_ms", float, None)
+    if deadline_ms is not None and deadline_ms <= 0:
+        raise ProtocolError(
+            "bad_request", f"deadline_ms must be positive, got {deadline_ms}"
+        )
+    instance = _require(data, "instance", dict, None)
+    instance_hash = _require(data, "instance_hash", str, None)
+    if instance is None and instance_hash is None:
+        raise ProtocolError(
+            "bad_request", "color needs 'instance' or 'instance_hash'"
+        )
+    if instance is not None and instance_hash is not None:
+        raise ProtocolError(
+            "bad_request", "give 'instance' or 'instance_hash', not both"
+        )
+    options = _require(data, "options", dict, None) or {}
+    allowed_options = {"verify", "validate_input", "activation_probability"}
+    unknown = set(options) - allowed_options
+    if unknown:
+        raise ProtocolError(
+            "bad_request", f"unknown options: {sorted(unknown)}"
+        )
+    return ColorRequest(
+        id=data.get("id"),
+        method=method,
+        seed=seed,
+        epsilon=epsilon,
+        instance=instance,
+        instance_hash=instance_hash,
+        deadline_ms=deadline_ms,
+        include_colors=_require(data, "include_colors", bool, True),
+        no_cache=_require(data, "no_cache", bool, False),
+        options=options,
+    )
+
+
+def normalize_instance_payload(
+    payload: dict[str, Any]
+) -> tuple[str, dict[str, Any]]:
+    """Validate an inline instance payload; return (canonical hash, slim).
+
+    Accepts the :func:`repro.graphs.save_instance` shape (extra keys —
+    planted cliques, metadata — are dropped: the pipeline never reads
+    them and they must not fragment the cache key space).  The slim
+    payload keeps exactly what workers need: ``n``, ``edges``, ``uids``,
+    ``delta``.
+    """
+    n = payload.get("n")
+    if not isinstance(n, int) or isinstance(n, bool) or n <= 0:
+        raise ProtocolError(
+            "bad_request", "instance payload needs a positive int 'n'"
+        )
+    raw_edges = payload.get("edges")
+    if not isinstance(raw_edges, list):
+        raise ProtocolError(
+            "bad_request", "instance payload needs an 'edges' list"
+        )
+    edges: list[tuple[int, int]] = []
+    degree = [0] * n
+    for entry in raw_edges:
+        if (
+            not isinstance(entry, (list, tuple))
+            or len(entry) != 2
+            or not all(
+                isinstance(e, int) and not isinstance(e, bool) for e in entry
+            )
+        ):
+            raise ProtocolError(
+                "bad_request", f"edge {entry!r} is not a pair of ints"
+            )
+        u, v = entry
+        if not (0 <= u < n and 0 <= v < n) or u == v:
+            raise ProtocolError(
+                "bad_request", f"edge {entry!r} is out of range for n={n}"
+            )
+        edges.append((u, v))
+        degree[u] += 1
+        degree[v] += 1
+    uids = payload.get("uids")
+    if uids is not None:
+        if (
+            not isinstance(uids, list)
+            or len(uids) != n
+            or not all(
+                isinstance(uid, int) and not isinstance(uid, bool)
+                for uid in uids
+            )
+        ):
+            raise ProtocolError(
+                "bad_request", f"'uids' must be a list of {n} ints"
+            )
+    delta = payload.get("delta")
+    max_degree = max(degree, default=0)
+    if delta is None:
+        delta = max_degree
+    elif (
+        not isinstance(delta, int) or isinstance(delta, bool)
+        or delta != max_degree
+    ):
+        raise ProtocolError(
+            "bad_request",
+            f"'delta' is {delta!r} but the maximum degree is {max_degree}",
+        )
+    instance_hash = canonical_instance_hash(n, edges, delta, uids)
+    slim: dict[str, Any] = {
+        "n": n,
+        "edges": [list(edge) for edge in edges],
+        "delta": delta,
+    }
+    if uids is not None:
+        slim["uids"] = list(uids)
+    return instance_hash, slim

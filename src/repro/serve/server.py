@@ -1,0 +1,751 @@
+"""The async Δ-coloring server.
+
+Event-loop front end + process-pool back end.  One asyncio task per
+connection reads NDJSON requests (see :mod:`repro.serve.protocol`);
+``color`` requests flow through the cache
+(:mod:`repro.serve.cache`), admission control
+(:mod:`repro.serve.admission`), and the micro-batcher
+(:mod:`repro.serve.batching`) before a whole batch ships to a worker
+process as one picklable task — the same crash-isolation model as the
+campaign runner, via the shared :class:`repro.runner.WorkerPool`.  A
+worker crash (``BrokenProcessPool``) rebuilds the pool with backoff and
+retries the batch; if the rebuilt pool breaks again the batch's
+requests fail with ``internal`` instead of taking the server down.
+
+Inside a worker, batch mates share per-instance work: the
+:class:`~repro.local.network.Network` is built once per distinct
+instance, the (Δ+1)-clique validation runs once, and the ACD — the
+seed-independent prefix of both dense pipelines — is computed once per
+``(instance, epsilon)`` and passed to every seed's coloring.  This is
+what makes batching *faster* rather than merely fairer: a seed-sweep
+batch pays the structural analysis once.
+
+Determinism note: sharing is sound because ``compute_acd`` is itself
+deterministic, so a shared ACD is identical to the one each call would
+have computed — responses byte-match single-request runs, which the
+smoke test (``scripts/serve_smoke.py``) asserts end to end.
+
+``jobs=0`` runs batches inline on the default thread executor — no
+process isolation, but instant startup; the test suite and quick local
+experiments use it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import signal
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.constants import PAPER_PARAMETERS, AlgorithmParameters
+from repro.errors import ReproError
+from repro.obs.collector import Collector, active_collector, install, uninstall
+from repro.obs.metrics import metric_count, metric_observe
+from repro.runner.pool import WorkerPool
+from repro.serve.admission import AdmissionController
+from repro.serve.batching import MicroBatcher, PendingRequest
+from repro.serve.cache import InstanceRegistry, ResultCache, make_cache_key
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ColorRequest,
+    ProtocolError,
+    encode,
+    error_body,
+    normalize_instance_payload,
+    parse_color_request,
+    parse_request,
+)
+
+__all__ = ["ColoringServer", "ServeConfig", "execute_batch", "run_server"]
+
+
+# ----------------------------------------------------------------------
+# Worker side: executes one micro-batch in a subprocess.
+# ----------------------------------------------------------------------
+
+
+def _colors_digest(colors: list[int]) -> str:
+    return hashlib.sha256(
+        json.dumps(colors, separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+def _run_spec(
+    spec: dict[str, Any],
+    network: Any,
+    acd_for: Callable[[float], Any],
+    validated: Callable[[], None],
+) -> dict[str, Any]:
+    from repro.baselines.greedy_brooks import greedy_brooks_coloring
+    from repro.baselines.greedy_deltaplus1 import greedy_delta_plus_one
+    from repro.core.deterministic import delta_color_deterministic
+    from repro.core.randomized import delta_color_randomized
+    from repro.core.sparse import delta_color_general
+
+    method = spec["method"]
+    seed = spec.get("seed")
+    options = spec.get("options") or {}
+    verify = options.get("verify", True)
+    if method == "baseline-brooks":
+        colors = greedy_brooks_coloring(network)
+        return {
+            "algorithm": "greedy-brooks",
+            "num_colors": max(colors) + 1,
+            "rounds": 0,
+            "messages": 0,
+            "colors": colors,
+        }
+    if method == "baseline-dplus1":
+        result = greedy_delta_plus_one(
+            network, deterministic=seed is None, seed=seed, verify=verify
+        )
+    elif method == "general":
+        # The general pipeline owns its sparse-aware ACD and validation.
+        params = _params_for(spec["epsilon"])
+        kwargs: dict[str, Any] = {"params": params, "seed": seed, "verify": verify}
+        if "activation_probability" in options:
+            kwargs["activation_probability"] = options["activation_probability"]
+        result = delta_color_general(network, **kwargs)
+    else:
+        params = _params_for(spec["epsilon"])
+        acd = acd_for(spec["epsilon"])
+        if options.get("validate_input", True):
+            validated()
+        if method == "deterministic":
+            result = delta_color_deterministic(
+                network, params=params, acd=acd, validate_input=False,
+                verify=verify,
+            )
+        else:
+            kwargs = {
+                "params": params,
+                "seed": seed,
+                "acd": acd,
+                "validate_input": False,
+                "verify": verify,
+            }
+            if "activation_probability" in options:
+                kwargs["activation_probability"] = options["activation_probability"]
+            result = delta_color_randomized(network, **kwargs)
+    return {
+        "algorithm": result.algorithm,
+        "num_colors": result.num_colors,
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "phase_rounds": result.phase_rounds(),
+        "colors": result.colors,
+    }
+
+
+def _params_for(epsilon: float) -> AlgorithmParameters:
+    if epsilon == PAPER_PARAMETERS.epsilon:
+        return PAPER_PARAMETERS
+    return AlgorithmParameters(epsilon=epsilon)
+
+
+def execute_batch(
+    specs: list[dict[str, Any]], instances: dict[str, dict[str, Any]]
+) -> list[dict[str, Any]]:
+    """Run one micro-batch of coloring specs (module-level: picklable).
+
+    Batch mates on the same instance share the parsed ``Network``, the
+    (Δ+1)-clique validation, and — per distinct epsilon — the ACD.  Each
+    spec fails independently: a :class:`~repro.errors.ReproError` from
+    one pipeline run becomes that spec's error entry, never its batch
+    mates'.
+    """
+    from repro.acd.decomposition import compute_acd
+    from repro.graphs.validation import assert_no_delta_plus_one_clique
+    from repro.local.network import Network
+
+    networks: dict[str, Any] = {}
+    acds: dict[tuple[str, float], Any] = {}
+    validations: dict[str, bool] = {}
+    out: list[dict[str, Any]] = []
+    for spec in specs:
+        instance_hash = spec["instance_hash"]
+        try:
+            network = networks.get(instance_hash)
+            if network is None:
+                payload = instances[instance_hash]
+                network = Network.from_edges(
+                    payload["n"],
+                    [tuple(edge) for edge in payload["edges"]],
+                    payload.get("uids"),
+                )
+                networks[instance_hash] = network
+
+            def acd_for(
+                epsilon: float, _hash: str = instance_hash, _net: Any = network
+            ) -> Any:
+                acd = acds.get((_hash, epsilon))
+                if acd is None:
+                    acd = compute_acd(_net, epsilon)
+                    acds[(_hash, epsilon)] = acd
+                return acd
+
+            def validated(
+                _hash: str = instance_hash, _net: Any = network
+            ) -> None:
+                if not validations.get(_hash):
+                    assert_no_delta_plus_one_clique(_net)
+                    validations[_hash] = True
+
+            result = _run_spec(spec, network, acd_for, validated)
+            result["colors_sha256"] = _colors_digest(result["colors"])
+            out.append({"key": spec["key"], "result": result})
+        except ReproError as error:
+            out.append({
+                "key": spec["key"],
+                "error": {
+                    "code": "internal",
+                    "message": str(error),
+                    "type": type(error).__name__,
+                },
+            })
+        except Exception as error:  # pipeline bug: fail the spec, not the batch
+            out.append({
+                "key": spec["key"],
+                "error": {
+                    "code": "internal",
+                    "message": f"{type(error).__name__}: {error}",
+                    "type": type(error).__name__,
+                },
+            })
+    return out
+
+
+# ----------------------------------------------------------------------
+# Server side.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of the coloring service.
+
+    ``batch_runner`` is the injection seam mirroring the campaign
+    runner's ``cell_runner``: tests swap in stubs that sleep, crash, or
+    count batches.  It must be picklable when ``jobs > 0``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    unix_path: str | None = None
+    jobs: int = 1
+    max_batch: int = 8
+    linger_ms: float = 2.0
+    max_queue: int = 256
+    cache_size: int = 1024
+    cache_dir: str | None = None
+    registry_size: int = 64
+    default_deadline_ms: float | None = None
+    dispatch_retries: int = 1
+    backoff: float = 0.05
+    handle_signals: bool = False
+    batch_runner: Callable[..., list[dict[str, Any]]] = execute_batch
+
+    def __post_init__(self) -> None:
+        if self.jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {self.jobs}")
+        if self.linger_ms < 0:
+            raise ValueError(f"linger_ms must be >= 0, got {self.linger_ms}")
+
+
+class ColoringServer:
+    """Asyncio NDJSON front end over a crash-isolated worker pool."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.cache = ResultCache(config.cache_size, disk_dir=config.cache_dir)
+        self.registry = InstanceRegistry(config.registry_size)
+        self.admission = AdmissionController(config.max_queue)
+        self.batcher = MicroBatcher(
+            dispatch=self._dispatch,
+            max_batch=config.max_batch,
+            linger=config.linger_ms / 1000.0,
+            max_concurrent=max(1, config.jobs),
+        )
+        self.collector = Collector(sample_rounds=False)
+        self.pool: WorkerPool | None = None
+        self.pool_rebuilds = 0
+        self.connections = 0
+        self._previous_collector: Collector | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._stopped: asyncio.Event | None = None
+        self._started_at = 0.0
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, start the batcher, and (for jobs > 0) spawn workers."""
+        loop = asyncio.get_running_loop()
+        self._started_at = loop.time()
+        self._stopped = asyncio.Event()
+        self._previous_collector = active_collector()
+        install(self.collector)
+        if self.config.jobs > 0:
+            self.pool = WorkerPool(self.config.jobs, backoff=self.config.backoff)
+        self.batcher.start()
+        if self.config.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._on_connection, path=self.config.unix_path,
+                limit=MAX_LINE_BYTES,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, host=self.config.host,
+                port=self.config.port, limit=MAX_LINE_BYTES,
+            )
+        if self.config.handle_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(signum, self._on_signal)
+
+    @property
+    def address(self) -> str:
+        """Printable bound address ('host:port' or the socket path)."""
+        if self.config.unix_path is not None:
+            return self.config.unix_path
+        assert self._server is not None
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return f"{host}:{port}"
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None and self.config.unix_path is None
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def wait_stopped(self) -> None:
+        assert self._stopped is not None
+        await self._stopped.wait()
+
+    async def close(self) -> None:
+        """Tear everything down (idempotent)."""
+        if self.config.handle_signals:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.remove_signal_handler(signum)
+                except (NotImplementedError, RuntimeError):
+                    pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.close()
+        if self.pool is not None:
+            self.pool.kill()
+            self.pool = None
+        if active_collector() is self.collector:
+            if self._previous_collector is not None:
+                install(self._previous_collector)
+            else:
+                uninstall()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    def _on_signal(self) -> None:
+        if not self.admission.draining:
+            asyncio.get_running_loop().create_task(self._drain_and_stop())
+
+    async def _drain_and_stop(self) -> None:
+        self.admission.begin_drain()
+        await self.admission.wait_drained()
+        assert self._stopped is not None
+        self._stopped.set()
+
+    # -- connection handling -------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._write(writer, lock, error_body(
+                        "bad_request",
+                        f"request line exceeds {MAX_LINE_BYTES} bytes",
+                    ))
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    data = parse_request(line)
+                except ProtocolError as error:
+                    metric_count("serve.bad_request")
+                    await self._write(
+                        writer, lock, error_body(error.code, str(error))
+                    )
+                    continue
+                op = data["op"]
+                if op == "color":
+                    task = loop.create_task(
+                        self._handle_color(data, writer, lock)
+                    )
+                elif op == "drain":
+                    task = loop.create_task(
+                        self._handle_drain(data, writer, lock)
+                    )
+                else:
+                    await self._write(writer, lock, self._handle_query(op, data))
+                    continue
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        body: dict[str, Any],
+    ) -> None:
+        try:
+            async with lock:
+                writer.write(encode(body))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away; nothing to tell it
+
+    # -- read-only / control ops ---------------------------------------
+
+    def _handle_query(self, op: str, data: dict[str, Any]) -> dict[str, Any]:
+        request_id = data.get("id")
+        if op == "health":
+            return {
+                "id": request_id,
+                "ok": True,
+                "op": "health",
+                "status": "ok" if not self.admission.draining else "draining",
+            }
+        if op == "status":
+            return {
+                "id": request_id,
+                "ok": True,
+                "op": "status",
+                **self._status(),
+            }
+        if op == "metrics":
+            return {
+                "id": request_id,
+                "ok": True,
+                "op": "metrics",
+                "metrics": self.collector.registry.as_dict(),
+                "server": self._status(),
+            }
+        if op == "register":
+            payload = data.get("instance")
+            if not isinstance(payload, dict):
+                return error_body(
+                    "bad_request", "register needs an 'instance' object",
+                    request_id=request_id, op="register",
+                )
+            try:
+                instance_hash, slim = normalize_instance_payload(payload)
+            except ProtocolError as error:
+                metric_count("serve.bad_request")
+                return error_body(
+                    error.code, str(error), request_id=request_id, op="register"
+                )
+            self.registry.put(instance_hash, slim)
+            return {
+                "id": request_id,
+                "ok": True,
+                "op": "register",
+                "instance_hash": instance_hash,
+                "n": slim["n"],
+                "delta": slim["delta"],
+            }
+        raise AssertionError(f"unrouted op {op!r}")
+
+    def _status(self) -> dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        return {
+            "state": self.admission.state(),
+            "uptime_s": round(loop.time() - self._started_at, 3),
+            "depth": self.admission.depth,
+            "queued": self.batcher.queued,
+            "admitted_total": self.admission.admitted_total,
+            "shed_total": self.admission.shed_total,
+            "connections": self.connections,
+            "cache": self.cache.stats(),
+            "registry": {
+                "size": len(self.registry),
+                "capacity": self.registry.capacity,
+                "evictions": self.registry.evictions,
+            },
+            "batches": {
+                "dispatched": self.batcher.batches_dispatched,
+                "items": self.batcher.items_dispatched,
+                "max_batch": self.config.max_batch,
+                "linger_ms": self.config.linger_ms,
+            },
+            "pool": {
+                "jobs": self.config.jobs,
+                "rebuilds": self.pool_rebuilds,
+            },
+        }
+
+    async def _handle_drain(
+        self,
+        data: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        self.admission.begin_drain()
+        await self.admission.wait_drained()
+        await self._write(writer, lock, {
+            "id": data.get("id"),
+            "ok": True,
+            "op": "drain",
+            "drained": True,
+            "served": self.admission.admitted_total,
+        })
+        assert self._stopped is not None
+        self._stopped.set()
+
+    # -- the color op --------------------------------------------------
+
+    async def _handle_color(
+        self,
+        data: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        try:
+            request = parse_color_request(data)
+        except ProtocolError as error:
+            metric_count("serve.bad_request")
+            await self._write(writer, lock, error_body(
+                error.code, str(error), request_id=data.get("id"), op="color"
+            ))
+            return
+        try:
+            if request.instance is not None:
+                instance_hash, payload = normalize_instance_payload(
+                    request.instance
+                )
+                self.registry.put(instance_hash, payload)
+            else:
+                instance_hash = request.instance_hash or ""
+                found = self.registry.get(instance_hash)
+                if found is None:
+                    metric_count("serve.unknown_instance")
+                    await self._write(writer, lock, error_body(
+                        "unknown_instance",
+                        f"no registered instance with hash {instance_hash!r}; "
+                        "send it inline or via the register op first",
+                        request_id=request.id, op="color",
+                    ))
+                    return
+                payload = found
+        except ProtocolError as error:
+            metric_count("serve.bad_request")
+            await self._write(writer, lock, error_body(
+                error.code, str(error), request_id=request.id, op="color"
+            ))
+            return
+
+        key = make_cache_key(
+            instance_hash, request.method, request.seed, request.epsilon,
+            request.options,
+        )
+        if not request.no_cache:
+            cached = self.cache.get(key)
+            if cached is not None:
+                metric_count("serve.cache_hit")
+                await self._write(writer, lock, self._color_body(
+                    request, instance_hash, cached, cached_result=True
+                ))
+                return
+            metric_count("serve.cache_miss")
+
+        refusal = self.admission.try_admit()
+        if refusal is not None:
+            metric_count(f"serve.{refusal}")
+            detail = (
+                f"queue depth {self.admission.max_depth} at bound; retry later"
+                if refusal == "shed"
+                else "server is draining; no new work accepted"
+            )
+            await self._write(writer, lock, error_body(
+                refusal, detail, request_id=request.id, op="color"
+            ))
+            return
+
+        try:
+            deadline_ms = request.deadline_ms
+            if deadline_ms is None:
+                deadline_ms = self.config.default_deadline_ms
+            item = PendingRequest(
+                key=key,
+                instance_hash=instance_hash,
+                payload=payload,
+                spec={
+                    "key": key,
+                    "instance_hash": instance_hash,
+                    "method": request.method,
+                    "seed": request.seed,
+                    "epsilon": request.epsilon,
+                    "options": request.options,
+                },
+                future=loop.create_future(),
+                deadline=(
+                    started + deadline_ms / 1000.0
+                    if deadline_ms is not None else None
+                ),
+            )
+            self.batcher.submit(item)
+            outcome = await item.future
+            if "error" in outcome:
+                error = outcome["error"]
+                metric_count(f"serve.{error['code']}")
+                body = error_body(
+                    error["code"], error["message"],
+                    request_id=request.id, op="color",
+                )
+                if "type" in error:
+                    body["error"]["type"] = error["type"]
+                await self._write(writer, lock, body)
+            else:
+                metric_observe(
+                    "serve.latency_ms", (loop.time() - started) * 1000.0
+                )
+                metric_count("serve.completed")
+                response = self._color_body(
+                    request, instance_hash, outcome["result"],
+                    cached_result=False,
+                )
+                response["batch_size"] = outcome.get("batch_size", 1)
+                await self._write(writer, lock, response)
+        finally:
+            self.admission.release()
+
+    def _color_body(
+        self,
+        request: ColorRequest,
+        instance_hash: str,
+        result: dict[str, Any],
+        *,
+        cached_result: bool,
+    ) -> dict[str, Any]:
+        if not request.include_colors:
+            result = {k: v for k, v in result.items() if k != "colors"}
+        return {
+            "id": request.id,
+            "ok": True,
+            "op": "color",
+            "cached": cached_result,
+            "instance_hash": instance_hash,
+            "result": result,
+        }
+
+    # -- batch dispatch ------------------------------------------------
+
+    async def _dispatch(self, batch: list[PendingRequest]) -> None:
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        live: list[PendingRequest] = []
+        for item in batch:
+            if item.deadline is not None and now > item.deadline:
+                item.future.set_result({"error": {
+                    "code": "deadline",
+                    "message": "deadline expired before execution "
+                    "(server overloaded or deadline shorter than linger)",
+                }})
+            else:
+                live.append(item)
+        if not live:
+            return
+        by_key: dict[str, list[PendingRequest]] = {}
+        for item in live:
+            by_key.setdefault(item.key, []).append(item)
+        specs = [group[0].spec for group in by_key.values()]
+        instances = {
+            group[0].instance_hash: group[0].payload
+            for group in by_key.values()
+        }
+        metric_observe("serve.batch_size", len(live))
+        try:
+            entries = await self._execute(specs, instances)
+        except Exception as error:
+            for item in live:
+                if not item.future.done():
+                    item.future.set_result({"error": {
+                        "code": "internal",
+                        "message": f"batch execution failed: {error}",
+                    }})
+            return
+        batch_size = len(live)
+        for entry in entries:
+            group = by_key.pop(entry["key"], [])
+            if "error" in entry:
+                outcome: dict[str, Any] = {"error": entry["error"]}
+            else:
+                self.cache.put(entry["key"], entry["result"])
+                outcome = {
+                    "result": entry["result"], "batch_size": batch_size,
+                }
+            for item in group:
+                if not item.future.done():
+                    item.future.set_result(outcome)
+        for group in by_key.values():  # runner returned no entry for the key
+            for item in group:
+                if not item.future.done():
+                    item.future.set_result({"error": {
+                        "code": "internal",
+                        "message": "batch runner returned no result for key",
+                    }})
+
+    async def _execute(
+        self,
+        specs: list[dict[str, Any]],
+        instances: dict[str, dict[str, Any]],
+    ) -> list[dict[str, Any]]:
+        loop = asyncio.get_running_loop()
+        runner = self.config.batch_runner
+        if self.pool is None:
+            return await loop.run_in_executor(None, runner, specs, instances)
+        attempts = 0
+        while True:
+            try:
+                future = self.pool.submit(runner, specs, instances)
+                return await asyncio.wrap_future(future)
+            except BrokenProcessPool:
+                self.pool_rebuilds += 1
+                metric_count("serve.pool_rebuild")
+                if attempts >= self.config.dispatch_retries:
+                    raise
+                attempts += 1
+                # rebuild() sleeps its backoff; keep the loop responsive.
+                await loop.run_in_executor(None, self.pool.rebuild)
+
+
+async def run_server(config: ServeConfig) -> ColoringServer:
+    """CLI entry: start, run until drained/stopped, tear down."""
+    server = ColoringServer(config)
+    await server.start()
+    try:
+        await server.wait_stopped()
+    finally:
+        await server.close()
+    return server

