@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test test-all bench chaos trace serve-smoke report examples ci lint lint-repro typecheck clean
+.PHONY: install test test-all bench chaos columnar-parity trace serve-smoke report examples ci lint lint-repro typecheck clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -18,6 +18,13 @@ bench:
 chaos:
 	PYTHONPATH=src python -m pytest tests/test_faults_chaos.py tests/test_runner_resilience.py -q
 
+# Bit-identical parity gate with the columnar backend forced on: every
+# Network.run in the parity + chaos suites dispatches to
+# repro.local.columnar, so drops/crashes/budgets and Tracer sampling are
+# exercised through the bucketed delivery path.
+columnar-parity:
+	REPRO_FORCE_COLUMNAR=1 PYTHONPATH=src python -m pytest tests/test_engine_parity.py tests/test_faults_chaos.py -q
+
 # Observability smoke: trace a small instance, validate the JSON
 # telemetry against the checked-in schema + consistency invariants.
 trace:
@@ -32,6 +39,7 @@ serve-smoke:
 # Mirrors .github/workflows/ci.yml: tier-1 suite + smokes + lint.
 ci:
 	PYTHONPATH=src python -m pytest -x -q
+	$(MAKE) columnar-parity
 	$(MAKE) trace
 	$(MAKE) serve-smoke
 	$(MAKE) lint

@@ -29,7 +29,13 @@ __all__ = ["DiscardedRunResult", "UnaccountedRun"]
 
 #: Call shapes that execute the engine.
 RUN_METHOD_NAMES = frozenset({"run"})
-RUN_FUNCTION_NAMES = frozenset({"run_subnetwork", "run_with_faults", "run_legacy"})
+RUN_FUNCTION_NAMES = frozenset({
+    "run_subnetwork",
+    "run_with_faults",
+    "run_legacy",
+    "run_columnar",
+    "run_with_faults_columnar",
+})
 
 #: Ledger methods that record cost.
 CHARGE_METHODS = frozenset({"charge", "charge_result", "merge"})

@@ -52,6 +52,7 @@ ENGINE_MODULES = (
     "local/network.py",
     "local/legacy.py",
     "local/faults.py",
+    "local/columnar.py",
 )
 
 

@@ -9,6 +9,14 @@ phase ledgers (:class:`RoundLedger`).
 """
 
 from repro.local.algorithm import BROADCAST, Api, DistributedAlgorithm
+from repro.local.columnar import (
+    ENGINES,
+    columnar_available,
+    engine_scope,
+    force_columnar_engine,
+    run_columnar,
+    run_with_faults_columnar,
+)
 from repro.local.faults import FaultPlan, run_with_faults
 from repro.local.gather import Ball, ball, ball_vertices, gather_balls
 from repro.local.ledger import LedgerEntry, RoundLedger
@@ -25,6 +33,7 @@ __all__ = [
     "Ball",
     "DEFAULT_MAX_ROUNDS",
     "DistributedAlgorithm",
+    "ENGINES",
     "FaultPlan",
     "LedgerEntry",
     "Network",
@@ -36,9 +45,14 @@ __all__ = [
     "VirtualNetwork",
     "ball",
     "ball_vertices",
+    "columnar_available",
+    "engine_scope",
+    "force_columnar_engine",
     "force_legacy_engine",
     "gather_balls",
     "message_words",
+    "run_columnar",
     "run_legacy",
     "run_with_faults",
+    "run_with_faults_columnar",
 ]

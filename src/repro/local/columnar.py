@@ -1,0 +1,872 @@
+"""Columnar (struct-of-arrays) message engine: opt-in numpy backend.
+
+The fast engine in :mod:`repro.local.network` still pays per-message
+Python dispatch inside ``flush_outbox``: one loop iteration, a halted
+check, an inbox lookup, and an append for every delivered copy.  The
+microbench shows that wall collapsing throughput from ~637 to ~42
+rounds/sec as a round's message volume grows into the millions.  This
+module replaces the delivery loop with columnar kernels:
+
+* The immutable adjacency is snapshotted once per network into a CSR
+  layout (``flat`` neighbor buffer + per-vertex ``offsets``), cached on
+  the :class:`~repro.local.network.Network` — sound because adjacency
+  is frozen after construction.
+* Each flush builds parallel ``src`` / ``dst`` / ``payload_ref``
+  buffers: one *row* per outbox record, expanded to one entry per
+  delivered copy with ``np.repeat`` against the CSR degrees (broadcast
+  expansion costs array ops, not a Python loop over neighbors).
+* Delivery is *bucketed*: a single stable ``argsort`` groups the copies
+  by destination (stability preserves the sequential engine's
+  per-inbox arrival order), bucket boundaries come from one boundary
+  scan, and each inbox is handed out as a lazy ``_InboxView`` over its
+  bucket — length and truthiness are O(1), and the concrete
+  ``(src, payload)`` pairs are built only if the callback actually
+  reads the inbox.
+* The all-broadcast round (every node broadcasts exactly once — the
+  shape of storm kernels and color-class sweeps) short-circuits the
+  sort entirely: its destination bucketing is a pure function of the
+  topology and is precomputed once per network.
+
+Selection mirrors :func:`repro.local.legacy.force_legacy_engine`:
+:func:`force_columnar_engine` re-routes every ``Network.run`` in its
+scope (:func:`engine_scope` maps the per-run ``engine`` knob of
+campaign cells and serve requests onto these context managers), and the
+``REPRO_FORCE_COLUMNAR`` environment variable turns the backend on
+process-wide so whole suites can be replayed on it.  When numpy is not
+importable the dispatch in ``Network.run`` falls back to the fast
+engine silently — the columnar backend is an accelerator, never a
+requirement.
+
+Correctness is byte-for-byte, not approximate: the engine-parity suite
+(``tests/test_engine_parity.py``) and the faults/Tracer parity tests
+hold every :class:`~repro.local.result.RunResult` — rounds, messages,
+outputs, halt flags, bandwidth words, drop/crash accounting, tracer
+samples — bit-identical to the sequential engines.
+"""
+
+from __future__ import annotations
+
+import heapq
+from contextlib import contextmanager, nullcontext
+from operator import itemgetter as _itemgetter
+from typing import Any
+
+from repro.errors import RoundLimitExceeded, SimulationError
+from repro.local.algorithm import BROADCAST, Api, DistributedAlgorithm
+from repro.local.result import RunResult
+
+try:  # pragma: no cover - exercised both ways across environments
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
+
+__all__ = [
+    "ENGINES",
+    "columnar_available",
+    "engine_scope",
+    "force_columnar_engine",
+    "run_columnar",
+    "run_with_faults_columnar",
+]
+
+#: Names accepted by :func:`engine_scope` (and the campaign/serve
+#: ``engine`` knobs that feed it).
+ENGINES = ("fast", "legacy", "columnar")
+
+
+def columnar_available() -> bool:
+    """True when numpy is importable (the backend's only requirement)."""
+    return _np is not None
+
+
+@contextmanager
+def force_columnar_engine():
+    """Route all ``Network.run`` calls through the columnar engine.
+
+    Nestable; restores the previous setting on exit.  Inside a
+    ``force_legacy_engine`` scope the legacy engine wins — it is the
+    frozen reference the parity suites compare against, so an explicit
+    legacy request must never be silently upgraded.
+    """
+    from repro.local import network as network_module
+
+    previous = network_module._FORCE_COLUMNAR
+    network_module._FORCE_COLUMNAR = True
+    try:
+        yield
+    finally:
+        network_module._FORCE_COLUMNAR = previous
+
+
+def engine_scope(engine: str | None):
+    """Context manager selecting an engine for every run in its scope.
+
+    ``None`` and ``"fast"`` are the no-op default; ``"legacy"`` and
+    ``"columnar"`` force the respective backend.  This is the single
+    seam through which campaign cells (``CampaignCell.engine``) and
+    serve requests (``options.engine``) pick their backend.
+    """
+    if engine is None or engine == "fast":
+        return nullcontext()
+    if engine == "legacy":
+        from repro.local.legacy import force_legacy_engine
+
+        return force_legacy_engine()
+    if engine == "columnar":
+        return force_columnar_engine()
+    raise SimulationError(
+        f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
+    )
+
+
+class _InboxView:
+    """Zero-copy inbox: one destination bucket of a columnar flush.
+
+    The bucketed delivery path hands every receiver one of these instead
+    of an eagerly-built ``list[(src, payload)]``.  The view knows its
+    length (tracer accounting and ``if box:`` checks stay O(1)) and
+    materializes the concrete pair list only on first read — a kernel
+    that never looks at its inbox never pays per-copy Python object
+    costs at all, which is precisely the waste the columnar backend
+    exists to eliminate.  Materialization is cached, so re-iteration and
+    keeping a reference remain as safe as with the eager engines.
+
+    Read-only by design: the callback contract declares the inbox as a
+    ``Sequence`` and no algorithm may mutate it.
+    """
+
+    __slots__ = ("_pairs", "_picker", "_length", "_items")
+
+    def __init__(self, pairs, picker, length: int):
+        self._pairs = pairs
+        self._picker = picker
+        self._length = length
+        self._items = None
+
+    def _materialize(self) -> list:
+        items = self._items
+        if items is None:
+            picker = self._picker
+            pairs = self._pairs
+            if type(picker) is int:
+                items = [pairs[picker]]
+            elif type(picker) is list:
+                items = [pairs[i] for i in picker]
+            else:  # a precomputed itemgetter (full-broadcast schedule)
+                items = list(picker(pairs))
+            self._items = items
+            self._pairs = self._picker = None
+        return items
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_InboxView({self._materialize()!r})"
+
+
+# ----------------------------------------------------------------------
+# Topology snapshot
+# ----------------------------------------------------------------------
+
+
+class _ColumnarLayout:
+    """CSR snapshot of a network's (immutable) adjacency.
+
+    Cached on the network instance by :func:`_layout_for`; safe because
+    :class:`~repro.local.network.Network` freezes adjacency at
+    construction (see the staleness regression tests in
+    ``tests/test_local_network.py``).
+    """
+
+    __slots__ = ("degrees", "deg_list", "offsets", "flat", "_full")
+
+    def __init__(self, network) -> None:
+        adjacency = network.adjacency
+        n = network.n
+        self.degrees = _np.fromiter(
+            (len(nbrs) for nbrs in adjacency), dtype=_np.intp, count=n
+        )
+        self.deg_list: list[int] = self.degrees.tolist()
+        self.offsets = _np.zeros(n + 1, dtype=_np.intp)
+        _np.cumsum(self.degrees, out=self.offsets[1:])
+        flat = _np.empty(int(self.offsets[-1]), dtype=_np.intp)
+        for v, nbrs in enumerate(adjacency):
+            if nbrs:
+                flat[self.offsets[v]:self.offsets[v + 1]] = nbrs
+        self.flat = flat
+        self._full: tuple | None = None
+
+    def full_broadcast(self) -> tuple:
+        """Precomputed delivery for 'every node broadcasts once'.
+
+        Returns ``(schedule, dsts, total_copies)``.  ``schedule`` holds
+        one ``(dst, picker, length)`` triple per receiving bucket, where
+        ``picker`` selects the bucket's sending rows out of the per-row
+        pair list (an :func:`operator.itemgetter` over the sorted
+        sources, or a bare int for degree-1 buckets).  Buckets are in
+        ascending destination order and each bucket lists senders in
+        ascending order — exactly the arrival order of the sequential
+        engines.  A pure function of the topology, computed once per
+        network; per round the engine only allocates one
+        :class:`_InboxView` per receiver.
+        """
+        if self._full is None:
+            n = len(self.deg_list)
+            order = _np.argsort(self.flat, kind="stable")
+            dst_sorted = self.flat[order]
+            refs = _np.repeat(_np.arange(n, dtype=_np.intp), self.degrees)[order]
+            bounds = _bucket_bounds(dst_sorted)
+            starts = bounds.tolist()
+            dsts = dst_sorted[bounds[:-1]].tolist()
+            refs_list = refs.tolist()
+            schedule = []
+            for b in range(len(dsts)):
+                s0, s1 = starts[b], starts[b + 1]
+                picker = (
+                    refs_list[s0]
+                    if s1 - s0 == 1
+                    else _itemgetter(*refs_list[s0:s1])
+                )
+                schedule.append((dsts[b], picker, s1 - s0))
+            self._full = (schedule, dsts, int(refs.size))
+        return self._full
+
+
+def _bucket_bounds(sorted_dsts):
+    """Boundary indices (incl. both ends) of equal-value runs."""
+    if not len(sorted_dsts):
+        return _np.zeros(1, dtype=_np.intp)
+    change = _np.flatnonzero(sorted_dsts[1:] != sorted_dsts[:-1]) + 1
+    return _np.concatenate(
+        (_np.zeros(1, dtype=_np.intp), change,
+         _np.array([len(sorted_dsts)], dtype=_np.intp))
+    )
+
+
+def _layout_for(network) -> _ColumnarLayout:
+    layout = getattr(network, "_columnar_layout", None)
+    if layout is None:
+        layout = _ColumnarLayout(network)
+        network._columnar_layout = layout
+    return layout
+
+
+# ----------------------------------------------------------------------
+# Fault-free columnar engine
+# ----------------------------------------------------------------------
+
+
+def run_columnar(
+    network,
+    algorithm: DistributedAlgorithm,
+    *,
+    max_rounds: int | None = None,
+    measure_bandwidth: bool = False,
+    bandwidth_limit: int | None = None,
+    tracer=None,
+) -> RunResult:
+    """Execute ``algorithm`` on ``network`` with the columnar engine.
+
+    Scheduling, delivery order, round/message/bandwidth accounting, and
+    validation behavior are bit-identical to ``Network.run``'s fast
+    path; only the flush implementation differs (bucketed array
+    delivery instead of a per-message Python loop).  Raises
+    :class:`SimulationError` when numpy is unavailable — the dispatch
+    in ``Network.run`` checks :func:`columnar_available` first and
+    falls back to the fast engine instead of calling this.
+    """
+    if _np is None:
+        raise SimulationError(
+            "the columnar engine requires numpy; run without "
+            "force_columnar_engine() to use the pure-Python fast engine"
+        )
+    from repro.local.network import DEFAULT_MAX_ROUNDS, message_words
+
+    if max_rounds is None:
+        max_rounds = DEFAULT_MAX_ROUNDS
+
+    n = network.n
+    nodes = network.nodes
+    for node in nodes:
+        node.reset()
+
+    layout = _layout_for(network)
+    degrees, deg_list = layout.degrees, layout.deg_list
+    offsets, flat = layout.offsets, layout.flat
+
+    api = Api(network)
+    outbox = api._outbox
+    api_alarms = api._alarms
+    alarms: list[tuple[int, int]] = []
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    validate = network._validate_sends
+    neighbor_sets = network._neighbor_set_list() if validate else None
+    track = measure_bandwidth or bandwidth_limit is not None
+
+    # Holds plain lists (empty) or _InboxView buckets between rounds.
+    inboxes: list[Any] = [[] for _ in range(n)]
+    halted = bytearray(n)
+    # Zero-copy mirror: numpy view over the same bytes the scheduler
+    # flips, so the halted filter needs no per-round synchronization.
+    halted_view = _np.frombuffer(halted, dtype=_np.uint8)
+    halted_count = 0
+
+    messages_sent = 0
+    max_words = 0
+    total_words = 0
+
+    def flush_full_broadcast() -> list[int] | None:
+        """The all-broadcast round, on the precomputed schedule.
+
+        When every node broadcast exactly once this flush (row ``i`` is
+        node ``i``'s broadcast — the shape of storm kernels and
+        color-class sweeps), the destination bucketing is a pure
+        function of the topology: each receiver gets a zero-copy
+        :class:`_InboxView` over the per-row pair list, and no per-copy
+        Python object is created at all unless a callback actually reads
+        its inbox.  Returns None when the outbox has any other shape.
+        """
+        nonlocal messages_sent, max_words, total_words
+        pairs: list[tuple[int, Any]] = []
+        append_pair = pairs.append
+        index = 0
+        for row in outbox:
+            if row[0] != BROADCAST or row[1] != index:
+                return None
+            append_pair(row[1:])
+            index += 1
+        schedule, dsts, total_copies = layout.full_broadcast()
+        messages_sent += total_copies
+        if track:
+            for src, (_, payload) in enumerate(pairs):
+                copies = deg_list[src]
+                if not copies:
+                    continue
+                words = message_words(payload)
+                total_words += words * copies
+                if words > max_words:
+                    max_words = words
+                if bandwidth_limit is not None and words > bandwidth_limit:
+                    raise SimulationError(
+                        f"{algorithm.name}: message of {words} words "
+                        f"from {src} exceeds the CONGEST limit of "
+                        f"{bandwidth_limit}"
+                    )
+        for dst, picker, length in schedule:
+            inboxes[dst] = _InboxView(pairs, picker, length)
+        return list(dsts)
+
+    def flush_outbox() -> list[int]:
+        """Bucketed delivery; returns the indices that got messages.
+
+        The returned schedule is always sorted ascending (buckets come
+        off a sorted destination buffer), which lets the main loop skip
+        its ``due.sort()`` unless alarms appended out-of-order entries.
+        """
+        nonlocal messages_sent, max_words, total_words
+        receivers: list[int] = []
+        rows = len(outbox)
+        if rows:
+            full = (
+                flush_full_broadcast()
+                if rows == n and halted_count == 0
+                else None
+            )
+            if full is not None:
+                receivers = full
+            else:
+                # Row scan: per-record accounting and validation stay
+                # sequential (they are per *row*, not per copy, and
+                # error order must match the sequential engines); the
+                # per-copy work moves into array kernels below.
+                pairs: list[tuple[int, Any]] = []
+                append_pair = pairs.append
+                srcs: list[int] = []
+                keys: list[int] = []
+                bcast: list[bool] = []
+                for dst, src, payload in outbox:
+                    if dst == BROADCAST:
+                        copies = deg_list[src]
+                        if copies:
+                            messages_sent += copies
+                            if track:
+                                words = message_words(payload)
+                                total_words += words * copies
+                                if words > max_words:
+                                    max_words = words
+                                if (
+                                    bandwidth_limit is not None
+                                    and words > bandwidth_limit
+                                ):
+                                    raise SimulationError(
+                                        f"{algorithm.name}: message of "
+                                        f"{words} words from {src} exceeds "
+                                        f"the CONGEST limit of "
+                                        f"{bandwidth_limit}"
+                                    )
+                        keys.append(src)
+                        bcast.append(True)
+                    else:
+                        if validate and dst not in neighbor_sets[src]:
+                            raise SimulationError(
+                                f"{algorithm.name}: node {src} sent to "
+                                f"non-neighbor {dst}"
+                            )
+                        messages_sent += 1
+                        if track:
+                            words = message_words(payload)
+                            total_words += words
+                            if words > max_words:
+                                max_words = words
+                            if (
+                                bandwidth_limit is not None
+                                and words > bandwidth_limit
+                            ):
+                                raise SimulationError(
+                                    f"{algorithm.name}: message of {words} "
+                                    f"words from {src} exceeds the CONGEST "
+                                    f"limit of {bandwidth_limit}"
+                                )
+                        keys.append(dst)
+                        bcast.append(False)
+                    srcs.append(src)
+                    append_pair((src, payload))
+                src_arr = _np.array(srcs, dtype=_np.intp)
+                key_arr = _np.array(keys, dtype=_np.intp)
+                bcast_arr = _np.array(bcast, dtype=bool)
+                counts = _np.where(bcast_arr, degrees[src_arr], 1)
+                total = int(counts.sum())
+                if total:
+                    refs = _np.repeat(
+                        _np.arange(rows, dtype=_np.intp), counts
+                    )
+                    # dst buffer: unicast rows carry the destination in
+                    # key_arr; broadcast rows carry the *source* and are
+                    # rewritten below through the CSR neighbor buffer.
+                    dst_all = key_arr[refs]
+                    bcast_copy = bcast_arr[refs]
+                    if bcast_copy.any():
+                        cum = _np.cumsum(counts)
+                        within = (
+                            _np.arange(total, dtype=_np.intp)
+                            - _np.repeat(cum - counts, counts)
+                        )
+                        b_idx = _np.flatnonzero(bcast_copy)
+                        dst_all[b_idx] = flat[
+                            offsets[dst_all[b_idx]] + within[b_idx]
+                        ]
+                    if halted_count:
+                        keep = halted_view[dst_all] == 0
+                        if not keep.all():
+                            dst_all = dst_all[keep]
+                            refs = refs[keep]
+                    if dst_all.size:
+                        order = _np.argsort(dst_all, kind="stable")
+                        dst_sorted = dst_all[order]
+                        refs_list = refs[order].tolist()
+                        bounds = _bucket_bounds(dst_sorted)
+                        starts = bounds.tolist()
+                        dsts = dst_sorted[bounds[:-1]].tolist()
+                        buckets = len(dsts)
+                        for b in range(buckets):
+                            s0, s1 = starts[b], starts[b + 1]
+                            picker = (
+                                refs_list[s0]
+                                if s1 - s0 == 1
+                                else refs_list[s0:s1]
+                            )
+                            inboxes[dsts[b]] = _InboxView(
+                                pairs, picker, s1 - s0
+                            )
+                        receivers = dsts
+            outbox.clear()
+        for item in api_alarms:
+            heappush(alarms, item)
+        api_alarms.clear()
+        return receivers
+
+    # Round 0: initialization.
+    on_round = algorithm.on_round
+    api.round = 0
+    for node in nodes:
+        api._node = node
+        algorithm.on_start(node, api)
+        if node.halted:
+            halted[node.index] = 1
+            halted_count += 1
+    pending = flush_outbox()
+
+    rnd = 0
+    last_activity_round = 0
+    empty: tuple = ()
+    while pending or alarms:
+        if pending:
+            rnd += 1
+        else:
+            # Fast-forward to the next alarm; those quiet rounds elapse.
+            rnd = max(rnd + 1, alarms[0][0])
+        if rnd > max_rounds:
+            raise RoundLimitExceeded(
+                f"{algorithm.name} exceeded {max_rounds} rounds on {network.name}"
+            )
+        due = pending
+        if alarms and alarms[0][0] <= rnd:
+            stamped: set[int] = set()
+            appended = False
+            while alarms and alarms[0][0] <= rnd:
+                index = heappop(alarms)[1]
+                if halted[index] or index in stamped:
+                    continue
+                stamped.add(index)
+                if not inboxes[index]:
+                    due.append(index)
+                    appended = True
+            # Bucketed delivery already yields a sorted schedule; only
+            # alarm wake-ups can perturb the order.
+            if appended:
+                due.sort()
+        if not due:
+            continue
+        api.round = rnd
+        scheduled = 0
+        delivered = (
+            sum(len(inboxes[index]) for index in due)
+            if tracer is not None
+            else 0
+        )
+        for index in due:
+            if halted[index]:
+                continue
+            node = nodes[index]
+            api._node = node
+            box = inboxes[index]
+            if box:
+                inboxes[index] = []
+                on_round(node, api, box)
+            else:
+                on_round(node, api, empty)
+            scheduled += 1
+            if node.halted:
+                halted[index] = 1
+                halted_count += 1
+        if tracer is not None:
+            tracer.record(rnd, scheduled, delivered, halted_count)
+        pending = flush_outbox()
+        last_activity_round = rnd
+
+    return RunResult(
+        rounds=last_activity_round,
+        messages=messages_sent,
+        outputs=[node.output for node in nodes],
+        halted=[node.halted for node in nodes],
+        max_message_words=max_words,
+        total_message_words=total_words,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fault-injected columnar engine
+# ----------------------------------------------------------------------
+
+
+def run_with_faults_columnar(
+    network,
+    algorithm,
+    plan,
+    *,
+    max_rounds: int,
+    measure_bandwidth: bool = False,
+    bandwidth_limit: int | None = None,
+    tracer=None,
+) -> RunResult:
+    """Columnar twin of :func:`repro.local.faults.run_with_faults`.
+
+    Drops, crash-stop, and round budgets ride the bucketed delivery
+    path: the halted/crashed filters are array masks, and the
+    drop-decision RNG is consumed in exactly the sequential loop's
+    delivery order (row order, adjacency order within a broadcast,
+    halted and crashed destinations excluded) so the same plan loses
+    the same messages bit-for-bit.
+    """
+    if _np is None:
+        raise SimulationError(
+            "the columnar engine requires numpy; run without "
+            "force_columnar_engine() to use the injected pure-Python loop"
+        )
+    from repro.local.network import message_words
+
+    n = network.n
+    nodes = network.nodes
+    for node in nodes:
+        node.reset()
+
+    layout = _layout_for(network)
+    degrees, deg_list = layout.degrees, layout.deg_list
+    offsets, flat = layout.offsets, layout.flat
+
+    crash_round = plan.crash_rounds(n)
+    crash_view = _np.array(crash_round, dtype=_np.float64)
+    drop_p = plan.drop_probability
+    budget = plan.round_budget
+    drop_roll = None
+    if drop_p > 0.0:
+        import random
+
+        drop_roll = random.Random(plan.seed).random
+
+    api = Api(network)
+    outbox = api._outbox
+    api_alarms = api._alarms
+    alarms: list[tuple[int, int]] = []
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    validate = network._validate_sends
+    neighbor_sets = network._neighbor_set_list() if validate else None
+    track = measure_bandwidth or bandwidth_limit is not None
+
+    # Holds plain lists (empty) or _InboxView buckets between rounds.
+    inboxes: list[Any] = [[] for _ in range(n)]
+    halted = bytearray(n)
+    halted_view = _np.frombuffer(halted, dtype=_np.uint8)
+    halted_count = 0
+
+    messages_sent = 0
+    dropped = 0
+    max_words = 0
+    total_words = 0
+
+    def flush_outbox(rnd: int) -> list[int]:
+        """Bucketed delivery under the plan; returns scheduled indices."""
+        nonlocal messages_sent, dropped, max_words, total_words
+        receivers: list[int] = []
+        rows = len(outbox)
+        if rows:
+            next_round = rnd + 1
+            pairs: list[tuple[int, Any]] = []
+            append_pair = pairs.append
+            srcs: list[int] = []
+            keys: list[int] = []
+            bcast: list[bool] = []
+            for dst, src, payload in outbox:
+                if dst == BROADCAST:
+                    copies = deg_list[src]
+                    if copies:
+                        messages_sent += copies
+                        if track:
+                            words = message_words(payload)
+                            total_words += words * copies
+                            if words > max_words:
+                                max_words = words
+                            if (
+                                bandwidth_limit is not None
+                                and words > bandwidth_limit
+                            ):
+                                raise SimulationError(
+                                    f"{algorithm.name}: message of {words} "
+                                    f"words from {src} exceeds the CONGEST "
+                                    f"limit of {bandwidth_limit}"
+                                )
+                    keys.append(src)
+                    bcast.append(True)
+                else:
+                    if validate and dst not in neighbor_sets[src]:
+                        raise SimulationError(
+                            f"{algorithm.name}: node {src} sent to "
+                            f"non-neighbor {dst}"
+                        )
+                    messages_sent += 1
+                    if track:
+                        words = message_words(payload)
+                        total_words += words
+                        if words > max_words:
+                            max_words = words
+                        if bandwidth_limit is not None and words > bandwidth_limit:
+                            raise SimulationError(
+                                f"{algorithm.name}: message of {words} words "
+                                f"from {src} exceeds the CONGEST limit of "
+                                f"{bandwidth_limit}"
+                            )
+                    keys.append(dst)
+                    bcast.append(False)
+                srcs.append(src)
+                append_pair((src, payload))
+
+            src_arr = _np.array(srcs, dtype=_np.intp)
+            key_arr = _np.array(keys, dtype=_np.intp)
+            bcast_arr = _np.array(bcast, dtype=bool)
+            counts = _np.where(bcast_arr, degrees[src_arr], 1)
+            total = int(counts.sum())
+            if total:
+                refs = _np.repeat(_np.arange(rows, dtype=_np.intp), counts)
+                dst_all = key_arr[refs]
+                bcast_copy = bcast_arr[refs]
+                if bcast_copy.any():
+                    cum = _np.cumsum(counts)
+                    within = (
+                        _np.arange(total, dtype=_np.intp)
+                        - _np.repeat(cum - counts, counts)
+                    )
+                    b_idx = _np.flatnonzero(bcast_copy)
+                    dst_all[b_idx] = flat[
+                        offsets[dst_all[b_idx]] + within[b_idx]
+                    ]
+                # Injection filters, in the sequential loop's order:
+                # halted destinations are a silent skip (no drop
+                # charged, no roll consumed), crashed destinations are
+                # charged drops without a roll, and only the remaining
+                # copies consume the seeded drop stream.
+                if halted_count:
+                    keep = halted_view[dst_all] == 0
+                    if not keep.all():
+                        dst_all = dst_all[keep]
+                        refs = refs[keep]
+                crashed = crash_view[dst_all] <= next_round
+                crashed_count = int(crashed.sum())
+                if crashed_count:
+                    dropped += crashed_count
+                    live = ~crashed
+                    dst_all = dst_all[live]
+                    refs = refs[live]
+                if drop_roll is not None and dst_all.size:
+                    rolls = _np.fromiter(
+                        (drop_roll() for _ in range(dst_all.size)),
+                        dtype=_np.float64,
+                        count=dst_all.size,
+                    )
+                    lost = rolls < drop_p
+                    lost_count = int(lost.sum())
+                    if lost_count:
+                        dropped += lost_count
+                        kept = ~lost
+                        dst_all = dst_all[kept]
+                        refs = refs[kept]
+                if dst_all.size:
+                    order = _np.argsort(dst_all, kind="stable")
+                    dst_sorted = dst_all[order]
+                    refs_list = refs[order].tolist()
+                    bounds = _bucket_bounds(dst_sorted)
+                    starts = bounds.tolist()
+                    dsts = dst_sorted[bounds[:-1]].tolist()
+                    buckets = len(dsts)
+                    for b in range(buckets):
+                        s0, s1 = starts[b], starts[b + 1]
+                        picker = (
+                            refs_list[s0]
+                            if s1 - s0 == 1
+                            else refs_list[s0:s1]
+                        )
+                        inboxes[dsts[b]] = _InboxView(
+                            pairs, picker, s1 - s0
+                        )
+                    receivers = dsts
+            outbox.clear()
+        for item in api_alarms:
+            heappush(alarms, item)
+        api_alarms.clear()
+        return receivers
+
+    # Round 0: initialization.  Dead-on-arrival nodes never start.
+    api.round = 0
+    for node in nodes:
+        if crash_round[node.index] <= 0:
+            continue
+        api._node = node
+        algorithm.on_start(node, api)
+        if node.halted:
+            halted[node.index] = 1
+            halted_count += 1
+    pending = flush_outbox(0)
+
+    rnd = 0
+    last_activity_round = 0
+    budget_exhausted = False
+    empty: tuple = ()
+    while pending or alarms:
+        if pending:
+            rnd += 1
+        else:
+            rnd = max(rnd + 1, alarms[0][0])
+        if budget is not None and rnd > budget:
+            budget_exhausted = True
+            last_activity_round = budget
+            break
+        if rnd > max_rounds:
+            raise RoundLimitExceeded(
+                f"{algorithm.name} exceeded {max_rounds} rounds on "
+                f"{network.name}"
+            )
+        due = pending
+        if alarms and alarms[0][0] <= rnd:
+            stamped: set[int] = set()
+            while alarms and alarms[0][0] <= rnd:
+                index = heappop(alarms)[1]
+                if halted[index] or index in stamped:
+                    continue
+                if crash_round[index] <= rnd:
+                    continue
+                stamped.add(index)
+                if not inboxes[index]:
+                    due.append(index)
+        if not due:
+            continue
+        due.sort()
+        api.round = rnd
+        scheduled = 0
+        # Tracer parity with the sequential loops: ``delivered`` counts
+        # only messages a live node actually gets to process this round.
+        delivered = (
+            sum(
+                len(inboxes[index])
+                for index in due
+                if crash_round[index] > rnd
+            )
+            if tracer is not None
+            else 0
+        )
+        for index in due:
+            if halted[index] or crash_round[index] <= rnd:
+                continue
+            node = nodes[index]
+            api._node = node
+            box = inboxes[index]
+            if box:
+                inboxes[index] = []
+                algorithm.on_round(node, api, box)
+            else:
+                algorithm.on_round(node, api, empty)
+            scheduled += 1
+            if node.halted:
+                halted[index] = 1
+                halted_count += 1
+        if tracer is not None:
+            tracer.record(rnd, scheduled, delivered, halted_count)
+        pending = flush_outbox(rnd)
+        last_activity_round = rnd
+
+    crashed_nodes = sorted(
+        index
+        for index in range(n)
+        if crash_round[index] <= last_activity_round
+    )
+    return RunResult(
+        rounds=last_activity_round,
+        messages=messages_sent,
+        outputs=[node.output for node in nodes],
+        halted=[node.halted for node in nodes],
+        max_message_words=max_words,
+        total_message_words=total_words,
+        dropped_messages=dropped,
+        crashed_nodes=crashed_nodes,
+        budget_exhausted=budget_exhausted,
+    )

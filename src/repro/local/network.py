@@ -21,6 +21,7 @@ compare the two (see ``tests/test_engine_parity.py``).
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Any, Iterable, Sequence
 
 from repro.errors import RoundLimitExceeded, SimulationError
@@ -38,6 +39,18 @@ DEFAULT_MAX_ROUNDS = 2_000_000
 #: (which call ``run`` internally) can be replayed on the old engine for
 #: parity checks and before/after benchmarks.
 _FORCE_LEGACY = False
+
+#: When True, :meth:`Network.run` dispatches to the numpy columnar engine
+#: in :mod:`repro.local.columnar` (bucketed array delivery instead of the
+#: per-message Python loop below).  Toggled per-scope by
+#: :func:`repro.local.columnar.force_columnar_engine` or process-wide via
+#: ``REPRO_FORCE_COLUMNAR=1`` (how CI replays the full parity suite on
+#: the columnar backend).  ``_FORCE_LEGACY`` wins when both are set —
+#: the legacy engine is the frozen reference and an explicit legacy
+#: request must never be upgraded.  When numpy is unavailable the flag
+#: is ignored and the fast path below runs; the columnar backend is an
+#: accelerator, never a requirement.
+_FORCE_COLUMNAR = os.environ.get("REPRO_FORCE_COLUMNAR", "") not in ("", "0")
 
 
 def message_words(payload) -> int:
@@ -102,8 +115,10 @@ class Network:
         must be simple and undirected (``u in adjacency[v]`` iff
         ``v in adjacency[u]``); this is validated on construction unless
         ``validate_structure`` is False.  Adjacency is immutable after
-        construction, which lets the network cache ``max_degree``,
-        ``edges()``, and the per-vertex neighbor sets.
+        construction — it is frozen to a tuple of tuples, so mutation
+        attempts raise ``TypeError`` — which lets the network cache
+        ``max_degree``, ``edges()``, the per-vertex neighbor sets, and
+        the columnar engine's array snapshot without staleness hazards.
     uids:
         Unique identifiers, one per vertex.  Defaults to the identity.
         Algorithms must break symmetry through these, never through the
@@ -139,7 +154,13 @@ class Network:
             validate_structure = validate
             validate_sends = validate
         self.name = name
-        self.adjacency: list[tuple[int, ...]] = [tuple(nbrs) for nbrs in adjacency]
+        # Frozen to a tuple of tuples: every lazy cache below, plus the
+        # columnar engine's CSR snapshot, assumes post-construction
+        # immutability.  A mutation attempt now raises instead of
+        # silently serving stale degrees/edges/neighbor sets.
+        self.adjacency: tuple[tuple[int, ...], ...] = tuple(
+            tuple(nbrs) for nbrs in adjacency
+        )
         self.n = len(self.adjacency)
         if uids is None:
             uids = list(range(self.n))
@@ -339,6 +360,22 @@ class Network:
                     "the legacy engine does not support fault injection; "
                     "run with faults=None under force_legacy_engine()"
                 )
+            if _FORCE_COLUMNAR:
+                from repro.local.columnar import (
+                    columnar_available,
+                    run_with_faults_columnar,
+                )
+
+                if columnar_available():
+                    return _observed(run_with_faults_columnar(
+                        self,
+                        algorithm,
+                        faults,
+                        max_rounds=max_rounds,
+                        measure_bandwidth=measure_bandwidth,
+                        bandwidth_limit=bandwidth_limit,
+                        tracer=tracer,
+                    ))
             from repro.local.faults import run_with_faults
 
             return _observed(run_with_faults(
@@ -361,6 +398,18 @@ class Network:
                 bandwidth_limit=bandwidth_limit,
                 tracer=tracer,
             ))
+        if _FORCE_COLUMNAR:
+            from repro.local.columnar import columnar_available, run_columnar
+
+            if columnar_available():
+                return _observed(run_columnar(
+                    self,
+                    algorithm,
+                    max_rounds=max_rounds,
+                    measure_bandwidth=measure_bandwidth,
+                    bandwidth_limit=bandwidth_limit,
+                    tracer=tracer,
+                ))
 
         n = self.n
         nodes = self.nodes

@@ -92,6 +92,9 @@ _GRID_FIELDS = (
     "epsilon",
     "method",
     "seed",
+    # Appended last so pre-existing specs keep their labels and derived
+    # seeds byte-identical.
+    "engine",
 )
 
 class CellTimeout(ReproError):
@@ -118,6 +121,11 @@ class CampaignCell:
     ``options`` holds extra keyword arguments for the coloring entry
     point (e.g. ``activation_probability``) as a tuple of ``(key, value)``
     pairs so the cell stays hashable and picklable.
+
+    ``engine`` selects the simulator backend for the cell's run
+    (``"fast"``/``None``, ``"legacy"``, or ``"columnar"``).  The parity
+    gate guarantees identical rows for every engine, so the field never
+    changes results — only how fast the cell executes.
     """
 
     label: str
@@ -132,6 +140,8 @@ class CampaignCell:
     options: tuple[tuple[str, Any], ...] = ()
     #: Attach a deterministic ``repro.obs`` telemetry summary to the row.
     telemetry: bool = False
+    #: Simulator backend for this cell; see :data:`repro.local.ENGINES`.
+    engine: str | None = None
 
     def option_dict(self) -> dict[str, Any]:
         return dict(self.options)
@@ -176,6 +186,7 @@ def run_cell(cell: CampaignCell) -> dict[str, Any]:
     from repro.core.deterministic import delta_color_deterministic
     from repro.core.randomized import delta_color_randomized
     from repro.core.sparse import delta_color_general
+    from repro.local.columnar import engine_scope
     from repro.obs import Collector, observed, telemetry_summary
 
     instance = _build_instance(cell)
@@ -191,7 +202,7 @@ def run_cell(cell: CampaignCell) -> dict[str, Any]:
     context = (
         observed(collector) if collector is not None else nullcontext()
     )
-    with context:
+    with context, engine_scope(cell.engine):
         if cell.method == "randomized":
             acd = workload_acd(
                 cell.num_cliques, cell.delta, cell.epsilon, cell.graph_seed,

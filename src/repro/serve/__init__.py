@@ -15,7 +15,7 @@ precisely what makes the cache sound.
 """
 
 from repro.serve.admission import AdmissionController
-from repro.serve.batching import MicroBatcher, PendingRequest
+from repro.serve.batching import BatcherClosed, MicroBatcher, PendingRequest
 from repro.serve.cache import InstanceRegistry, ResultCache, make_cache_key
 from repro.serve.loadgen import LoadgenConfig, ServeClient, run_loadgen
 from repro.serve.protocol import (
@@ -38,6 +38,7 @@ __all__ = [
     "METHODS",
     "OPS",
     "AdmissionController",
+    "BatcherClosed",
     "ColorRequest",
     "ColoringServer",
     "InstanceRegistry",

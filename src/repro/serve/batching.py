@@ -26,7 +26,20 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable
 
-__all__ = ["MicroBatcher", "PendingRequest"]
+from repro.errors import ReproError
+
+__all__ = ["BatcherClosed", "MicroBatcher", "PendingRequest"]
+
+
+class BatcherClosed(ReproError):
+    """``submit()`` after ``close()``: the batcher is draining.
+
+    The queue sentinel has already been posted by ``close()``, so a
+    late item would sit behind it forever and its future would never
+    resolve.  Rejecting with a typed error lets the connection handler
+    turn the race into a clean ``draining`` response instead of a hung
+    request.
+    """
 
 
 @dataclass
@@ -77,9 +90,13 @@ class MicroBatcher:
             self._runner = asyncio.get_running_loop().create_task(self._run())
 
     def submit(self, item: PendingRequest) -> None:
-        """Enqueue one admitted request (admission already bounded it)."""
+        """Enqueue one admitted request (admission already bounded it).
+
+        Raises :class:`BatcherClosed` once ``close()`` has run — items
+        enqueued behind the shutdown sentinel would strand their futures.
+        """
         if self._closed:
-            raise RuntimeError("batcher is closed")
+            raise BatcherClosed("batcher is closed; server is draining")
         item.enqueued = asyncio.get_running_loop().time()
         self._queue.put_nowait(item)
 

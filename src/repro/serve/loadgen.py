@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 from dataclasses import dataclass
 from typing import Any
 
@@ -288,12 +289,20 @@ async def _run_async(config: LoadgenConfig) -> dict[str, Any]:
 
 
 def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Ceiling nearest-rank percentile: the smallest value with at least
+    ``fraction`` of the sample at or below it.
+
+    Floor-truncating the rank (the previous behaviour) systematically
+    underestimates the tail on small samples — p99 of 50 samples must read
+    the maximum (rank 50), not index ``int(0.99 * 49) == 48``.  The
+    ``round(..., 9)`` guards against binary float noise, e.g.
+    ``0.9 * 10 == 9.000000000000002`` must rank as 9, not 10.
+    """
     if not sorted_values:
         return 0.0
-    index = min(
-        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
-    )
-    return sorted_values[index]
+    n = len(sorted_values)
+    rank = math.ceil(round(fraction * n, 9))
+    return sorted_values[min(n - 1, max(0, rank - 1))]
 
 
 def _report(

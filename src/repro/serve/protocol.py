@@ -42,6 +42,7 @@ from typing import Any
 
 from repro.errors import ReproError
 from repro.graphs.instance import canonical_instance_hash
+from repro.local.columnar import ENGINES
 
 __all__ = [
     "MAX_LINE_BYTES",
@@ -193,11 +194,17 @@ def parse_color_request(data: dict[str, Any]) -> ColorRequest:
             "bad_request", "give 'instance' or 'instance_hash', not both"
         )
     options = _require(data, "options", dict, None) or {}
-    allowed_options = {"verify", "validate_input", "activation_probability"}
+    allowed_options = {"verify", "validate_input", "activation_probability", "engine"}
     unknown = set(options) - allowed_options
     if unknown:
         raise ProtocolError(
             "bad_request", f"unknown options: {sorted(unknown)}"
+        )
+    engine = options.get("engine")
+    if engine is not None and engine not in ENGINES:
+        raise ProtocolError(
+            "bad_request",
+            f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}",
         )
     return ColorRequest(
         id=data.get("id"),

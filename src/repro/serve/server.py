@@ -46,7 +46,7 @@ from repro.obs.collector import Collector, active_collector, install, uninstall
 from repro.obs.metrics import metric_count, metric_observe
 from repro.runner.pool import WorkerPool
 from repro.serve.admission import AdmissionController
-from repro.serve.batching import MicroBatcher, PendingRequest
+from repro.serve.batching import BatcherClosed, MicroBatcher, PendingRequest
 from repro.serve.cache import InstanceRegistry, ResultCache, make_cache_key
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
@@ -74,6 +74,21 @@ def _colors_digest(colors: list[int]) -> str:
 
 
 def _run_spec(
+    spec: dict[str, Any],
+    network: Any,
+    acd_for: Callable[[float], Any],
+    validated: Callable[[], None],
+) -> dict[str, Any]:
+    from repro.local.columnar import engine_scope
+
+    options = spec.get("options") or {}
+    # The scope covers every simulator round the spec triggers; parity
+    # tests guarantee the response bytes are engine-independent.
+    with engine_scope(options.get("engine")):
+        return _run_spec_inner(spec, network, acd_for, validated)
+
+
+def _run_spec_inner(
     spec: dict[str, Any],
     network: Any,
     acd_for: Callable[[float], Any],
@@ -614,7 +629,17 @@ class ColoringServer:
                     if deadline_ms is not None else None
                 ),
             )
-            self.batcher.submit(item)
+            try:
+                self.batcher.submit(item)
+            except BatcherClosed:
+                # Lost the race against shutdown: close() already posted
+                # the queue sentinel, so the item would never dispatch.
+                metric_count("serve.draining")
+                await self._write(writer, lock, error_body(
+                    "draining", "server is draining; no new work accepted",
+                    request_id=request.id, op="color",
+                ))
+                return
             outcome = await item.future
             if "error" in outcome:
                 error = outcome["error"]

@@ -1,0 +1,48 @@
+"""Fixture: vectorized-kernel idioms every rule family must accept.
+
+Mirrors the shapes :mod:`repro.local.columnar` is built from — numpy
+struct-of-arrays buffers, stable argsort bucketing, membership probes
+against neighbor sets, and sorted iteration wherever order matters.
+None of it may trip DET002 (or any other rule): the arrays are ordered
+sequences, and the only set usage is order-free or sorted.
+"""
+
+import numpy as np
+
+
+def bucket_delivery(dst, payload_refs):
+    """Stable-sort bucketing: arrays in, arrays out, fully ordered."""
+    order = np.argsort(dst, kind="stable")
+    sorted_dst = dst[order]
+    bounds = np.flatnonzero(np.diff(sorted_dst)) + 1
+    refs = payload_refs[order]
+    buckets = []
+    for start, stop in zip(
+        [0, *bounds.tolist()], [*bounds.tolist(), sorted_dst.size]
+    ):
+        buckets.append(refs[start:stop].tolist())
+    return buckets
+
+
+def validate_unicasts(srcs, dsts, neighbor_sets):
+    """Membership probes against sets never iterate them — clean."""
+    bad = [
+        (src, dst)
+        for src, dst in zip(srcs, dsts)
+        if dst not in neighbor_sets[src]
+    ]
+    return bad
+
+
+def degree_histogram(adjacency):
+    degrees = np.fromiter(
+        (len(neighbors) for neighbors in adjacency), dtype=np.intp
+    )
+    counts = np.bincount(degrees)
+    total = int(degrees.sum())  # order-free reduction over the array
+    return counts.tolist(), total
+
+
+def receivers_in_order(touched: set[int]):
+    # Sets of vertices are fine as long as iteration is sorted.
+    return [vertex for vertex in sorted(touched)]

@@ -1,0 +1,13 @@
+"""Fixture: columnar engine run result discarded (LED001).
+
+The columnar entry points produce RunResults exactly like
+``Network.run`` — discarding one loses the simulated rounds before any
+ledger can account for them.
+"""
+
+
+def warm_up(network, algorithm):
+    from repro.local.columnar import run_columnar
+
+    run_columnar(network, algorithm)
+    return True

@@ -18,16 +18,25 @@ import pytest
 from repro.core.deterministic import delta_color_deterministic
 from repro.core.randomized import delta_color_randomized
 from repro.constants import AlgorithmParameters
+from repro.errors import SimulationError
 from repro.graphs import hard_clique_graph, projective_plane_clique_graph
 from repro.local import (
     DistributedAlgorithm,
+    FaultPlan,
     Network,
     Tracer,
+    columnar_available,
+    force_columnar_engine,
     force_legacy_engine,
+    run_columnar,
     run_legacy,
 )
 from repro.subroutines.linial import LinialColoring
 from repro.subroutines.maximal_matching import maximal_matching
+
+requires_numpy = pytest.mark.skipif(
+    not columnar_available(), reason="columnar engine needs numpy"
+)
 
 
 def _random_network(n: int, m: int, seed: int, *, shuffle_uids: bool = False) -> Network:
@@ -169,3 +178,166 @@ def test_force_legacy_engine_restores():
             assert network_module._FORCE_LEGACY is True
         assert network_module._FORCE_LEGACY is True
     assert network_module._FORCE_LEGACY is False
+
+
+# ---------------------------------------------------------------------------
+# Columnar engine: the same bit-identical bar, against both other engines.
+# ---------------------------------------------------------------------------
+
+
+class DropSensitiveGossip(DistributedAlgorithm):
+    """Spread uids for a few rounds; outputs shift with any lost message."""
+
+    name = "drop-sensitive-gossip"
+
+    def on_start(self, node, api):
+        node.state["seen"] = {node.uid}
+        api.broadcast(node.uid)
+
+    def on_round(self, node, api, inbox):
+        seen = node.state["seen"]
+        fresh = {uid for _, uid in inbox} - seen
+        seen.update(fresh)
+        if api.round >= 4:
+            api.halt(sorted(seen))
+        elif fresh:
+            api.broadcast(max(fresh))
+
+
+@requires_numpy
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_columnar_linial_parity(family):
+    network = FAMILIES[family]()
+    make = lambda: LinialColoring(max(network.uids) + 1, network.max_degree)  # noqa: E731
+    columnar = run_columnar(network, make(), measure_bandwidth=True)
+    fast = network.run(make(), measure_bandwidth=True)
+    legacy = run_legacy(network, make(), measure_bandwidth=True)
+    assert_identical(columnar, fast)
+    assert_identical(columnar, legacy)
+
+
+@requires_numpy
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_columnar_mixed_schedule_parity(family):
+    network = FAMILIES[family]()
+    with force_columnar_engine():
+        columnar = network.run(AlarmsAndUnicast())
+    fast = network.run(AlarmsAndUnicast())
+    assert_identical(columnar, fast)
+
+
+@requires_numpy
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_columnar_tracer_parity(family):
+    network = FAMILIES[family]()
+    columnar_trace, fast_trace = Tracer(), Tracer()
+    with force_columnar_engine():
+        network.run(AlarmsAndUnicast(), tracer=columnar_trace)
+    network.run(AlarmsAndUnicast(), tracer=fast_trace)
+    assert columnar_trace.samples == fast_trace.samples
+
+
+@requires_numpy
+@pytest.mark.parametrize("shuffle_seed", [None, 11])
+def test_columnar_theorem1_pipeline_parity(shuffle_seed):
+    instance = hard_clique_graph(16, 8, seed=3)
+    network = instance.network
+    if shuffle_seed is not None:
+        network = _shuffled(network, shuffle_seed)
+    params = AlgorithmParameters(epsilon=0.25)
+    with force_columnar_engine():
+        columnar = delta_color_deterministic(network, params=params)
+    fast = delta_color_deterministic(network, params=params)
+    assert columnar.colors == fast.colors
+    assert columnar.rounds == fast.rounds
+    assert columnar.messages == fast.messages
+    assert columnar.phase_rounds() == fast.phase_rounds()
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", [0, 1])
+def test_columnar_theorem2_pipeline_parity(seed):
+    """Any scheduling drift in the columnar delivery order desynchronizes
+    the RNG consumption order and changes the coloring."""
+    instance = hard_clique_graph(32, 16, seed=4)
+    params = AlgorithmParameters(epsilon=0.25)
+    with force_columnar_engine():
+        columnar = delta_color_randomized(
+            instance.network, params=params, seed=seed
+        )
+    fast = delta_color_randomized(instance.network, params=params, seed=seed)
+    assert columnar.colors == fast.colors
+    assert columnar.rounds == fast.rounds
+    assert columnar.messages == fast.messages
+
+
+@requires_numpy
+@pytest.mark.parametrize("plan", [
+    FaultPlan(drop_probability=0.3, seed=5),
+    FaultPlan(crashes=((2, 2), (7, 3))),
+    FaultPlan(round_budget=3),
+    FaultPlan(drop_probability=0.15, crashes=((4, 2),), round_budget=4, seed=9),
+])
+def test_columnar_faults_parity(plan):
+    """Fault injection (drops, crash-stop, budgets) must consume the
+    plan's RNG in the same order and account identically."""
+    network = _random_network(40, 90, 13)
+    with force_columnar_engine():
+        columnar = network.run(DropSensitiveGossip(), faults=plan)
+    fast = network.run(DropSensitiveGossip(), faults=plan)
+    assert_identical(columnar, fast)
+    assert columnar.dropped_messages == fast.dropped_messages
+    assert columnar.crashed_nodes == fast.crashed_nodes
+    assert columnar.budget_exhausted == fast.budget_exhausted
+
+
+@requires_numpy
+def test_columnar_faults_tracer_parity():
+    network = _random_network(40, 90, 13)
+    plan = FaultPlan(drop_probability=0.2, crashes=((3, 2),), seed=7)
+    columnar_trace, fast_trace = Tracer(), Tracer()
+    with force_columnar_engine():
+        network.run(DropSensitiveGossip(), tracer=columnar_trace, faults=plan)
+    network.run(DropSensitiveGossip(), tracer=fast_trace, faults=plan)
+    assert columnar_trace.samples == fast_trace.samples
+
+
+def test_force_columnar_engine_restores():
+    from repro.local import network as network_module
+
+    before = network_module._FORCE_COLUMNAR
+    with force_columnar_engine():
+        assert network_module._FORCE_COLUMNAR is True
+        with force_columnar_engine():
+            assert network_module._FORCE_COLUMNAR is True
+        assert network_module._FORCE_COLUMNAR is True
+    assert network_module._FORCE_COLUMNAR is before
+
+
+def test_legacy_wins_over_columnar():
+    """The frozen reference engine takes precedence when both are forced:
+    legacy rejects fault plans, so a fault run raising proves which
+    engine handled it."""
+    network = Network.from_edges(4, [(i, i + 1) for i in range(3)])
+    with force_columnar_engine(), force_legacy_engine():
+        with pytest.raises(SimulationError, match="legacy"):
+            network.run(
+                DropSensitiveGossip(),
+                faults=FaultPlan(drop_probability=0.5, seed=1),
+            )
+
+
+def test_columnar_falls_back_to_fast_without_numpy(monkeypatch):
+    """With numpy absent the forced-columnar dispatch silently uses the
+    fast engine; calling ``run_columnar`` directly is a hard error."""
+    from repro.local import columnar as columnar_module
+
+    network = FAMILIES["path"]()
+    baseline = network.run(AlarmsAndUnicast())
+    monkeypatch.setattr(columnar_module, "_np", None)
+    assert not columnar_available()
+    with force_columnar_engine():
+        fallback = network.run(AlarmsAndUnicast())
+    assert_identical(fallback, baseline)
+    with pytest.raises(SimulationError, match="numpy"):
+        run_columnar(network, AlarmsAndUnicast())

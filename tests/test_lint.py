@@ -54,6 +54,7 @@ EXPECTED_FINDINGS = {
     "det004_os_entropy.py": ["DET004"],
     "det005_string_hash.py": ["DET005"],
     "led001_discarded_run.py": ["LED001"],
+    "led001_discarded_columnar_run.py": ["LED001"],
     "led002_unaccounted_run.py": ["LED002"],
     "msg001_wide_payload.py": ["MSG001"],
 }
@@ -71,6 +72,13 @@ def test_every_rule_family_has_a_fixture():
 
 def test_clean_fixture_has_no_findings():
     assert lint_rules(FIXTURES / "clean_module.py") == []
+
+
+def test_columnar_kernel_idioms_are_clean():
+    """The vectorized-kernel fixture (struct-of-arrays buffers, stable
+    argsort bucketing, set membership probes) must produce no findings —
+    array code is ordered and DET002 has no business firing on it."""
+    assert lint_rules(FIXTURES / "clean_columnar_kernel.py") == []
 
 
 def test_fixture_directory_is_fully_accounted():
@@ -260,6 +268,31 @@ def test_engine_module_exempt_from_ledger_rules():
     assert report.ok
 
 
+def test_columnar_kernel_is_an_engine_module():
+    """The columnar kernel produces RunResults; like the other engine
+    modules it is exempt from the ledger rules — but only via the
+    precise ENGINE_MODULES list, never a blanket package exemption."""
+    from repro.lint.source import ENGINE_MODULES
+
+    assert "local/columnar.py" in ENGINE_MODULES
+    report = run_lint(
+        [REPO_SRC / "repro" / "local" / "columnar.py"],
+        rules=select_rules(["LED"]),
+    )
+    assert report.ok
+
+
+def test_columnar_source_is_fully_clean():
+    """The real kernel passes every rule family with no exemptions —
+    its array code must not need pragmas to satisfy DET002."""
+    report = run_lint(
+        [REPO_SRC / "repro" / "local" / "columnar.py"],
+        rules=select_rules(congest=True),
+    )
+    assert report.ok
+    assert report.suppressed == []
+
+
 # ----------------------------------------------------------------------
 # Determinism-rule precision (no false positives on sanctioned shapes)
 # ----------------------------------------------------------------------
@@ -316,6 +349,20 @@ def test_set_intersection_propagates_kind(tmp_path):
         "    left = {str(n) for n in names}\n"
         "    right = left | set()\n"
         "    return [n for n in right]\n",
+    ) == ["DET002"]
+
+
+def test_array_code_does_not_mask_set_iteration(tmp_path):
+    """Numpy idioms alongside a genuine unordered-set iteration: the
+    array code must stay clean while the true positive still fires —
+    there is no vectorized-code carve-out for DET002."""
+    assert check_snippet(
+        tmp_path,
+        "import numpy as np\n"
+        "def deliver(dst, labels):\n"
+        "    order = np.argsort(dst, kind='stable')\n"
+        "    tags = {str(label) for label in labels}\n"
+        "    return [t for t in tags], dst[order]\n",
     ) == ["DET002"]
 
 

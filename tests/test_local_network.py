@@ -165,6 +165,25 @@ class TestConstruction:
         assert net.degree(1) == 2
         assert net.neighbor_set(1) == frozenset({0, 2})
 
+    def test_adjacency_is_immutable_after_construction(self):
+        """Mutating adjacency would silently desync the lazy caches
+        (``max_degree``, ``edge_count``, ``edges()``, neighbor sets) and
+        any engine-side snapshots — before rows were frozen, appending a
+        neighbor after first cached access left ``max_degree`` stale and
+        ``edges()`` missing the new edge.  Now the mutation itself fails."""
+        net = path_network(3)
+        assert net.max_degree == 2          # populate the lazy caches
+        assert net.edge_count == 2
+        with pytest.raises(AttributeError):
+            net.adjacency[0].append(2)      # type: ignore[attr-defined]
+        with pytest.raises(TypeError):
+            net.adjacency[0] = (1, 2)       # type: ignore[index]
+        # The caches still answer from the unchanged topology.
+        assert net.max_degree == 2
+        assert net.edge_count == 2
+        assert net.edges() == [(0, 1), (1, 2)]
+        assert net.neighbor_set(0) == frozenset({1})
+
 
 class TestSubnetwork:
     def test_induced_structure(self):

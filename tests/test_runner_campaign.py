@@ -60,6 +60,27 @@ class TestRunCell:
         # byte-identity guarantee relies on this).
         assert first == second
 
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ReproError, match="engine"):
+            run_cell(CampaignCell(label="bad", engine="turbo", **SMALL))
+
+    @pytest.mark.parametrize("method", ["randomized", "deterministic"])
+    def test_columnar_engine_rows_are_byte_identical(self, method):
+        """Engine selection may only change execution speed: the same
+        cell run on the columnar backend must serialize to exactly the
+        bytes the fast engine produces (the artifact contract)."""
+        from dataclasses import replace
+
+        cell = CampaignCell(label="parity", seed=0, **{**SMALL, "method": method})
+        fast_row = run_cell(replace(cell, engine="fast"))
+        columnar_row = run_cell(replace(cell, engine="columnar"))
+        default_row = run_cell(cell)
+        assert (
+            json.dumps(columnar_row, sort_keys=True)
+            == json.dumps(fast_row, sort_keys=True)
+            == json.dumps(default_row, sort_keys=True)
+        )
+
 
 class TestRunCampaign:
     def test_rows_in_cell_order(self):
@@ -137,6 +158,15 @@ class TestSpec:
             {"grid": {"seed": [0], "options": {"activation_probability": 0.5}}}
         )
         assert cells[0].option_dict() == {"activation_probability": 0.5}
+
+    def test_grid_engine_field(self):
+        cells = cells_from_spec(
+            {"grid": {"num_cliques": [16], "engine": ["fast", "columnar"]}}
+        )
+        assert [cell.engine for cell in cells] == ["fast", "columnar"]
+        # "engine" sits last in the grid order so pre-existing specs keep
+        # their labels (and therefore their derived seeds) unchanged.
+        assert cells[0].label == "num_cliques=16 engine=fast"
 
     def test_unknown_grid_field_rejected(self):
         with pytest.raises(ReproError, match="grid fields"):

@@ -15,6 +15,7 @@ from repro.graphs import hard_clique_graph
 from repro.runner import WorkerPool
 from repro.serve import (
     AdmissionController,
+    BatcherClosed,
     ColoringServer,
     MicroBatcher,
     PendingRequest,
@@ -118,6 +119,21 @@ class TestProtocol:
             parse_color_request(
                 {"op": "color", "seed": "three", "instance_hash": "x"}
             )
+
+    def test_color_accepts_engine_option(self):
+        for engine in ("fast", "legacy", "columnar"):
+            request = parse_color_request({
+                "op": "color", "instance_hash": "x",
+                "options": {"engine": engine},
+            })
+            assert request.options["engine"] == engine
+
+    def test_color_rejects_unknown_engine(self):
+        with pytest.raises(ProtocolError, match="turbo"):
+            parse_color_request({
+                "op": "color", "instance_hash": "x",
+                "options": {"engine": "turbo"},
+            })
 
     def test_normalize_matches_dense_instance_hash(self, instance, payload):
         instance_hash, slim = normalize_instance_payload(payload)
@@ -338,8 +354,29 @@ class TestMicroBatcher:
             batcher.submit(_pending("b"))
             await batcher.close()
             assert seen == ["a", "b"]
-            with pytest.raises(RuntimeError):
+            with pytest.raises(BatcherClosed):
                 batcher.submit(_pending("c"))
+
+        asyncio.run(scenario())
+
+    def test_submit_after_close_raises_typed_error_not_stranding(self):
+        """A submit that loses the race against shutdown must fail with
+        the typed :class:`BatcherClosed` — before the fix it enqueued
+        behind the close sentinel and the item's future never resolved."""
+        async def scenario():
+            async def dispatch(batch):
+                pass
+
+            batcher = MicroBatcher(dispatch=dispatch, max_batch=4, linger=0.0)
+            batcher.start()
+            await batcher.close()
+            late = _pending("late")
+            with pytest.raises(BatcherClosed, match="draining"):
+                batcher.submit(late)
+            # The item never entered the queue: nothing owns its future,
+            # so the caller (the connection handler) can resolve it.
+            assert batcher.queued == 0
+            assert not late.future.done()
 
         asyncio.run(scenario())
 
@@ -348,6 +385,49 @@ class TestMicroBatcher:
             MicroBatcher(dispatch=None, max_batch=0)
         with pytest.raises(ValueError):
             MicroBatcher(dispatch=None, linger=-1)
+
+
+# ----------------------------------------------------------------------
+# Loadgen percentile computation
+# ----------------------------------------------------------------------
+
+
+class TestPercentile:
+    """Ceiling nearest-rank: the smallest value with at least the
+    requested fraction of the sample at or below it.  The previous
+    floor-truncating index systematically under-read the tail on small
+    samples (p99 of 50 read index 48, not 49)."""
+
+    def test_p99_of_50_is_the_maximum(self):
+        from repro.serve.loadgen import _percentile
+
+        values = [float(v) for v in range(1, 51)]
+        # ceil(0.99 * 50) = 50 -> index 49.  The old floor rank read 49.0.
+        assert _percentile(values, 0.99) == 50.0
+
+    def test_hand_computed_small_samples(self):
+        from repro.serve.loadgen import _percentile
+
+        ten = [float(v) for v in range(1, 11)]
+        # ceil(0.90 * 10) = 9 exactly — binary float noise
+        # (0.9 * 10 == 9.000000000000002) must not bump the rank to 10.
+        assert _percentile(ten, 0.90) == 9.0
+        assert _percentile(ten, 0.50) == 5.0
+        assert _percentile(ten, 0.99) == 10.0
+        four = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(four, 0.50) == 2.0   # ceil(2.0) = 2 -> index 1
+        five = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert _percentile(five, 0.50) == 3.0   # ceil(2.5) = 3 -> index 2
+
+    def test_degenerate_inputs(self):
+        from repro.serve.loadgen import _percentile
+
+        assert _percentile([], 0.99) == 0.0
+        assert _percentile([7.5], 0.50) == 7.5
+        assert _percentile([7.5], 0.99) == 7.5
+        values = [1.0, 2.0, 3.0]
+        assert _percentile(values, 1.0) == 3.0
+        assert _percentile(values, 0.0) == 1.0  # rank clamps to the minimum
 
 
 # ----------------------------------------------------------------------
@@ -464,6 +544,49 @@ class TestServerEndToEnd:
                     "instance_hash": registered["instance_hash"],
                 })
                 assert response["ok"]
+
+        asyncio.run(scenario())
+
+    def test_columnar_engine_response_byte_identical(self, tmp_path, payload):
+        """The ``engine`` option may only change execution speed: a
+        columnar-backed ``color`` must produce exactly the result payload
+        the fast engine produces (responses differ only in request id)."""
+        async def scenario():
+            async with serving(tmp_path) as (_, client):
+                registered = await client.request(
+                    {"op": "register", "instance": payload}
+                )
+                body = {
+                    "op": "color", "method": "randomized", "seed": 7,
+                    "epsilon": EPSILON, "no_cache": True,
+                    "instance_hash": registered["instance_hash"],
+                }
+                fast = await client.request(
+                    {**body, "options": {"engine": "fast"}}
+                )
+                columnar = await client.request(
+                    {**body, "options": {"engine": "columnar"}}
+                )
+                plain = await client.request(body)
+                assert fast["ok"] and columnar["ok"] and plain["ok"]
+                encoded = [
+                    json.dumps(r["result"], sort_keys=True)
+                    for r in (fast, columnar, plain)
+                ]
+                assert encoded[0] == encoded[1] == encoded[2]
+
+        asyncio.run(scenario())
+
+    def test_color_rejects_unknown_engine_option(self, tmp_path, payload):
+        async def scenario():
+            async with serving(tmp_path) as (_, client):
+                response = await client.request({
+                    "op": "color", "method": "deterministic",
+                    "epsilon": EPSILON, "instance": payload,
+                    "options": {"engine": "turbo"},
+                })
+                assert response["ok"] is False
+                assert response["error"]["code"] == "bad_request"
 
         asyncio.run(scenario())
 
