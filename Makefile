@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test test-all bench chaos columnar-parity trace serve-smoke report examples ci lint lint-repro typecheck clean
+.PHONY: install test test-all bench chaos columnar-parity trace serve-smoke chaos-serve report examples ci lint lint-repro typecheck clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -36,12 +36,19 @@ trace:
 serve-smoke:
 	PYTHONPATH=src timeout 300 python scripts/serve_smoke.py
 
+# Chaos serving smoke: `repro serve` behind a seeded `repro chaosproxy`,
+# driven through the resilient client.  Asserts 100% completion with
+# byte-identical responses vs the fault-free run (DESIGN.md section 13).
+chaos-serve:
+	PYTHONPATH=src timeout 300 python scripts/chaos_serve_smoke.py
+
 # Mirrors .github/workflows/ci.yml: tier-1 suite + smokes + lint.
 ci:
 	PYTHONPATH=src python -m pytest -x -q
 	$(MAKE) columnar-parity
 	$(MAKE) trace
 	$(MAKE) serve-smoke
+	$(MAKE) chaos-serve
 	$(MAKE) lint
 	$(MAKE) lint-repro
 	$(MAKE) typecheck

@@ -1,0 +1,228 @@
+"""EC — Chaos serving: goodput and tail latency vs injected fault rate.
+
+The fleet-robustness layer (DESIGN.md §13) claims that a resilient
+client in front of a lossy network turns transport faults into retries
+without corrupting results: because the pipelines are deterministic and
+cache-keyed, a retried ``color`` is entitled to a byte-identical
+response, so faults cost *latency*, never *correctness*.  This
+experiment quantifies the cost curve on the E2 hard workload (16
+cliques, Δ=8, randomized pipeline, hash-keyed requests):
+
+* a real ``repro serve`` subprocess behind a real ``repro chaosproxy``
+  subprocess (UNIX sockets, seeded :class:`ChaosPlan`);
+* the resilient client drives a fixed request stream through the proxy
+  at reset probabilities 0 (fault-free baseline), 2%, 5%, and 10% per
+  forwarded chunk, plus 2ms ± 3ms of added per-chunk latency on the
+  lossy tiers;
+* per tier we record **goodput** (completed requests / wall second),
+  completion rate, p50/p99 of *winning-attempt* latency, and the retry
+  volume that bought the completions.
+
+The assertions are the robustness bar, not a speed bar: every tier must
+complete 100% of its requests, every completed response must
+byte-match the fault-free baseline, and the lossy tiers must actually
+retry (otherwise the proxy injected nothing and the curve is vacuous).
+Absolute numbers are box-dependent; the *shape* — goodput degrading
+smoothly with fault rate while correctness holds — is the experiment.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.bench import print_table, save_artifact  # noqa: E402
+from repro.graphs import hard_clique_graph  # noqa: E402
+from repro.serve import ResilientClient, RetryPolicy  # noqa: E402
+
+CLIQUES, DELTA, GRAPH_SEED = 16, 8, 3
+EPSILON = 0.25
+METHOD = "randomized"
+REQUESTS = 60
+CHAOS_SEED = 7
+RESET_TIERS = (0.0, 0.02, 0.05, 0.10)
+ATTEMPTS = 10
+
+_ARTIFACT: dict = {}
+
+
+@contextmanager
+def _subprocess(argv: list[str], waiting_for: str):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    deadline = time.time() + 60
+    while not os.path.exists(waiting_for):
+        if proc.poll() is not None:
+            raise RuntimeError(f"{argv[0]} exited early:\n{proc.stdout.read()}")
+        if time.time() > deadline:
+            proc.kill()
+            raise RuntimeError(f"{argv[0]} did not bind within 60s")
+        time.sleep(0.05)
+    try:
+        yield
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+def _instance_payload() -> dict:
+    instance = hard_clique_graph(CLIQUES, DELTA, seed=GRAPH_SEED)
+    return {
+        "n": instance.n,
+        "edges": [list(edge) for edge in instance.network.edges()],
+        "delta": instance.delta,
+        "uids": list(instance.network.uids),
+    }
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    import math
+    rank = math.ceil(round(fraction * len(sorted_values), 9))
+    return sorted_values[min(len(sorted_values) - 1, max(0, rank - 1))]
+
+
+async def _drive(sock: str) -> dict:
+    """The fixed workload through one path; returns tier measurements."""
+    client = ResilientClient(
+        unix_path=sock,
+        retry=RetryPolicy(attempts=ATTEMPTS, base_delay_s=0.02, seed=1),
+    )
+    await client.connect()
+    loop = asyncio.get_running_loop()
+    try:
+        registered = await client.request(
+            {"op": "register", "instance": _instance_payload()}
+        )
+        assert registered.get("ok"), registered
+        outcomes = []
+        started = loop.time()
+        for seed in range(REQUESTS):
+            outcomes.append(await client.call({
+                "op": "color", "method": METHOD, "seed": seed,
+                "epsilon": EPSILON, "include_colors": True,
+                "instance_hash": registered["instance_hash"],
+            }))
+        elapsed = loop.time() - started
+        completed = [o for o in outcomes if o.ok]
+        latencies = sorted(o.latency_ms for o in completed)
+        return {
+            "requests": REQUESTS,
+            "completed": len(completed),
+            "completion_rate": round(len(completed) / REQUESTS, 4),
+            "elapsed_s": round(elapsed, 4),
+            "goodput_rps": (
+                round(len(completed) / elapsed, 2) if elapsed > 0 else 0.0
+            ),
+            "retried": sum(1 for o in outcomes if o.retried),
+            "attempts_total": sum(o.attempts for o in outcomes),
+            "reconnects": client.reconnects,
+            "p50_ms": round(_percentile(latencies, 0.50), 3),
+            "p99_ms": round(_percentile(latencies, 0.99), 3),
+            "results": [o.body.get("result") for o in completed],
+        }
+    finally:
+        await client.close()
+
+
+def _measure_tier(reset_probability: float) -> dict:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-chaos-") as tmp:
+        server_sock = os.path.join(tmp, "server.sock")
+        with _subprocess(
+            ["serve", "--unix", server_sock, "-j", "1"], server_sock
+        ):
+            if reset_probability == 0.0:
+                # Fault-free baseline: straight at the server, no proxy
+                # in the path at all.
+                return asyncio.run(_drive(server_sock))
+            chaos_sock = os.path.join(tmp, "chaos.sock")
+            with _subprocess(
+                ["chaosproxy", "--unix", chaos_sock,
+                 "--upstream", f"unix:{server_sock}",
+                 "--seed", str(CHAOS_SEED),
+                 "--reset-probability", str(reset_probability),
+                 "--latency-ms", "2", "--latency-jitter-ms", "3",
+                 "--chunk-bytes", "2048"],
+                chaos_sock,
+            ):
+                return asyncio.run(_drive(chaos_sock))
+
+
+def test_goodput_vs_fault_rate(benchmark, once):
+    def sweep():
+        return {rate: _measure_tier(rate) for rate in RESET_TIERS}
+
+    tiers = once(benchmark, sweep)
+    baseline = tiers[0.0]
+    rows = []
+    for rate, tier in tiers.items():
+        # The robustness bar: full completion at every fault rate...
+        assert tier["completed"] == REQUESTS, (
+            f"reset={rate}: only {tier['completed']}/{REQUESTS} completed"
+        )
+        # ...with byte-identical results (determinism makes retries
+        # invisible to the caller).
+        assert tier["results"] == baseline["results"], (
+            f"reset={rate}: responses differ from the fault-free baseline"
+        )
+        rows.append({
+            "reset_probability": rate,
+            "goodput_rps": tier["goodput_rps"],
+            "completion_rate": tier["completion_rate"],
+            "p50_ms": tier["p50_ms"],
+            "p99_ms": tier["p99_ms"],
+            "retried": tier["retried"],
+            "attempts_total": tier["attempts_total"],
+            "reconnects": tier["reconnects"],
+        })
+    # The lossy tiers must have exercised the retry machinery.
+    assert any(tiers[rate]["retried"] > 0 for rate in RESET_TIERS if rate > 0)
+    _ARTIFACT["workload"] = {
+        "cliques": CLIQUES, "delta": DELTA, "graph_seed": GRAPH_SEED,
+        "method": METHOD, "epsilon": EPSILON, "requests": REQUESTS,
+        "chaos_seed": CHAOS_SEED, "attempts": ATTEMPTS,
+        "latency_ms": 2.0, "latency_jitter_ms": 3.0, "chunk_bytes": 2048,
+    }
+    _ARTIFACT["tiers"] = rows
+    benchmark.extra_info["goodput_by_reset"] = {
+        str(row["reset_probability"]): row["goodput_rps"] for row in rows
+    }
+
+
+def teardown_module(module):
+    if not _ARTIFACT:
+        return
+    print_table(
+        ["reset p", "goodput req/s", "completed", "p50 ms", "p99 ms",
+         "retried", "attempts", "reconnects"],
+        [
+            [row["reset_probability"], row["goodput_rps"],
+             row["completion_rate"], row["p50_ms"], row["p99_ms"],
+             row["retried"], row["attempts_total"], row["reconnects"]]
+            for row in _ARTIFACT["tiers"]
+        ],
+        title=f"EC goodput vs injected fault rate "
+              f"(hard {CLIQUES}/{DELTA}, {METHOD}, seed {CHAOS_SEED})",
+    )
+    path = save_artifact("chaos_serve", _ARTIFACT)
+    print(f"artifact: {path}")

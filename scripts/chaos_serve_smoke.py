@@ -1,0 +1,194 @@
+"""Chaos serving smoke check: server behind a seeded chaos proxy.
+
+Used by ``make chaos-serve`` and the CI serving step.  Boots the real
+``repro serve`` and ``repro chaosproxy`` as subprocesses (UNIX sockets)
+and drives a deterministic workload through the resilient client over
+the lossy path.  Asserts the fleet-robustness guarantees:
+
+1. the proxy forwards a clean health check end-to-end;
+2. under seeded resets + latency, **100% of requests complete** after
+   retries and every completed coloring byte-matches the fault-free
+   direct run against the same server (the retry-safety argument from
+   determinism, DESIGN.md §13);
+3. the chaos run actually exercised the machinery: faults were
+   injected and the client retried;
+4. SIGTERM stops the proxy cleanly (exit 0 with a fault summary) and
+   drains the server.
+
+Exit status 0 on success; nonzero with a FAIL message otherwise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.graphs import hard_clique_graph  # noqa: E402
+from repro.serve import ResilientClient, RetryPolicy  # noqa: E402
+
+EPSILON = 0.25
+CLIQUES, DELTA, GRAPH_SEED = 16, 8, 3
+REQUESTS = 20
+CHAOS_SEED = 7
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    raise SystemExit(1)
+
+
+def ok(message: str) -> None:
+    print(f"ok: {message}")
+
+
+def start(argv: list[str], waiting_for: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    deadline = time.time() + 60
+    while not os.path.exists(waiting_for):
+        if proc.poll() is not None:
+            fail(f"{argv[0]} exited early:\n{proc.stdout.read()}")
+        if time.time() > deadline:
+            proc.kill()
+            fail(f"{argv[0]} did not bind {waiting_for} within 60s")
+        time.sleep(0.05)
+    return proc
+
+
+def instance_payload() -> dict:
+    instance = hard_clique_graph(CLIQUES, DELTA, seed=GRAPH_SEED)
+    return {
+        "n": instance.n,
+        "edges": [list(edge) for edge in instance.network.edges()],
+        "delta": instance.delta,
+        "uids": list(instance.network.uids),
+    }
+
+
+async def run_workload(sock: str, *, attempts: int) -> tuple[list, dict]:
+    """Register + REQUESTS seeded colorings; returns (outcomes, stats)."""
+    client = ResilientClient(
+        unix_path=sock,
+        retry=RetryPolicy(attempts=attempts, base_delay_s=0.02, seed=1),
+    )
+    await client.connect()
+    try:
+        health = await client.request({"op": "health"})
+        if not health.get("ok"):
+            fail(f"health through the path {sock}: {health}")
+        registered = await client.request(
+            {"op": "register", "instance": instance_payload()}
+        )
+        if not registered.get("ok"):
+            fail(f"register through the path {sock}: {registered}")
+        outcomes = []
+        for seed in range(REQUESTS):
+            outcomes.append(await client.call({
+                "op": "color", "method": "randomized", "seed": seed,
+                "epsilon": EPSILON, "include_colors": True,
+                "instance_hash": registered["instance_hash"],
+            }))
+        stats = {
+            "retried": sum(1 for o in outcomes if o.retried),
+            "attempts": sum(o.attempts for o in outcomes),
+            "reconnects": client.reconnects,
+        }
+        return outcomes, stats
+    finally:
+        await client.close()
+
+
+def stop_clean(proc: subprocess.Popen, label: str, marker: str) -> None:
+    proc.send_signal(signal.SIGTERM)
+    try:
+        stdout, _ = proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        fail(f"{label}: did not exit within 60s of SIGTERM")
+    if proc.returncode != 0:
+        fail(f"{label}: exit code {proc.returncode} after SIGTERM:\n{stdout}")
+    if marker not in stdout:
+        fail(f"{label}: no '{marker}' report on stdout:\n{stdout}")
+    ok(f"{label}: SIGTERM stopped cleanly (exit 0)")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        server_sock = os.path.join(tmp, "server.sock")
+        chaos_sock = os.path.join(tmp, "chaos.sock")
+        server = start(
+            ["serve", "--unix", server_sock, "-j", "1"], server_sock
+        )
+        proxy = None
+        try:
+            # Fault-free reference run, straight at the server.
+            baseline, _ = asyncio.run(run_workload(server_sock, attempts=1))
+            if not all(o.ok for o in baseline):
+                fail("fault-free baseline did not complete cleanly")
+            ok(f"fault-free baseline: {len(baseline)}/{REQUESTS} completed")
+
+            proxy = start(
+                ["chaosproxy", "--unix", chaos_sock,
+                 "--upstream", f"unix:{server_sock}",
+                 "--seed", str(CHAOS_SEED),
+                 "--reset-probability", "0.05",
+                 "--latency-ms", "1", "--latency-jitter-ms", "2",
+                 "--chunk-bytes", "2048"],
+                chaos_sock,
+            )
+            chaotic, stats = asyncio.run(run_workload(chaos_sock, attempts=8))
+
+            incomplete = [o for o in chaotic if not o.ok]
+            if incomplete:
+                fail(
+                    f"{len(incomplete)}/{REQUESTS} requests failed through "
+                    f"chaos: {[o.body.get('error') for o in incomplete]}"
+                )
+            ok(f"chaos run: {REQUESTS}/{REQUESTS} completed "
+               f"({stats['retried']} retried, {stats['attempts']} attempts, "
+               f"{stats['reconnects']} reconnects)")
+
+            mismatched = [
+                seed for seed, (reference, outcome)
+                in enumerate(zip(baseline, chaotic))
+                if outcome.body["result"] != reference.body["result"]
+            ]
+            if mismatched:
+                fail(f"chaos responses differ from baseline at seeds "
+                     f"{mismatched}")
+            ok("every chaos response byte-matches the fault-free baseline")
+
+            if stats["retried"] < 1:
+                fail("chaos injected no client-visible faults; the smoke "
+                     "exercised nothing — check the plan rates")
+            ok("faults were injected and retried "
+               f"({stats['retried']} requests needed retries)")
+        except BaseException:
+            if proxy is not None and proxy.poll() is None:
+                proxy.kill()
+            if server.poll() is None:
+                server.kill()
+            raise
+        stop_clean(proxy, "chaos proxy", "chaos proxy stopped")
+        stop_clean(server, "server", "drained")
+    print("chaos serving smoke check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

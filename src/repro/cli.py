@@ -288,6 +288,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline-ms", type=float, default=None,
         help="default per-request deadline when the client sets none",
     )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="close connections sending no complete request within this "
+             "bound (slowloris defense; default: 60s on TCP, off on UNIX "
+             "sockets; 0 disables)",
+    )
 
     loadgen = commands.add_parser(
         "loadgen",
@@ -325,10 +331,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of requests reusing an earlier seed (cache hits)",
     )
     loadgen.add_argument("--deadline-ms", type=float, default=None)
+    loadgen.add_argument(
+        "--endpoint", action="append", default=None, metavar="SPEC",
+        dest="endpoints",
+        help="extra server endpoint ('host:port' or 'unix:/path'); "
+             "repeatable — more than one enables failover and hedging",
+    )
+    loadgen.add_argument(
+        "--attempts", type=int, default=1,
+        help="resilient-client attempts per request (default 1: no retry)",
+    )
+    loadgen.add_argument(
+        "--timeout-ms", type=float, default=None,
+        help="per-request client timeout; unanswered attempts are retried "
+             "when safe",
+    )
+    loadgen.add_argument(
+        "--hedge-ms", type=float, default=None,
+        help="fire a backup attempt on the next-best endpoint after this "
+             "delay (needs >= 2 endpoints)",
+    )
+    loadgen.add_argument(
+        "--retry-seed", type=int, default=0,
+        help="seed of the deterministic backoff schedule (default 0)",
+    )
     loadgen.add_argument("--json", action="store_true",
                          help="print the full report as JSON")
     loadgen.add_argument("-o", "--output", default=None,
                          help="write the report JSON to a file")
+
+    chaosproxy = commands.add_parser(
+        "chaosproxy",
+        help="seeded TCP chaos proxy in front of a coloring server",
+        description=(
+            "Forward bytes between clients and one upstream server while "
+            "injecting seeded, replayable network faults: added latency, "
+            "mid-stream connection resets, byte truncation, accept-then-"
+            "blackhole, bandwidth throttling.  Every fault decision is a "
+            "roll from random.Random(seed) keyed by (connection index, "
+            "direction), so a chaos run is bit-reproducible.  See "
+            "DESIGN.md §13."
+        ),
+    )
+    chaosproxy.add_argument("--host", default="127.0.0.1",
+                            help="listen host (default 127.0.0.1)")
+    chaosproxy.add_argument("--port", type=int, default=0,
+                            help="listen TCP port (default 0: ephemeral, "
+                                 "printed)")
+    chaosproxy.add_argument("--unix", default=None, metavar="PATH",
+                            help="listen on a UNIX socket instead of TCP")
+    chaosproxy.add_argument(
+        "--upstream", required=True, metavar="SPEC",
+        help="the real server: 'host:port' or 'unix:/path'",
+    )
+    chaosproxy.add_argument("--seed", type=int, default=0,
+                            help="chaos plan seed (default 0)")
+    chaosproxy.add_argument("--latency-ms", type=float, default=0.0,
+                            help="base added latency per forwarded chunk")
+    chaosproxy.add_argument("--latency-jitter-ms", type=float, default=0.0,
+                            help="uniform extra latency on top of the base")
+    chaosproxy.add_argument(
+        "--latency-probability", type=float, default=1.0,
+        help="fraction of chunks paying the latency (default 1.0)",
+    )
+    chaosproxy.add_argument(
+        "--reset-probability", type=float, default=0.0,
+        help="per-chunk probability of aborting both directions",
+    )
+    chaosproxy.add_argument(
+        "--truncate-probability", type=float, default=0.0,
+        help="per-chunk probability of a partial write then abort",
+    )
+    chaosproxy.add_argument(
+        "--blackhole-probability", type=float, default=0.0,
+        help="per-connection probability of accept-then-never-answer",
+    )
+    chaosproxy.add_argument(
+        "--bandwidth", type=float, default=None, metavar="BYTES_PER_S",
+        help="throttle forwarding to this many bytes per second",
+    )
+    chaosproxy.add_argument(
+        "--chunk-bytes", type=int, default=4096,
+        help="forwarding chunk size, the fault-injection granularity",
+    )
+    chaosproxy.add_argument("--json", action="store_true",
+                            help="print the final summary as JSON")
 
     return parser
 
@@ -613,6 +700,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ReproError(
             f"--deadline-ms must be positive, got {args.deadline_ms}"
         )
+    if args.idle_timeout is not None and args.idle_timeout < 0:
+        raise ReproError(
+            f"--idle-timeout must be >= 0, got {args.idle_timeout}"
+        )
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -624,6 +715,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         cache_dir=args.cache_dir,
         default_deadline_ms=args.deadline_ms,
+        idle_timeout_s=args.idle_timeout,
         handle_signals=True,
     )
 
@@ -672,6 +764,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         base_seed=args.base_seed,
         duplicate_fraction=args.duplicate_fraction,
         deadline_ms=args.deadline_ms,
+        endpoints=tuple(args.endpoints or ()),
+        attempts=args.attempts,
+        timeout_ms=args.timeout_ms,
+        hedge_ms=args.hedge_ms,
+        retry_seed=args.retry_seed,
     )
     try:
         report = run_loadgen(config)
@@ -695,9 +792,73 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             f"p50 {latency['p50']}ms p99 {latency['p99']}ms, "
             f"statuses {report['by_status']}"
         )
+        resilience = report.get("resilience") or {}
+        if resilience.get("retried") or resilience.get("hedged"):
+            print(
+                f"resilience: {resilience['retried']} retried, "
+                f"{resilience['attempts_total']} attempts, "
+                f"{resilience['hedged']} hedged "
+                f"({resilience['hedged_won']} hedge wins), "
+                f"{resilience['reconnects']} reconnects"
+            )
         if args.output:
             print(f"report written to {args.output}")
     return 0
+
+
+def _cmd_chaosproxy(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import ChaosPlan, Endpoint, run_chaos_proxy
+
+    plan = ChaosPlan(
+        seed=args.seed,
+        latency_ms=args.latency_ms,
+        latency_jitter_ms=args.latency_jitter_ms,
+        latency_probability=args.latency_probability,
+        reset_probability=args.reset_probability,
+        truncate_probability=args.truncate_probability,
+        blackhole_probability=args.blackhole_probability,
+        bandwidth_bytes_per_s=args.bandwidth,
+        chunk_bytes=args.chunk_bytes,
+    )
+    upstream = Endpoint.parse(args.upstream)
+
+    async def _run() -> int:
+        loop = asyncio.get_running_loop()
+        holder: list = []
+
+        def ready(proxy) -> None:
+            holder.append(proxy)
+            print(
+                f"chaos proxy on {proxy.address} -> {upstream.label} "
+                f"(seed={plan.seed})",
+                flush=True,
+            )
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(signum, proxy.stop)
+
+        proxy = await run_chaos_proxy(
+            plan, upstream,
+            host=args.host, port=args.port, unix_path=args.unix,
+            ready=ready,
+        )
+        summary = proxy.summary()
+        if args.json:
+            print(json.dumps(summary, indent=1))
+        else:
+            print(
+                f"chaos proxy stopped: {summary['connections']} connections "
+                f"({summary['blackholed']} blackholed), "
+                f"{summary['resets']} resets, "
+                f"{summary['truncations']} truncations, "
+                f"{summary['bytes_forwarded']} bytes forwarded",
+                flush=True,
+            )
+        return 0
+
+    return asyncio.run(_run())
 
 
 _COMMANDS = {
@@ -710,6 +871,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "chaosproxy": _cmd_chaosproxy,
 }
 
 

@@ -4,20 +4,43 @@ Turns the repro pipelines into a long-lived service: a line-delimited
 JSON protocol (:mod:`protocol`), admission control with load shedding
 (:mod:`admission`), micro-batching onto a crash-isolated worker pool
 (:mod:`batching`, :mod:`server`), a determinism-backed result cache
-(:mod:`cache`), and a deterministic load generator (:mod:`loadgen`).
-``repro serve`` / ``repro loadgen`` are the CLI entry points; see
-DESIGN.md §10 for the architecture.
+(:mod:`cache`), a resilient multi-endpoint client with retries,
+circuit breakers, and hedging (:mod:`client`), a seeded network chaos
+proxy (:mod:`chaos`), and a deterministic load generator
+(:mod:`loadgen`).  ``repro serve`` / ``repro loadgen`` /
+``repro chaosproxy`` are the CLI entry points; see DESIGN.md §10–§13
+for the architecture.
 
 Everything here measures wall-clock time and talks to sockets, so the
 package is exempt from the determinism lint rule — the *results* it
 returns remain pure functions of (instance, seed, parameters), which is
-precisely what makes the cache sound.
+precisely what makes the cache sound (and what makes ``color`` safe to
+retry after ambiguous failures).
 """
 
 from repro.serve.admission import AdmissionController
 from repro.serve.batching import BatcherClosed, MicroBatcher, PendingRequest
 from repro.serve.cache import InstanceRegistry, ResultCache, make_cache_key
-from repro.serve.loadgen import LoadgenConfig, ServeClient, run_loadgen
+from repro.serve.chaos import (
+    ChaosPlan,
+    ChaosProxy,
+    ChunkFault,
+    chunk_fault,
+    fault_schedule,
+    run_chaos_proxy,
+)
+from repro.serve.client import (
+    RETRY_SAFE_OPS,
+    BreakerConfig,
+    CircuitBreaker,
+    ClientError,
+    Endpoint,
+    Outcome,
+    ResilientClient,
+    RetryPolicy,
+    ServeClient,
+)
+from repro.serve.loadgen import LoadgenConfig, run_loadgen
 from repro.serve.protocol import (
     METHODS,
     OPS,
@@ -28,6 +51,7 @@ from repro.serve.protocol import (
     parse_request,
 )
 from repro.serve.server import (
+    DEFAULT_IDLE_TIMEOUT_S,
     ColoringServer,
     ServeConfig,
     execute_batch,
@@ -35,25 +59,40 @@ from repro.serve.server import (
 )
 
 __all__ = [
+    "DEFAULT_IDLE_TIMEOUT_S",
     "METHODS",
     "OPS",
+    "RETRY_SAFE_OPS",
     "AdmissionController",
     "BatcherClosed",
+    "BreakerConfig",
+    "ChaosPlan",
+    "ChaosProxy",
+    "ChunkFault",
+    "CircuitBreaker",
+    "ClientError",
     "ColorRequest",
     "ColoringServer",
+    "Endpoint",
     "InstanceRegistry",
     "LoadgenConfig",
     "MicroBatcher",
+    "Outcome",
     "PendingRequest",
     "ProtocolError",
+    "ResilientClient",
     "ResultCache",
+    "RetryPolicy",
     "ServeClient",
     "ServeConfig",
+    "chunk_fault",
     "execute_batch",
+    "fault_schedule",
     "make_cache_key",
     "normalize_instance_payload",
     "parse_color_request",
     "parse_request",
+    "run_chaos_proxy",
     "run_loadgen",
     "run_server",
 ]

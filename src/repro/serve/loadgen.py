@@ -1,15 +1,12 @@
-"""Deterministic load generator (and asyncio client) for the service.
+"""Deterministic load generator for the coloring service.
 
-:class:`ServeClient` is the reference client: one connection, NDJSON
-framing, request/response matching by ``id`` (responses arrive in
-*completion* order — micro-batching reorders them), usable from tests,
-the smoke script, and the benchmark.
-
-:func:`run_loadgen` drives a workload against a running server.  The
+:func:`run_loadgen` drives a workload against one or more running
+servers through the :class:`~repro.serve.client.ResilientClient`.  The
 request *stream* is fully deterministic — the instance comes from the
-seeded graph generators and per-request seeds derive from
-``derive_cell_seed`` — so two loadgen runs against equivalent servers
-ask exactly the same questions.  Two modes:
+seeded graph generators, per-request seeds derive from
+``derive_cell_seed``, and the client's retry schedule derives from
+``retry_seed`` — so two loadgen runs against equivalent servers ask
+exactly the same questions and retry at the same offsets.  Two modes:
 
 * ``closed`` — ``concurrency`` lanes, each with its own connection,
   each keeping exactly one request in flight.  ``concurrency=1`` is the
@@ -20,15 +17,25 @@ ask exactly the same questions.  Two modes:
   workload that fills micro-batches.
 
 ``duplicate_fraction`` reuses earlier seeds to exercise the result
-cache at a controlled rate.  The report carries throughput, latency
-percentiles, and per-status counts; wall-clock timing makes this module
-(like the rest of :mod:`repro.serve`) determinism-lint-exempt.
+cache at a controlled rate.  Resilience knobs (``attempts``,
+``timeout_ms``, ``hedge_ms``, extra ``endpoints``) turn retries and
+hedging on for chaos experiments.
+
+Accounting: the report's ``by_status`` buckets terminal outcomes
+(``ok`` / ``cached`` / ``shed`` / ``deadline`` / ``unavailable`` /
+error codes), and ``resilience`` counts cross-cutting events —
+requests that retried, hedges fired, hedges won, total attempts.
+Latency percentiles are computed from the *winning attempt only*
+(:class:`~repro.serve.client.Outcome` reports no abandoned-attempt
+latency), so a retried request cannot double-count and a hedge's
+abandoned primary never pollutes the tail.  Wall-clock timing makes
+this module (like the rest of :mod:`repro.serve`)
+determinism-lint-exempt.
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
 import math
 from dataclasses import dataclass
 from typing import Any
@@ -36,103 +43,26 @@ from typing import Any
 from repro.errors import ReproError
 from repro.graphs.generators import hard_clique_graph, mixed_dense_graph
 from repro.runner.campaign import derive_cell_seed
-from repro.serve.protocol import MAX_LINE_BYTES
+from repro.serve.client import (
+    Endpoint,
+    ResilientClient,
+    RetryPolicy,
+    ServeClient,
+)
 
 __all__ = ["LoadgenConfig", "ServeClient", "run_loadgen"]
 
 
-class ServeClient:
-    """Minimal asyncio client: one connection, id-matched futures."""
-
-    def __init__(
-        self,
-        *,
-        host: str = "127.0.0.1",
-        port: int = 0,
-        unix_path: str | None = None,
-    ):
-        self.host = host
-        self.port = port
-        self.unix_path = unix_path
-        self._reader: asyncio.StreamReader | None = None
-        self._writer: asyncio.StreamWriter | None = None
-        self._pending: dict[Any, asyncio.Future] = {}
-        self._reader_task: asyncio.Task | None = None
-        self._next_id = 0
-
-    async def connect(self) -> None:
-        if self.unix_path is not None:
-            self._reader, self._writer = await asyncio.open_unix_connection(
-                self.unix_path, limit=MAX_LINE_BYTES
-            )
-        else:
-            self._reader, self._writer = await asyncio.open_connection(
-                self.host, self.port, limit=MAX_LINE_BYTES
-            )
-        self._reader_task = asyncio.get_running_loop().create_task(
-            self._read_loop()
-        )
-
-    async def close(self) -> None:
-        if self._writer is not None:
-            self._writer.close()
-            try:
-                await self._writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
-        if self._reader_task is not None:
-            self._reader_task.cancel()
-            try:
-                await self._reader_task
-            except (asyncio.CancelledError, ConnectionError, OSError):
-                pass
-        for future in self._pending.values():
-            if not future.done():
-                future.set_exception(ConnectionError("client closed"))
-        self._pending.clear()
-
-    async def request(self, body: dict[str, Any]) -> dict[str, Any]:
-        """Send one request and await its (id-matched) response."""
-        assert self._writer is not None, "connect() first"
-        if "id" not in body:
-            self._next_id += 1
-            body = {**body, "id": f"c{self._next_id}"}
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._pending[body["id"]] = future
-        self._writer.write(
-            json.dumps(body, separators=(",", ":")).encode() + b"\n"
-        )
-        await self._writer.drain()
-        return await future
-
-    async def _read_loop(self) -> None:
-        assert self._reader is not None
-        while True:
-            line = await self._reader.readline()
-            if not line:
-                break
-            try:
-                body = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            future = self._pending.pop(body.get("id"), None)
-            if future is not None and not future.done():
-                future.set_result(body)
-        for future in self._pending.values():
-            if not future.done():
-                future.set_exception(
-                    ConnectionError("server closed the connection")
-                )
-        self._pending.clear()
-
-
 @dataclass
 class LoadgenConfig:
-    """One deterministic workload against a running server."""
+    """One deterministic workload against a running server (or fleet)."""
 
     host: str = "127.0.0.1"
     port: int = 0
     unix_path: str | None = None
+    #: Extra endpoints ("host:port" or "unix:/path") beyond the primary
+    #: one above; more than one endpoint enables failover and hedging.
+    endpoints: tuple[str, ...] = ()
     requests: int = 100
     mode: str = "open"
     concurrency: int = 32
@@ -147,6 +77,12 @@ class LoadgenConfig:
     duplicate_fraction: float = 0.0
     deadline_ms: float | None = None
     include_colors: bool = False
+    #: Resilient-client knobs: total attempts per request, per-request
+    #: timeout, hedge delay (needs >= 2 endpoints), retry-schedule seed.
+    attempts: int = 1
+    timeout_ms: float | None = None
+    hedge_ms: float | None = None
+    retry_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.mode not in ("open", "closed"):
@@ -163,6 +99,20 @@ class LoadgenConfig:
             raise ReproError(
                 f"loadgen workload must be hard|mixed, got {self.workload!r}"
             )
+        if self.attempts < 1:
+            raise ReproError(f"attempts must be >= 1, got {self.attempts}")
+        if self.timeout_ms is not None and self.timeout_ms <= 0:
+            raise ReproError(
+                f"timeout_ms must be positive, got {self.timeout_ms}"
+            )
+        if self.hedge_ms is not None and self.hedge_ms < 0:
+            raise ReproError(f"hedge_ms must be >= 0, got {self.hedge_ms}")
+
+    def endpoint_list(self) -> list[Endpoint]:
+        primary = Endpoint(
+            host=self.host, port=self.port, unix_path=self.unix_path
+        )
+        return [primary, *(Endpoint.parse(spec) for spec in self.endpoints)]
 
 
 def _instance_payload(config: LoadgenConfig) -> dict[str, Any]:
@@ -199,11 +149,22 @@ def _request_seeds(config: LoadgenConfig) -> list[int]:
     return seeds
 
 
+def _make_client(config: LoadgenConfig) -> ResilientClient:
+    return ResilientClient(
+        config.endpoint_list(),
+        retry=RetryPolicy(attempts=config.attempts, seed=config.retry_seed),
+        request_timeout_s=(
+            config.timeout_ms / 1000.0 if config.timeout_ms is not None else None
+        ),
+        hedge_after_s=(
+            config.hedge_ms / 1000.0 if config.hedge_ms is not None else None
+        ),
+    )
+
+
 async def _run_async(config: LoadgenConfig) -> dict[str, Any]:
     loop = asyncio.get_running_loop()
-    setup = ServeClient(
-        host=config.host, port=config.port, unix_path=config.unix_path
-    )
+    setup = _make_client(config)
     await setup.connect()
     try:
         registered = await setup.request(
@@ -231,25 +192,30 @@ async def _run_async(config: LoadgenConfig) -> dict[str, Any]:
                 body["deadline_ms"] = config.deadline_ms
             return body
 
-        async def issue(client: ServeClient, index: int) -> None:
-            sent = loop.time()
+        async def issue(client: ResilientClient, index: int) -> None:
             try:
-                response = await client.request(body_for(index))
-            except ConnectionError as error:
+                outcome = await client.call(body_for(index))
+            except (ConnectionError, OSError) as error:
                 outcomes[index] = {"status": "lost", "detail": str(error)}
                 return
-            latency_ms = (loop.time() - sent) * 1000.0
+            response = outcome.body
             if response.get("ok"):
-                outcomes[index] = {
+                record = {
                     "status": "cached" if response.get("cached") else "ok",
-                    "latency_ms": latency_ms,
+                    "latency_ms": outcome.latency_ms,
                     "batch_size": response.get("batch_size", 1),
                 }
             else:
-                outcomes[index] = {
+                record = {
                     "status": response["error"]["code"],
-                    "latency_ms": latency_ms,
                 }
+                if outcome.latency_ms > 0:
+                    record["latency_ms"] = outcome.latency_ms
+            record["attempts"] = outcome.attempts
+            record["retried"] = outcome.retried
+            record["hedged"] = outcome.hedged
+            record["hedge_won"] = outcome.hedge_won
+            outcomes[index] = record
 
         started = loop.time()
         if config.mode == "open":
@@ -260,15 +226,10 @@ async def _run_async(config: LoadgenConfig) -> dict[str, Any]:
                     await issue(setup, index)
 
             await asyncio.gather(*(bounded(i) for i in range(len(seeds))))
+            clients = [setup]
         else:
             lanes = min(config.concurrency, len(seeds))
-            clients = [
-                ServeClient(
-                    host=config.host, port=config.port,
-                    unix_path=config.unix_path,
-                )
-                for _ in range(lanes)
-            ]
+            clients = [_make_client(config) for _ in range(lanes)]
             for client in clients:
                 await client.connect()
             try:
@@ -282,10 +243,11 @@ async def _run_async(config: LoadgenConfig) -> dict[str, Any]:
                 for client in clients:
                     await client.close()
         elapsed = loop.time() - started
+        resilience = _resilience(outcomes, clients)
         metrics = await setup.request({"op": "metrics"})
     finally:
         await setup.close()
-    return _report(config, instance_hash, outcomes, elapsed, metrics)
+    return _report(config, instance_hash, outcomes, elapsed, metrics, resilience)
 
 
 def _percentile(sorted_values: list[float], fraction: float) -> float:
@@ -305,12 +267,28 @@ def _percentile(sorted_values: list[float], fraction: float) -> float:
     return sorted_values[min(n - 1, max(0, rank - 1))]
 
 
+def _resilience(
+    outcomes: list[dict[str, Any]], clients: list[ResilientClient]
+) -> dict[str, Any]:
+    """Cross-cutting retry/hedge accounting, kept out of ``by_status``
+    so a retried-then-completed request still counts as ``ok`` there."""
+    return {
+        "retried": sum(1 for o in outcomes if o.get("retried")),
+        "attempts_total": sum(o.get("attempts", 1) for o in outcomes),
+        "hedged": sum(1 for o in outcomes if o.get("hedged")),
+        "hedged_won": sum(1 for o in outcomes if o.get("hedge_won")),
+        "reconnects": sum(c.reconnects for c in clients),
+        "endpoints": clients[0].endpoint_states() if clients else {},
+    }
+
+
 def _report(
     config: LoadgenConfig,
     instance_hash: str,
     outcomes: list[dict[str, Any]],
     elapsed: float,
     metrics: dict[str, Any],
+    resilience: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     by_status: dict[str, int] = {}
     for outcome in outcomes:
@@ -334,6 +312,7 @@ def _report(
         "throughput_rps": round(completed / elapsed, 2) if elapsed > 0 else 0.0,
         "completed": completed,
         "by_status": by_status,
+        "resilience": resilience or {},
         "latency_ms": {
             "p50": round(_percentile(latencies, 0.50), 3),
             "p90": round(_percentile(latencies, 0.90), 3),

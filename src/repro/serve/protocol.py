@@ -31,7 +31,11 @@ Error codes: ``bad_request`` (malformed JSON / fields), ``unsupported``
 (unknown op or method), ``unknown_instance`` (hash not registered),
 ``shed`` (queue bound exceeded — the 429 of this protocol), ``deadline``
 (request expired before execution), ``draining`` (server is shutting
-down), ``internal`` (pipeline raised).
+down), ``idle_timeout`` (slowloris defense: the connection sent no
+complete request within the idle bound and is being closed),
+``internal`` (pipeline raised).  Clients may additionally synthesize
+``unavailable`` when every transport-level attempt failed — it never
+comes from a server.
 """
 
 from __future__ import annotations

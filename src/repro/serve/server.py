@@ -59,7 +59,16 @@ from repro.serve.protocol import (
     parse_request,
 )
 
-__all__ = ["ColoringServer", "ServeConfig", "execute_batch", "run_server"]
+__all__ = [
+    "DEFAULT_IDLE_TIMEOUT_S",
+    "ColoringServer",
+    "ServeConfig",
+    "execute_batch",
+    "run_server",
+]
+
+#: Default slowloris bound for TCP listeners (UNIX sockets default off).
+DEFAULT_IDLE_TIMEOUT_S = 60.0
 
 
 # ----------------------------------------------------------------------
@@ -250,6 +259,14 @@ class ServeConfig:
     host: str = "127.0.0.1"
     port: int = 0
     unix_path: str | None = None
+    #: Slowloris defense: per-connection idle *read* timeout in seconds.
+    #: ``None`` resolves per transport — :data:`DEFAULT_IDLE_TIMEOUT_S`
+    #: for TCP (internet-facing), off for UNIX sockets (local,
+    #: trusted).  ``0`` disables explicitly.  A connection that is idle
+    #: with no requests in flight past the bound gets a canonical
+    #: ``idle_timeout`` error body and is closed; a connection merely
+    #: *waiting* for in-flight responses is never reaped.
+    idle_timeout_s: float | None = None
     jobs: int = 1
     max_batch: int = 8
     linger_ms: float = 2.0
@@ -268,6 +285,17 @@ class ServeConfig:
             raise ValueError(f"jobs must be >= 0, got {self.jobs}")
         if self.linger_ms < 0:
             raise ValueError(f"linger_ms must be >= 0, got {self.linger_ms}")
+        if self.idle_timeout_s is not None and self.idle_timeout_s < 0:
+            raise ValueError(
+                f"idle_timeout_s must be >= 0, got {self.idle_timeout_s}"
+            )
+
+    @property
+    def resolved_idle_timeout(self) -> float | None:
+        """The effective idle read timeout (None = disabled)."""
+        if self.idle_timeout_s is None:
+            return None if self.unix_path is not None else DEFAULT_IDLE_TIMEOUT_S
+        return self.idle_timeout_s if self.idle_timeout_s > 0 else None
 
 
 class ColoringServer:
@@ -381,10 +409,30 @@ class ColoringServer:
         lock = asyncio.Lock()
         tasks: set[asyncio.Task] = set()
         loop = asyncio.get_running_loop()
+        idle_timeout = self.config.resolved_idle_timeout
         try:
             while True:
                 try:
-                    line = await reader.readline()
+                    if idle_timeout is not None:
+                        line = await asyncio.wait_for(
+                            reader.readline(), idle_timeout
+                        )
+                    else:
+                        line = await reader.readline()
+                except asyncio.TimeoutError:
+                    # A connection waiting on its own in-flight requests
+                    # is not idle — only reap silent ones (slowloris:
+                    # connections held open without ever sending a
+                    # complete request starve the accept loop).
+                    if tasks:
+                        continue
+                    metric_count("serve.idle_timeout")
+                    await self._write(writer, lock, error_body(
+                        "idle_timeout",
+                        f"no request within {idle_timeout:g}s; "
+                        "closing idle connection",
+                    ))
+                    break
                 except (asyncio.LimitOverrunError, ValueError):
                     await self._write(writer, lock, error_body(
                         "bad_request",

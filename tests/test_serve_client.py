@@ -1,0 +1,388 @@
+"""Tests for repro.serve.client: breakers, backoff, failover, hedging."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from contextlib import asynccontextmanager
+
+import pytest
+
+from repro.graphs import hard_clique_graph
+from repro.serve import (
+    BreakerConfig,
+    CircuitBreaker,
+    ClientError,
+    ColoringServer,
+    Endpoint,
+    ResilientClient,
+    RetryPolicy,
+    ServeConfig,
+)
+
+EPSILON = 0.25
+
+
+@pytest.fixture(scope="module")
+def payload():
+    instance = hard_clique_graph(16, 8, seed=3)
+    return {
+        "n": instance.n,
+        "edges": [list(edge) for edge in instance.network.edges()],
+        "delta": instance.delta,
+        "uids": list(instance.network.uids),
+    }
+
+
+def fast_runner(specs, instances):
+    return [
+        {"key": spec["key"], "result": {"colors": [0], "num_colors": 1}}
+        for spec in specs
+    ]
+
+
+def slow_runner(specs, instances):
+    time.sleep(0.25)
+    return [
+        {"key": spec["key"], "result": {"colors": [1], "num_colors": 1}}
+        for spec in specs
+    ]
+
+
+@asynccontextmanager
+async def one_server(tmp_path, name, **overrides):
+    options = {"jobs": 0, "linger_ms": 0.0, "batch_runner": fast_runner}
+    options.update(overrides)
+    config = ServeConfig(unix_path=str(tmp_path / f"{name}.sock"), **options)
+    server = ColoringServer(config)
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.close()
+
+
+def color_body(payload, seed=1):
+    return {
+        "op": "color", "method": "randomized", "epsilon": EPSILON,
+        "seed": seed, "instance": dict(payload), "include_colors": True,
+    }
+
+
+# ----------------------------------------------------------------------
+# Endpoint specs
+# ----------------------------------------------------------------------
+
+
+class TestEndpoint:
+    def test_parse_tcp(self):
+        endpoint = Endpoint.parse("10.0.0.7:9001")
+        assert (endpoint.host, endpoint.port) == ("10.0.0.7", 9001)
+        assert endpoint.unix_path is None
+        assert endpoint.label == "10.0.0.7:9001"
+
+    def test_parse_bare_port_defaults_host(self):
+        assert Endpoint.parse(":9001").host == "127.0.0.1"
+
+    def test_parse_unix(self):
+        endpoint = Endpoint.parse("unix:/tmp/serve.sock")
+        assert endpoint.unix_path == "/tmp/serve.sock"
+        assert endpoint.label == "unix:/tmp/serve.sock"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ClientError):
+            Endpoint.parse("not-an-endpoint")
+        with pytest.raises(ClientError):
+            Endpoint.parse("unix:")
+
+
+# ----------------------------------------------------------------------
+# Seeded backoff schedules
+# ----------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_same_seed_same_schedule(self):
+        a = RetryPolicy(attempts=5, seed=7)
+        b = RetryPolicy(attempts=5, seed=7)
+        for call_index in range(4):
+            assert a.delays(call_index) == b.delays(call_index)
+
+    def test_different_seed_different_schedule(self):
+        assert (
+            RetryPolicy(attempts=5, seed=1).delays(0)
+            != RetryPolicy(attempts=5, seed=2).delays(0)
+        )
+
+    def test_different_call_index_different_jitter(self):
+        policy = RetryPolicy(attempts=5, seed=7)
+        assert policy.delays(0) != policy.delays(1)
+
+    def test_exponential_shape_and_bounds(self):
+        policy = RetryPolicy(
+            attempts=6, base_delay_s=0.1, multiplier=2.0,
+            max_delay_s=0.4, jitter=0.5, seed=0,
+        )
+        delays = policy.delays(0)
+        assert len(delays) == 5
+        for i, delay in enumerate(delays):
+            base = min(0.4, 0.1 * 2.0**i)
+            assert base <= delay <= base * 1.5
+
+    def test_single_attempt_has_no_delays(self):
+        assert RetryPolicy(attempts=1).delays(0) == []
+
+    def test_validation(self):
+        with pytest.raises(ClientError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ClientError):
+            RetryPolicy(jitter=-1)
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker state machine (fake clock, zero wall time)
+# ----------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCircuitBreaker:
+    def make(self, **overrides):
+        clock = FakeClock()
+        knobs = {
+            "window": 4, "min_samples": 2, "failure_threshold": 0.5,
+            "open_for_s": 1.0, "half_open_probes": 1,
+        }
+        knobs.update(overrides)
+        return CircuitBreaker(BreakerConfig(**knobs), clock), clock
+
+    def test_closed_until_failure_rate_reached(self):
+        breaker, _ = self.make()
+        assert breaker.state == "closed"
+        breaker.record_failure()  # 1 sample < min_samples: stays closed
+        assert breaker.state == "closed"
+        breaker.record_success()
+        breaker.record_failure()  # 2/3 failures >= 0.5 with 3 samples
+        assert breaker.state == "open"
+        assert breaker.opens == 1
+        assert breaker.allow() is False
+
+    def test_window_slides_old_outcomes_out(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        for _ in range(4):  # push the failure out of the window=4
+            breaker.record_success()
+        breaker.record_failure()  # 1/4 < 0.5: still closed
+        assert breaker.state == "closed"
+
+    def test_full_cycle_closed_open_half_open_closed(self):
+        breaker, clock = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.now += 0.5
+        assert breaker.state == "open"  # not yet
+        clock.now += 0.6
+        assert breaker.state == "half_open"
+        assert breaker.allow() is True  # the probe
+        assert breaker.allow() is False  # probe budget spent
+        breaker.record_success()
+        assert breaker.state == "closed"
+        # The window was reset: one failure alone cannot re-open.
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        breaker, clock = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.now += 1.1
+        assert breaker.allow() is True
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        clock.now += 1.1  # a fresh open period from the re-open
+        assert breaker.state == "half_open"
+
+    def test_multiple_probe_slots(self):
+        breaker, clock = self.make(half_open_probes=2)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.now += 1.1
+        assert breaker.allow() is True
+        assert breaker.allow() is True
+        assert breaker.allow() is False
+
+
+# ----------------------------------------------------------------------
+# End-to-end: failover, reconnect, hedging, exhaustion
+# ----------------------------------------------------------------------
+
+
+class TestResilientClientEndToEnd:
+    def test_single_endpoint_drop_in(self, tmp_path, payload):
+        async def scenario():
+            async with one_server(tmp_path, "a") as server:
+                client = ResilientClient(unix_path=server.config.unix_path)
+                await client.connect()
+                try:
+                    response = await client.request({"op": "health"})
+                    assert response["ok"] and response["status"] == "ok"
+                    outcome = await client.call(color_body(payload))
+                    assert outcome.ok and not outcome.retried
+                    assert outcome.attempts == 1
+                    assert outcome.latency_ms > 0
+                finally:
+                    await client.close()
+
+        asyncio.run(scenario())
+
+    def test_connect_failover_to_live_endpoint(self, tmp_path, payload):
+        async def scenario():
+            async with one_server(tmp_path, "b") as server:
+                dead = Endpoint(unix_path=str(tmp_path / "nowhere.sock"))
+                live = Endpoint(unix_path=server.config.unix_path)
+                client = ResilientClient(
+                    [dead, live], retry=RetryPolicy(attempts=3, base_delay_s=0.0)
+                )
+                await client.connect()
+                try:
+                    outcome = await client.call(color_body(payload))
+                    assert outcome.ok
+                    assert outcome.endpoint == live.label
+                    states = client.endpoint_states()
+                    assert states[dead.label]["failures"] >= 1
+                finally:
+                    await client.close()
+
+        asyncio.run(scenario())
+
+    def test_reconnects_after_reset(self, tmp_path, payload):
+        async def scenario():
+            async with one_server(tmp_path, "c") as server:
+                client = ResilientClient(
+                    unix_path=server.config.unix_path,
+                    retry=RetryPolicy(attempts=2, base_delay_s=0.0),
+                )
+                await client.connect()
+                try:
+                    assert (await client.call(color_body(payload, seed=1))).ok
+                    # Kill the transport under the client's feet.
+                    state = next(iter(client.endpoint_states()))
+                    connection = client._states[state].connection
+                    connection._writer.transport.abort()
+                    await asyncio.sleep(0.05)
+                    assert connection.closed
+                    outcome = await client.call(color_body(payload, seed=2))
+                    assert outcome.ok
+                    assert client.reconnects == 1
+                finally:
+                    await client.close()
+
+        asyncio.run(scenario())
+
+    def test_hedge_wins_on_slow_primary(self, tmp_path, payload):
+        async def scenario():
+            async with one_server(
+                tmp_path, "slow", batch_runner=slow_runner, cache_size=0,
+            ) as slow_server:
+                async with one_server(tmp_path, "fast") as fast_server:
+                    slow = Endpoint(unix_path=slow_server.config.unix_path)
+                    fast = Endpoint(unix_path=fast_server.config.unix_path)
+                    # The slow server is listed first, so (equal scores)
+                    # it is the primary the hedge must rescue us from.
+                    client = ResilientClient(
+                        [slow, fast],
+                        retry=RetryPolicy(attempts=1),
+                        hedge_after_s=0.05,
+                    )
+                    await client.connect()
+                    try:
+                        outcome = await client.call(color_body(payload))
+                        assert outcome.ok
+                        assert outcome.hedged and outcome.hedge_won
+                        assert outcome.endpoint == fast.label
+                        assert client.hedges == 1 and client.hedge_wins == 1
+                        # The fast answer, not the slow one.
+                        assert outcome.body["result"]["colors"] == [0]
+                    finally:
+                        await client.close()
+
+        asyncio.run(scenario())
+
+    def test_timeout_then_unavailable(self, tmp_path, payload):
+        async def scenario():
+            async with one_server(
+                tmp_path, "stall", batch_runner=slow_runner, cache_size=0,
+            ) as server:
+                client = ResilientClient(
+                    unix_path=server.config.unix_path,
+                    retry=RetryPolicy(attempts=1),
+                    request_timeout_s=0.05,
+                )
+                await client.connect()
+                try:
+                    outcome = await client.call(color_body(payload))
+                    assert not outcome.ok
+                    assert outcome.body["error"]["code"] == "unavailable"
+                    assert "timeout" in outcome.body["error"]["message"]
+                finally:
+                    await client.close()
+
+        asyncio.run(scenario())
+
+    def test_unreachable_everywhere_returns_unavailable(self, tmp_path):
+        async def scenario():
+            client = ResilientClient(
+                unix_path=str(tmp_path / "void.sock"),
+                retry=RetryPolicy(attempts=2, base_delay_s=0.0),
+            )
+            outcome = await client.call({"op": "health"})
+            assert not outcome.ok
+            assert outcome.body["error"]["code"] == "unavailable"
+            assert outcome.endpoint is None
+            await client.close()
+
+        asyncio.run(scenario())
+
+    def test_drain_is_never_retried_on_reset(self):
+        retryable = ResilientClient._retryable
+        assert retryable("drain", "reset", None) is False
+        assert retryable("drain", "connect", None) is True
+        assert retryable("color", "reset", None) is True
+        assert retryable("color", "timeout", None) is True
+        shed = {"ok": False, "error": {"code": "shed"}}
+        assert retryable("color", None, shed) is True
+        bad = {"ok": False, "error": {"code": "bad_request"}}
+        assert retryable("color", None, bad) is False
+
+    def test_probe_health_marks_draining(self, tmp_path, payload):
+        async def scenario():
+            async with one_server(tmp_path, "d1") as first:
+                async with one_server(tmp_path, "d2") as second:
+                    a = Endpoint(unix_path=first.config.unix_path)
+                    b = Endpoint(unix_path=second.config.unix_path)
+                    client = ResilientClient([a, b])
+                    await client.connect()
+                    try:
+                        await client.request({"op": "drain"})
+                        statuses = await client.probe_health()
+                        drained = [
+                            label for label, status in statuses.items()
+                            if status == "draining"
+                        ]
+                        assert len(drained) == 1
+                        # New work routes away from the draining endpoint.
+                        outcome = await client.call(color_body(payload))
+                        assert outcome.ok
+                        assert outcome.endpoint not in drained
+                    finally:
+                        await client.close()
+
+        asyncio.run(scenario())
