@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test test-all bench chaos columnar-parity trace serve-smoke chaos-serve report examples ci lint lint-repro typecheck clean
+.PHONY: install test test-all bench chaos columnar-parity trace serve-smoke chaos-serve fleet-smoke report examples ci lint lint-repro typecheck clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -42,6 +42,13 @@ serve-smoke:
 chaos-serve:
 	PYTHONPATH=src timeout 300 python scripts/chaos_serve_smoke.py
 
+# Fleet smoke: 2-shard `repro fleet` behind the consistent-hash router,
+# byte-identical to a single-server baseline, one shard SIGKILLed
+# mid-run (re-route + supervisor restart), SIGTERM cascade drain
+# (DESIGN.md section 14).
+fleet-smoke:
+	PYTHONPATH=src timeout 300 python scripts/fleet_smoke.py
+
 # Mirrors .github/workflows/ci.yml: tier-1 suite + smokes + lint.
 ci:
 	PYTHONPATH=src python -m pytest -x -q
@@ -49,6 +56,7 @@ ci:
 	$(MAKE) trace
 	$(MAKE) serve-smoke
 	$(MAKE) chaos-serve
+	$(MAKE) fleet-smoke
 	$(MAKE) lint
 	$(MAKE) lint-repro
 	$(MAKE) typecheck

@@ -285,6 +285,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="also persist cached results on disk")
     serve.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="BYTES",
+        help="bound the disk cache; oldest entries are pruned past it",
+    )
+    serve.add_argument(
         "--deadline-ms", type=float, default=None,
         help="default per-request deadline when the client sets none",
     )
@@ -329,6 +333,16 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--duplicate-fraction", type=float, default=0.0,
         help="fraction of requests reusing an earlier seed (cache hits)",
+    )
+    loadgen.add_argument(
+        "--hot-keys", type=int, default=0,
+        help="draw request seeds from this many keys under a Zipf "
+             "distribution instead of distinct seeds (0: off)",
+    )
+    loadgen.add_argument(
+        "--zipf-s", type=float, default=1.1,
+        help="Zipf exponent for --hot-keys (default 1.1; larger = "
+             "more skew)",
     )
     loadgen.add_argument("--deadline-ms", type=float, default=None)
     loadgen.add_argument(
@@ -416,6 +430,119 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaosproxy.add_argument("--json", action="store_true",
                             help="print the final summary as JSON")
+
+    router = commands.add_parser(
+        "router",
+        help="consistent-hash routing tier over running serve shards",
+        description=(
+            "Front one or more already-running coloring servers with a "
+            "consistent-hashing router: color requests ride a seeded "
+            "hash ring keyed by the request's cache key, register fans "
+            "out to every shard, health/status/metrics aggregate across "
+            "the fleet, and the 'fleet' op reports per-shard health, "
+            "ring ownership, and routing counters.  See DESIGN.md §14."
+        ),
+    )
+    router.add_argument("--host", default="127.0.0.1")
+    router.add_argument("--port", type=int, default=0,
+                        help="TCP port (default 0: ephemeral, printed)")
+    router.add_argument("--unix", default=None, metavar="PATH",
+                        help="listen on a UNIX socket instead of TCP")
+    router.add_argument(
+        "--shard", action="append", default=None, metavar="SPEC",
+        dest="shards", required=True,
+        help="backend shard ('host:port' or 'unix:/path'); repeatable",
+    )
+    router.add_argument("--vnodes", type=int, default=64,
+                        help="virtual nodes per shard (default 64)")
+    router.add_argument("--ring-seed", type=int, default=0,
+                        help="seed of the hash ring (default 0)")
+    router.add_argument(
+        "--attempts", type=int, default=2,
+        help="transport attempts per shard before re-dispatching to the "
+             "next ring owner (default 2)",
+    )
+    router.add_argument(
+        "--timeout-ms", type=float, default=None,
+        help="per-dispatch timeout (default: none, trust shard deadlines)",
+    )
+    router.add_argument(
+        "--hedge-ms", type=float, default=None,
+        help="hedge the dispatch to the next ring owner after this delay",
+    )
+    router.add_argument(
+        "--probe-interval", type=float, default=0.5, metavar="SECONDS",
+        help="shard health-probe period (0 disables; default 0.5s)",
+    )
+    router.add_argument(
+        "--max-inflight", type=int, default=1024,
+        help="admission bound on concurrent color requests (default 1024)",
+    )
+    router.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="close idle client connections past this bound "
+             "(default: 60s on TCP, off on UNIX sockets; 0 disables)",
+    )
+
+    fleet = commands.add_parser(
+        "fleet",
+        help="run a supervised sharded fleet: N serve shards + router",
+        description=(
+            "Spawn N backend serve shards (UNIX sockets, one shared "
+            "disk cache) plus the consistent-hash router in front, "
+            "monitor shard liveness, restart crashed shards (same "
+            "socket => same ring slots), and drain the whole tree in "
+            "reverse order on SIGTERM.  See DESIGN.md §14."
+        ),
+    )
+    fleet.add_argument("--shards", type=int, default=2,
+                       help="backend shard count (default 2)")
+    fleet.add_argument("--host", default="127.0.0.1")
+    fleet.add_argument("--port", type=int, default=0,
+                       help="router TCP port (default 0: ephemeral, printed)")
+    fleet.add_argument("--unix", default=None, metavar="PATH",
+                       help="router UNIX socket instead of TCP")
+    fleet.add_argument(
+        "--runtime-dir", default=None, metavar="DIR",
+        help="shard sockets/logs/cache live here (default: temp dir, "
+             "removed on shutdown)",
+    )
+    fleet.add_argument(
+        "-j", "--jobs", type=int, default=0,
+        help="worker processes per shard (default 0: inline — shards "
+             "are already separate processes)",
+    )
+    fleet.add_argument("--max-batch", type=int, default=8)
+    fleet.add_argument("--linger-ms", type=float, default=2.0)
+    fleet.add_argument("--max-queue", type=int, default=256,
+                       help="admission bound per shard (default 256)")
+    fleet.add_argument("--cache-size", type=int, default=1024,
+                       help="in-memory cache entries per shard")
+    fleet.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared disk cache for all shards (default: "
+             "<runtime-dir>/cache; '' disables the disk tier)",
+    )
+    fleet.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="BYTES",
+        help="bound the shared disk cache (oldest-mtime pruning)",
+    )
+    fleet.add_argument("--vnodes", type=int, default=64)
+    fleet.add_argument("--ring-seed", type=int, default=0)
+    fleet.add_argument("--attempts", type=int, default=2)
+    fleet.add_argument("--timeout-ms", type=float, default=None)
+    fleet.add_argument("--hedge-ms", type=float, default=None)
+    fleet.add_argument("--probe-interval", type=float, default=0.5,
+                       metavar="SECONDS")
+    fleet.add_argument("--max-inflight", type=int, default=1024)
+    fleet.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="graceful-drain budget per tier before SIGKILL (default 10s)",
+    )
+    fleet.add_argument(
+        "--max-restarts", type=int, default=5,
+        help="restart budget per shard before it stays down (default 5)",
+    )
 
     return parser
 
@@ -696,6 +823,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ReproError(f"--max-queue must be >= 1, got {args.max_queue}")
     if args.cache_size < 0:
         raise ReproError(f"--cache-size must be >= 0, got {args.cache_size}")
+    if args.cache_max_bytes is not None:
+        if args.cache_dir is None:
+            raise ReproError("--cache-max-bytes needs --cache-dir")
+        if args.cache_max_bytes < 1:
+            raise ReproError(
+                f"--cache-max-bytes must be >= 1, got {args.cache_max_bytes}"
+            )
     if args.deadline_ms is not None and args.deadline_ms <= 0:
         raise ReproError(
             f"--deadline-ms must be positive, got {args.deadline_ms}"
@@ -714,6 +848,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         cache_size=args.cache_size,
         cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
         default_deadline_ms=args.deadline_ms,
         idle_timeout_s=args.idle_timeout,
         handle_signals=True,
@@ -763,6 +898,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         epsilon=args.epsilon,
         base_seed=args.base_seed,
         duplicate_fraction=args.duplicate_fraction,
+        hot_keys=args.hot_keys,
+        zipf_s=args.zipf_s,
         deadline_ms=args.deadline_ms,
         endpoints=tuple(args.endpoints or ()),
         attempts=args.attempts,
@@ -861,6 +998,106 @@ def _cmd_chaosproxy(args: argparse.Namespace) -> int:
     return asyncio.run(_run())
 
 
+def _cmd_router(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import FleetRouter, RouterConfig
+
+    config = RouterConfig(
+        shards=tuple(args.shards or ()),
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        vnodes=args.vnodes,
+        ring_seed=args.ring_seed,
+        attempts=args.attempts,
+        timeout_ms=args.timeout_ms,
+        hedge_ms=args.hedge_ms,
+        probe_interval_s=args.probe_interval,
+        max_inflight=args.max_inflight,
+        idle_timeout_s=args.idle_timeout,
+        handle_signals=True,
+    )
+
+    async def _run() -> int:
+        router = FleetRouter(config)
+        await router.start()
+        print(
+            f"routing on {router.address} over {len(config.shards)} "
+            f"shard(s) (vnodes={config.vnodes}, "
+            f"ring_seed={config.ring_seed})",
+            flush=True,
+        )
+        try:
+            await router.wait_stopped()
+        finally:
+            await router.close()
+        print(
+            f"router drained after {router.admission.admitted_total} "
+            f"requests ({router.rerouted} rerouted, "
+            f"{router.admission.shed_total} shed)",
+            flush=True,
+        )
+        return 0
+
+    return asyncio.run(_run())
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import FleetConfig, FleetSupervisor
+
+    config = FleetConfig(
+        shards=args.shards,
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        runtime_dir=args.runtime_dir,
+        jobs=args.jobs,
+        max_batch=args.max_batch,
+        linger_ms=args.linger_ms,
+        max_queue=args.max_queue,
+        cache_size=args.cache_size,
+        cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
+        vnodes=args.vnodes,
+        ring_seed=args.ring_seed,
+        attempts=args.attempts,
+        timeout_ms=args.timeout_ms,
+        hedge_ms=args.hedge_ms,
+        probe_interval_s=args.probe_interval,
+        max_inflight=args.max_inflight,
+        drain_timeout_s=args.drain_timeout,
+        max_restarts=args.max_restarts,
+        handle_signals=True,
+    )
+
+    async def _run() -> int:
+        supervisor = FleetSupervisor(config)
+        await supervisor.start()
+        print(
+            f"fleet of {config.shards} shard(s) routing on "
+            f"{supervisor.address} (runtime {supervisor.runtime_dir}, "
+            f"cache {supervisor.cache_dir or 'off'})",
+            flush=True,
+        )
+        try:
+            await supervisor.wait_stopped()
+        finally:
+            await supervisor.close()
+        summary = supervisor.summary()
+        print(
+            f"fleet drained after {summary['served']} requests "
+            f"({summary['rerouted']} rerouted, {summary['shed']} shed, "
+            f"restarts {summary['restarts']})",
+            flush=True,
+        )
+        return 0
+
+    return asyncio.run(_run())
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
@@ -872,6 +1109,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "chaosproxy": _cmd_chaosproxy,
+    "router": _cmd_router,
+    "fleet": _cmd_fleet,
 }
 
 

@@ -6,9 +6,12 @@ JSON protocol (:mod:`protocol`), admission control with load shedding
 (:mod:`batching`, :mod:`server`), a determinism-backed result cache
 (:mod:`cache`), a resilient multi-endpoint client with retries,
 circuit breakers, and hedging (:mod:`client`), a seeded network chaos
-proxy (:mod:`chaos`), and a deterministic load generator
-(:mod:`loadgen`).  ``repro serve`` / ``repro loadgen`` /
-``repro chaosproxy`` are the CLI entry points; see DESIGN.md §10–§13
+proxy (:mod:`chaos`), a deterministic load generator (:mod:`loadgen`),
+and the sharded fleet tier — a consistent-hashing router
+(:mod:`router`) plus a supervisor that spawns, restarts, and drains
+backend shard processes (:mod:`fleet`).  ``repro serve`` /
+``repro loadgen`` / ``repro chaosproxy`` / ``repro router`` /
+``repro fleet`` are the CLI entry points; see DESIGN.md §10–§14
 for the architecture.
 
 Everything here measures wall-clock time and talks to sockets, so the
@@ -40,6 +43,7 @@ from repro.serve.client import (
     RetryPolicy,
     ServeClient,
 )
+from repro.serve.fleet import FleetConfig, FleetSupervisor, run_fleet
 from repro.serve.loadgen import LoadgenConfig, run_loadgen
 from repro.serve.protocol import (
     METHODS,
@@ -50,6 +54,7 @@ from repro.serve.protocol import (
     parse_color_request,
     parse_request,
 )
+from repro.serve.router import FleetRouter, HashRing, RouterConfig, run_router
 from repro.serve.server import (
     DEFAULT_IDLE_TIMEOUT_S,
     ColoringServer,
@@ -74,9 +79,14 @@ __all__ = [
     "ColorRequest",
     "ColoringServer",
     "Endpoint",
+    "FleetConfig",
+    "FleetRouter",
+    "FleetSupervisor",
+    "HashRing",
     "InstanceRegistry",
     "LoadgenConfig",
     "MicroBatcher",
+    "RouterConfig",
     "Outcome",
     "PendingRequest",
     "ProtocolError",
@@ -93,6 +103,8 @@ __all__ = [
     "parse_color_request",
     "parse_request",
     "run_chaos_proxy",
+    "run_fleet",
     "run_loadgen",
+    "run_router",
     "run_server",
 ]

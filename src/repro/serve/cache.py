@@ -18,12 +18,23 @@ Two small pieces:
   canonical hash, so clients upload a graph once (``register`` op, or
   implicitly on the first inline ``color``) and then send requests that
   are a few dozen bytes.
+
+The disk tier is multi-writer safe: every write goes to a per-process
+temporary name and is published with an atomic ``rename``.  In the
+sharded fleet all shards point at one ``disk_dir``; two shards racing
+on the same key write *byte-identical* content (results are pure
+functions of the key), so last-rename-wins is indistinguishable from a
+single writer.  ``disk_max_bytes`` bounds the directory: ``put``
+prunes oldest-mtime entries past the cap, and because pruning only ever
+``unlink``\\ s published files, a concurrent reader either sees a whole
+entry or a miss — never a torn one.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any
@@ -57,19 +68,33 @@ class ResultCache:
     cache entirely: every lookup is a miss and nothing is stored).
     ``disk_dir``, when set, persists every stored entry as
     ``<key>.json`` so results outlive both eviction and the process.
+    ``disk_max_bytes`` caps the total size of those files; ``put``
+    prunes oldest-mtime entries until the directory fits again.
     """
 
-    def __init__(self, capacity: int, *, disk_dir: str | Path | None = None):
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        disk_dir: str | Path | None = None,
+        disk_max_bytes: int | None = None,
+    ):
         if capacity < 0:
             raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        if disk_max_bytes is not None and disk_max_bytes < 1:
+            raise ValueError(
+                f"disk_max_bytes must be >= 1, got {disk_max_bytes}"
+            )
         self.capacity = capacity
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.disk_max_bytes = disk_max_bytes
         if self.disk_dir is not None:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.disk_hits = 0
+        self.disk_evictions = 0
         self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
 
     def __len__(self) -> int:
@@ -101,14 +126,68 @@ class ResultCache:
         """Store a result (memory LRU + disk when configured)."""
         if self.disk_dir is not None:
             path = self.disk_dir / f"{key}.json"
-            tmp = path.with_suffix(".json.tmp")
+            # Per-process temp name: concurrent shards writing the same
+            # key never interleave inside one file; the rename publishes
+            # a whole entry (see the module docstring).
+            tmp = path.with_suffix(f".json.{os.getpid()}.tmp")
             tmp.write_text(json.dumps(value, separators=(",", ":")))
             tmp.replace(path)
+            if self.disk_max_bytes is not None:
+                self.prune()
         if self.capacity > 0:
             self._store_memory(key, value)
 
+    def prune(self, max_bytes: int | None = None) -> int:
+        """Delete oldest-mtime disk entries past the byte cap.
+
+        Returns the number of files removed.  ``max_bytes`` overrides
+        the configured ``disk_max_bytes`` for this call (useful for
+        operator-driven shrinking); no-op when the cache has no disk
+        tier or no cap is in effect.
+        """
+        cap = max_bytes if max_bytes is not None else self.disk_max_bytes
+        if self.disk_dir is None or cap is None:
+            return 0
+        entries: list[tuple[float, str, Path, int]] = []
+        total = 0
+        for path in self.disk_dir.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # pruned by a sibling shard between glob and stat
+            entries.append((stat.st_mtime, path.name, path, stat.st_size))
+            total += stat.st_size
+        removed = 0
+        entries.sort()  # oldest mtime first; name breaks ties
+        for _, _, path, size in entries:
+            if total <= cap:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                pass  # already gone: a sibling pruned it — still freed
+            total -= size
+            removed += 1
+            self.disk_evictions += 1
+        return removed
+
+    def disk_usage(self) -> tuple[int, int]:
+        """Current ``(files, bytes)`` of the disk tier (``(0, 0)`` when
+        disabled)."""
+        if self.disk_dir is None:
+            return 0, 0
+        files = 0
+        total = 0
+        for path in self.disk_dir.glob("*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            files += 1
+        return files, total
+
     def stats(self) -> dict[str, int]:
-        return {
+        out = {
             "size": len(self._entries),
             "capacity": self.capacity,
             "hits": self.hits,
@@ -116,6 +195,12 @@ class ResultCache:
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
         }
+        if self.disk_dir is not None:
+            files, total = self.disk_usage()
+            out["disk_files"] = files
+            out["disk_bytes"] = total
+            out["disk_evictions"] = self.disk_evictions
+        return out
 
     def _store_memory(self, key: str, value: dict[str, Any]) -> None:
         self._entries[key] = value

@@ -342,7 +342,9 @@ class CircuitBreaker:
 #: keyed; the reads trivially; ``register`` is idempotent (same payload
 #: ⇒ same canonical hash ⇒ same registry entry).  ``drain`` is absent
 #: on purpose.
-RETRY_SAFE_OPS = frozenset({"color", "register", "health", "status", "metrics"})
+RETRY_SAFE_OPS = frozenset(
+    {"color", "register", "health", "status", "metrics", "fleet"}
+)
 
 #: Error responses the server sends *instead of* doing work — always
 #: safe to retry, ideally on a different endpoint.

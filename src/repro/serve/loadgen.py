@@ -17,7 +17,13 @@ exactly the same questions and retry at the same offsets.  Two modes:
   workload that fills micro-batches.
 
 ``duplicate_fraction`` reuses earlier seeds to exercise the result
-cache at a controlled rate.  Resilience knobs (``attempts``,
+cache at a controlled rate.  ``hot_keys``/``zipf_s`` replace the whole
+seed stream with draws from a seeded Zipf distribution over a pool of
+``hot_keys`` distinct seeds — the skewed-duplicate workload that makes
+cache-hit *scaling* measurable (rank ``r`` is requested with
+probability proportional to ``r^-s``), while staying bit-reproducible:
+the pool, the draw order, and therefore every request are pure
+functions of ``base_seed``.  Resilience knobs (``attempts``,
 ``timeout_ms``, ``hedge_ms``, extra ``endpoints``) turn retries and
 hedging on for chaos experiments.
 
@@ -37,7 +43,10 @@ from __future__ import annotations
 
 import asyncio
 import math
+import random
+from bisect import bisect_left
 from dataclasses import dataclass
+from itertools import accumulate
 from typing import Any
 
 from repro.errors import ReproError
@@ -75,6 +84,11 @@ class LoadgenConfig:
     epsilon: float = 0.25
     base_seed: int = 1
     duplicate_fraction: float = 0.0
+    #: Zipf hot-key workload: draw every request's seed from a pool of
+    #: ``hot_keys`` distinct seeds with rank-``r`` probability ∝ r^-s
+    #: (``0`` keeps the distinct/duplicate stream above).
+    hot_keys: int = 0
+    zipf_s: float = 1.1
     deadline_ms: float | None = None
     include_colors: bool = False
     #: Resilient-client knobs: total attempts per request, per-request
@@ -94,6 +108,15 @@ class LoadgenConfig:
         if not 0 <= self.duplicate_fraction <= 1:
             raise ReproError(
                 f"duplicate_fraction must be in [0, 1], got {self.duplicate_fraction}"
+            )
+        if self.hot_keys < 0:
+            raise ReproError(f"hot_keys must be >= 0, got {self.hot_keys}")
+        if self.zipf_s <= 0:
+            raise ReproError(f"zipf_s must be positive, got {self.zipf_s}")
+        if self.hot_keys and self.duplicate_fraction:
+            raise ReproError(
+                "hot_keys and duplicate_fraction are alternative cache "
+                "workloads; set one, not both"
             )
         if self.workload not in ("hard", "mixed"):
             raise ReproError(
@@ -135,6 +158,8 @@ def _instance_payload(config: LoadgenConfig) -> dict[str, Any]:
 
 def _request_seeds(config: LoadgenConfig) -> list[int]:
     """The deterministic seed stream, with controlled duplicates."""
+    if config.hot_keys:
+        return _zipf_seeds(config)
     seeds: list[int] = []
     for index in range(config.requests):
         if (
@@ -147,6 +172,30 @@ def _request_seeds(config: LoadgenConfig) -> list[int]:
         else:
             seeds.append(derive_cell_seed(config.base_seed, index, "loadgen"))
     return seeds
+
+
+def _zipf_seeds(config: LoadgenConfig) -> list[int]:
+    """Seeds drawn from a seeded Zipf distribution over a hot-key pool.
+
+    The pool reuses the distinct-stream derivation (rank ``r`` holds the
+    seed a distinct stream would issue as request ``r``), so the key
+    *space* is shared with the unique workload and only the draw
+    frequencies are skewed.  Inverse-CDF sampling from one
+    ``random.Random`` keyed off ``base_seed`` makes the stream a pure
+    function of the config.
+    """
+    pool = [
+        derive_cell_seed(config.base_seed, rank, "loadgen")
+        for rank in range(config.hot_keys)
+    ]
+    weights = [1.0 / (rank + 1) ** config.zipf_s for rank in range(config.hot_keys)]
+    cumulative = list(accumulate(weights))
+    total = cumulative[-1]
+    rng = random.Random(derive_cell_seed(config.base_seed, config.hot_keys, "zipf"))
+    return [
+        pool[bisect_left(cumulative, rng.random() * total)]
+        for _ in range(config.requests)
+    ]
 
 
 def _make_client(config: LoadgenConfig) -> ResilientClient:
@@ -302,7 +351,7 @@ def _report(
         if o.get("status") in ("ok", "cached") and "latency_ms" in o
     )
     batch_sizes = [o.get("batch_size", 1) for o in outcomes if o.get("status") == "ok"]
-    return {
+    report: dict[str, Any] = {
         "mode": config.mode,
         "method": config.method,
         "requests": config.requests,
@@ -324,6 +373,10 @@ def _report(
         ),
         "server_metrics": metrics.get("server", {}),
     }
+    if config.hot_keys:
+        report["hot_keys"] = config.hot_keys
+        report["zipf_s"] = config.zipf_s
+    return report
 
 
 def run_loadgen(config: LoadgenConfig) -> dict[str, Any]:

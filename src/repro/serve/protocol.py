@@ -21,11 +21,13 @@ Errors are first-class responses, never closed connections::
 
 Ops: ``color`` (run a pipeline), ``register`` (upload an instance once,
 address it by canonical hash afterwards), ``status``, ``health``,
-``metrics``, ``drain``.  Instances travel either inline (``instance``,
-same payload shape as :func:`repro.graphs.save_instance`) or by
-reference (``instance_hash`` of a previously registered/submitted
-instance) — the reference form keeps steady-state requests a few dozen
-bytes.
+``metrics``, ``drain``, and ``fleet`` (per-shard health, ring
+ownership, and routing counters — answered by the router tier; a
+single shard bounces it with ``unsupported``).  Instances travel
+either inline (``instance``, same payload shape as
+:func:`repro.graphs.save_instance`) or by reference (``instance_hash``
+of a previously registered/submitted instance) — the reference form
+keeps steady-state requests a few dozen bytes.
 
 Error codes: ``bad_request`` (malformed JSON / fields), ``unsupported``
 (unknown op or method), ``unknown_instance`` (hash not registered),
@@ -64,7 +66,7 @@ __all__ = [
 #: Per-line size bound; an instance payload for n ~ 10^5 fits comfortably.
 MAX_LINE_BYTES = 32 * 1024 * 1024
 
-OPS = ("color", "register", "status", "health", "metrics", "drain")
+OPS = ("color", "register", "status", "health", "metrics", "drain", "fleet")
 
 #: Pipelines the ``color`` op dispatches to.  The paper pipelines
 #: (deterministic / randomized / general) plus the repo's baselines,

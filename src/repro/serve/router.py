@@ -1,0 +1,884 @@
+"""The fleet router: a consistent-hashing front tier over serve shards.
+
+:class:`FleetRouter` is the server-side half of the sharded serving
+fleet (DESIGN.md §14).  It speaks the same NDJSON protocol as
+:mod:`repro.serve.server` to clients and holds one
+:class:`~repro.serve.client.ResilientClient` per backend shard, so the
+inter-tier wire format *is* the public protocol — a shard cannot tell a
+router from an ordinary client.
+
+Routing.  ``color`` requests are placed on a seeded consistent-hash
+ring (:class:`HashRing`) keyed by the request's *cache key*
+(:func:`repro.serve.cache.make_cache_key` over the canonical instance
+hash, method, seed, epsilon, and options).  Keying by the cache key —
+not just the instance hash — spreads a seed sweep over one instance
+across the whole fleet while still sending byte-identical requests to
+the same shard, which is what makes each shard's in-memory LRU
+*partition-local*: aggregate cache capacity grows linearly with shard
+count.  The ring is a pure function of ``(ring_seed, shard labels,
+vnodes)``, so every router replica with the same config computes the
+same ownership, and a shard that crashes and returns re-acquires
+exactly its old slots.
+
+Failure handling.  A shard that answers ``shed``/``draining`` or whose
+transport is exhausted (the client's canonical ``unavailable``) is
+skipped and the request is re-dispatched to the next ring owner —
+sound for the same reason retries are: pipelines are deterministic, so
+any shard produces byte-identical responses.  ``unknown_instance`` from
+a shard is *healed*: the router re-registers the instance from its own
+registry (shards lose their in-memory registries on restart) and
+retries the same shard once.  With ``hedge_ms`` set, the first dispatch
+is hedged to the next ring owner on deadline risk, reusing the sibling
+shard as a backup.  ``register`` fans out to every live shard;
+``health``/``status``/``metrics`` aggregate across the fleet; the
+``fleet`` op reports per-shard health, ring ownership, and routing
+counters.  ``drain`` drains the *router* (stop admitting, finish
+in-flight); shard drain is the supervisor's job
+(:mod:`repro.serve.fleet`), cascaded in reverse order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import signal
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ReproError
+from repro.serve.admission import AdmissionController
+from repro.serve.cache import InstanceRegistry, make_cache_key
+from repro.serve.client import Endpoint, ResilientClient, RetryPolicy
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    encode,
+    error_body,
+    normalize_instance_payload,
+    parse_color_request,
+    parse_request,
+)
+from repro.serve.server import DEFAULT_IDLE_TIMEOUT_S
+
+__all__ = ["FleetRouter", "HashRing", "RouterConfig", "run_router"]
+
+#: Error codes after which the next ring owner is tried.  ``shed`` and
+#: ``draining`` are explicit refusals; ``unavailable`` is the resilient
+#: client's transport-exhaustion synthesis.  Everything else (including
+#: ``internal``) is an authoritative per-request answer and is forwarded.
+REDISPATCH_CODES = frozenset({"shed", "draining", "unavailable"})
+
+#: Consecutive failed health probes before a shard leaves the ring.
+PROBE_DOWN_AFTER = 2
+
+
+def _position(seed: int, kind: str, token: str) -> int:
+    """A 64-bit ring position: pure function of (seed, kind, token)."""
+    digest = hashlib.sha256(f"{seed}|{kind}|{token}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Seeded consistent-hash ring with virtual nodes.
+
+    Every node contributes ``vnodes`` positions derived from
+    ``sha256(seed | node | replica)``; a key is owned by the first node
+    clockwise of its own position.  ``owners`` returns *all* distinct
+    nodes in ring order, which doubles as the re-dispatch order: when
+    the owner is down, the next owner is exactly the node that would
+    own the key if the ring no longer contained the failed one — so
+    failover and permanent removal route identically.
+    """
+
+    def __init__(self, nodes: tuple[str, ...] = (), *, vnodes: int = 64, seed: int = 0):
+        if vnodes < 1:
+            raise ReproError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self.seed = seed
+        self._nodes: set[str] = set()
+        self._ring: list[tuple[int, str]] = []
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for replica in range(self.vnodes):
+            position = _position(self.seed, "node", f"{node}|{replica}")
+            bisect.insort(self._ring, (position, node))
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._ring = [entry for entry in self._ring if entry[1] != node]
+
+    def owners(self, key: str, count: int | None = None) -> list[str]:
+        """Distinct owners of ``key`` in ring order (owner first)."""
+        if not self._ring:
+            return []
+        bound = len(self._nodes) if count is None else min(count, len(self._nodes))
+        position = _position(self.seed, "key", key)
+        start = bisect.bisect_right(self._ring, (position, "￿"))
+        owners: list[str] = []
+        seen: set[str] = set()
+        for offset in range(len(self._ring)):
+            node = self._ring[(start + offset) % len(self._ring)][1]
+            if node not in seen:
+                seen.add(node)
+                owners.append(node)
+                if len(owners) >= bound:
+                    break
+        return owners
+
+    def ownership(self) -> dict[str, float]:
+        """Fraction of the key space owned by each node (sums to 1)."""
+        if not self._ring:
+            return {}
+        span = 2**64
+        shares: dict[str, float] = {node: 0.0 for node in self._nodes}
+        for index, (position, _) in enumerate(self._ring):
+            owner = self._ring[index % len(self._ring)][1]
+            previous = self._ring[index - 1][0] if index else self._ring[-1][0]
+            arc = (position - previous) % span or span
+            shares[owner] += arc / span
+        return shares
+
+
+@dataclass
+class RouterConfig:
+    """Knobs of the fleet router tier."""
+
+    #: Backend shard endpoints ("host:port" or "unix:/path"), in a
+    #: stable order — ring labels are the endpoint labels, so a
+    #: restarted shard on the same address re-acquires its slots.
+    shards: tuple[str, ...] = ()
+    host: str = "127.0.0.1"
+    port: int = 0
+    unix_path: str | None = None
+    vnodes: int = 64
+    ring_seed: int = 0
+    #: Transport attempts per shard dispatch (reconnects included)
+    #: before the router re-dispatches to the next ring owner.
+    attempts: int = 2
+    retry_seed: int = 0
+    #: Per-dispatch timeout; ``None`` trusts shard deadlines.
+    timeout_ms: float | None = None
+    #: Hedge the first dispatch to the next ring owner after this long.
+    hedge_ms: float | None = None
+    #: Health-probe period (0 disables; transitions then rely on
+    #: forward outcomes only).
+    probe_interval_s: float = 0.5
+    probe_timeout_s: float = 2.0
+    #: Bound on concurrently admitted color requests.
+    max_inflight: int = 1024
+    registry_size: int = 256
+    idle_timeout_s: float | None = None
+    handle_signals: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ReproError("the router needs at least one shard endpoint")
+        if self.vnodes < 1:
+            raise ReproError(f"vnodes must be >= 1, got {self.vnodes}")
+        if self.attempts < 1:
+            raise ReproError(f"attempts must be >= 1, got {self.attempts}")
+        if self.timeout_ms is not None and self.timeout_ms <= 0:
+            raise ReproError(f"timeout_ms must be positive, got {self.timeout_ms}")
+        if self.hedge_ms is not None and self.hedge_ms < 0:
+            raise ReproError(f"hedge_ms must be >= 0, got {self.hedge_ms}")
+        if self.probe_interval_s < 0:
+            raise ReproError(
+                f"probe_interval_s must be >= 0, got {self.probe_interval_s}"
+            )
+        if self.max_inflight < 1:
+            raise ReproError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.idle_timeout_s is not None and self.idle_timeout_s < 0:
+            raise ReproError(
+                f"idle_timeout_s must be >= 0, got {self.idle_timeout_s}"
+            )
+
+    @property
+    def resolved_idle_timeout(self) -> float | None:
+        if self.idle_timeout_s is None:
+            return None if self.unix_path is not None else DEFAULT_IDLE_TIMEOUT_S
+        return self.idle_timeout_s if self.idle_timeout_s > 0 else None
+
+
+@dataclass
+class _ShardState:
+    """Router-side view of one backend shard."""
+
+    label: str
+    endpoint: Endpoint
+    client: ResilientClient
+    #: "ok" | "draining" | "down"
+    status: str = "ok"
+    probe_failures: int = 0
+    dispatched: int = 0
+    served: int = 0
+    failures: int = 0
+    #: Supervisor-attached metadata (pid, restarts) surfaced by `fleet`.
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+class FleetRouter:
+    """Asyncio NDJSON front tier routing onto serve shards."""
+
+    def __init__(self, config: RouterConfig):
+        self.config = config
+        self.ring = HashRing(vnodes=config.vnodes, seed=config.ring_seed)
+        self.registry = InstanceRegistry(config.registry_size)
+        self.admission = AdmissionController(config.max_inflight)
+        self.connections = 0
+        self.requests_total = 0
+        self.rerouted = 0
+        self.hedged = 0
+        self.hedge_wins = 0
+        self.unavailable = 0
+        self.healed = 0
+        self._shards: dict[str, _ShardState] = {}
+        timeout_s = (
+            config.timeout_ms / 1000.0 if config.timeout_ms is not None else None
+        )
+        for spec in config.shards:
+            endpoint = Endpoint.parse(spec)
+            if endpoint.label in self._shards:
+                raise ReproError(f"duplicate shard endpoint {endpoint.label!r}")
+            client = ResilientClient(
+                [endpoint],
+                retry=RetryPolicy(
+                    attempts=config.attempts, seed=config.retry_seed
+                ),
+                request_timeout_s=timeout_s,
+            )
+            self._shards[endpoint.label] = _ShardState(
+                endpoint.label, endpoint, client
+            )
+            self.ring.add(endpoint.label)
+        self._server: asyncio.AbstractServer | None = None
+        self._stopped: asyncio.Event | None = None
+        self._probe_task: asyncio.Task | None = None
+        self._started_at = 0.0
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._started_at = loop.time()
+        self._stopped = asyncio.Event()
+        if self.config.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._on_connection, path=self.config.unix_path,
+                limit=MAX_LINE_BYTES,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, host=self.config.host,
+                port=self.config.port, limit=MAX_LINE_BYTES,
+            )
+        if self.config.probe_interval_s > 0:
+            self._probe_task = loop.create_task(self._probe_loop())
+        if self.config.handle_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(signum, self._on_signal)
+
+    @property
+    def address(self) -> str:
+        if self.config.unix_path is not None:
+            return self.config.unix_path
+        assert self._server is not None
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return f"{host}:{port}"
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None and self.config.unix_path is None
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def wait_stopped(self) -> None:
+        assert self._stopped is not None
+        await self._stopped.wait()
+
+    def stop(self) -> None:
+        """Make :meth:`wait_stopped` resolve (drain is the caller's job)."""
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def close(self) -> None:
+        if self.config.handle_signals:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.remove_signal_handler(signum)
+                except (NotImplementedError, RuntimeError):
+                    pass
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            try:
+                await self._probe_task
+            except asyncio.CancelledError:
+                pass
+            self._probe_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for state in self._shards.values():
+            await state.client.close()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    def _on_signal(self) -> None:
+        if not self.admission.draining:
+            asyncio.get_running_loop().create_task(self._drain_and_stop())
+
+    async def _drain_and_stop(self) -> None:
+        self.admission.begin_drain()
+        await self.admission.wait_drained()
+        assert self._stopped is not None
+        self._stopped.set()
+
+    # -- shard membership ----------------------------------------------
+
+    def shard_labels(self) -> tuple[str, ...]:
+        """Configured shard labels in their stable config order."""
+        return tuple(self._shards)
+
+    def set_shard_meta(self, label: str, **meta: Any) -> None:
+        """Attach supervisor metadata (pid, restarts) to a shard; the
+        ``fleet`` op surfaces it."""
+        self._shards[label].meta.update(meta)
+
+    def mark_down(self, label: str) -> None:
+        """Remove a shard from the ring (crash or supervisor notice)."""
+        state = self._shards[label]
+        if state.status != "down":
+            state.status = "down"
+        self.ring.remove(label)
+
+    def mark_up(self, label: str) -> None:
+        """Re-register a recovered shard: same label ⇒ identical slots."""
+        state = self._shards[label]
+        state.status = "ok"
+        state.probe_failures = 0
+        self.ring.add(label)
+
+    def _mark_draining(self, label: str) -> None:
+        state = self._shards[label]
+        if state.status != "draining":
+            state.status = "draining"
+        self.ring.remove(label)
+
+    async def _probe_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.probe_interval_s)
+            await self.probe_once()
+
+    async def probe_once(self) -> dict[str, str]:
+        """Health-probe every shard; update ring membership."""
+        results: dict[str, str] = {}
+        for label, state in self._shards.items():
+            response = await state.client.request(
+                {"op": "health"}, timeout_s=self.config.probe_timeout_s
+            )
+            if response.get("ok"):
+                state.probe_failures = 0
+                if response.get("status") == "draining":
+                    self._mark_draining(label)
+                else:
+                    self.mark_up(label)
+            else:
+                state.probe_failures += 1
+                if state.probe_failures >= PROBE_DOWN_AFTER:
+                    self.mark_down(label)
+            results[label] = state.status
+        return results
+
+    # -- connection handling -------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        loop = asyncio.get_running_loop()
+        idle_timeout = self.config.resolved_idle_timeout
+        try:
+            while True:
+                try:
+                    if idle_timeout is not None:
+                        line = await asyncio.wait_for(
+                            reader.readline(), idle_timeout
+                        )
+                    else:
+                        line = await reader.readline()
+                except asyncio.TimeoutError:
+                    if tasks:
+                        continue
+                    await self._write(writer, lock, error_body(
+                        "idle_timeout",
+                        f"no request within {idle_timeout:g}s; "
+                        "closing idle connection",
+                    ))
+                    break
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._write(writer, lock, error_body(
+                        "bad_request",
+                        f"request line exceeds {MAX_LINE_BYTES} bytes",
+                    ))
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    data = parse_request(line)
+                except ProtocolError as error:
+                    await self._write(
+                        writer, lock, error_body(error.code, str(error))
+                    )
+                    continue
+                task = loop.create_task(self._handle(data, writer, lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        body: dict[str, Any],
+    ) -> None:
+        try:
+            async with lock:
+                writer.write(encode(body))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _handle(
+        self,
+        data: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        op = data["op"]
+        if op == "color":
+            await self._handle_color(data, writer, lock)
+        elif op == "register":
+            await self._write(writer, lock, await self._handle_register(data))
+        elif op == "drain":
+            await self._handle_drain(data, writer, lock)
+        elif op == "fleet":
+            await self._write(writer, lock, await self._handle_fleet(data))
+        else:  # health / status / metrics
+            await self._write(writer, lock, await self._aggregate(op, data))
+
+    # -- the color op --------------------------------------------------
+
+    async def _handle_color(
+        self,
+        data: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        request_id = data.get("id")
+        try:
+            request = parse_color_request(data)
+        except ProtocolError as error:
+            await self._write(writer, lock, error_body(
+                error.code, str(error), request_id=request_id, op="color"
+            ))
+            return
+        if request.instance is not None:
+            try:
+                instance_hash, slim = normalize_instance_payload(
+                    request.instance
+                )
+            except ProtocolError as error:
+                await self._write(writer, lock, error_body(
+                    error.code, str(error), request_id=request_id, op="color"
+                ))
+                return
+            self.registry.put(instance_hash, slim)
+        else:
+            instance_hash = request.instance_hash or ""
+        key = make_cache_key(
+            instance_hash, request.method, request.seed, request.epsilon,
+            request.options,
+        )
+        refusal = self.admission.try_admit()
+        if refusal is not None:
+            detail = (
+                f"router inflight bound {self.admission.max_depth} reached; "
+                "retry later"
+                if refusal == "shed"
+                else "router is draining; no new work accepted"
+            )
+            await self._write(writer, lock, error_body(
+                refusal, detail, request_id=request_id, op="color"
+            ))
+            return
+        try:
+            self.requests_total += 1
+            response = await self._dispatch_color(data, key, instance_hash)
+            await self._write(writer, lock, response)
+        finally:
+            self.admission.release()
+
+    async def _dispatch_color(
+        self, data: dict[str, Any], key: str, instance_hash: str
+    ) -> dict[str, Any]:
+        candidates = self.ring.owners(key)
+        if not candidates:
+            self.unavailable += 1
+            return error_body(
+                "unavailable", "no shard available for dispatch",
+                request_id=data.get("id"), op="color",
+            )
+        last: dict[str, Any] | None = None
+        for index, label in enumerate(candidates):
+            if (
+                index == 0
+                and self.config.hedge_ms is not None
+                and len(candidates) > 1
+            ):
+                response, served_by = await self._hedged_dispatch(
+                    data, instance_hash, candidates[0], candidates[1]
+                )
+            else:
+                response = await self._dispatch_once(
+                    data, instance_hash, label
+                )
+                served_by = label
+            code = (response.get("error") or {}).get("code")
+            if response.get("ok") or code not in REDISPATCH_CODES:
+                if served_by != candidates[0]:
+                    self.rerouted += 1
+                return response
+            last = response
+        self.unavailable += 1
+        if last is not None and (last.get("error") or {}).get("code") != "unavailable":
+            return last  # every owner refused (shed/draining): forward it
+        return error_body(
+            "unavailable",
+            f"no ring owner answered after {len(candidates)} dispatch(es)",
+            request_id=data.get("id"), op="color",
+        )
+
+    async def _dispatch_once(
+        self, data: dict[str, Any], instance_hash: str, label: str
+    ) -> dict[str, Any]:
+        """One dispatch to one shard, with unknown-instance healing."""
+        state = self._shards[label]
+        state.dispatched += 1
+        response = await state.client.request(data)
+        code = (response.get("error") or {}).get("code")
+        if code == "unknown_instance" and instance_hash in self.registry:
+            # The shard lost its registry (restart) — re-register and
+            # retry it once before falling through to the next owner.
+            payload = self.registry.get(instance_hash)
+            registered = await state.client.request(
+                {"op": "register", "instance": payload}
+            )
+            if registered.get("ok"):
+                self.healed += 1
+                state.dispatched += 1
+                response = await state.client.request(data)
+                code = (response.get("error") or {}).get("code")
+        if response.get("ok"):
+            state.served += 1
+            if state.status != "ok":
+                self.mark_up(label)
+        else:
+            if code == "draining":
+                self._mark_draining(label)
+            elif code == "unavailable":
+                state.failures += 1
+                self.mark_down(label)
+        return response
+
+    async def _hedged_dispatch(
+        self,
+        data: dict[str, Any],
+        instance_hash: str,
+        primary: str,
+        backup: str,
+    ) -> tuple[dict[str, Any], str]:
+        """Dispatch to the ring owner, hedging to the next owner on
+        deadline risk.  First *ok* response wins; with none, the
+        primary's answer is preferred (it is the owner)."""
+        assert self.config.hedge_ms is not None
+        loop = asyncio.get_running_loop()
+        primary_task = loop.create_task(
+            self._dispatch_once(data, instance_hash, primary)
+        )
+        done, _ = await asyncio.wait(
+            {primary_task}, timeout=self.config.hedge_ms / 1000.0
+        )
+        if done:
+            return primary_task.result(), primary
+        self.hedged += 1
+        backup_task = loop.create_task(
+            self._dispatch_once(data, instance_hash, backup)
+        )
+        owners = {primary_task: primary, backup_task: backup}
+        pending: set[asyncio.Task] = set(owners)
+        failed: list[asyncio.Task] = []
+        winner: asyncio.Task | None = None
+        while pending and winner is None:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                if task.result().get("ok"):
+                    winner = task
+                else:
+                    failed.append(task)
+        for task in pending:
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+        if winner is not None:
+            if winner is backup_task:
+                self.hedge_wins += 1
+            return winner.result(), owners[winner]
+        # Both answered without ok: prefer the owner's verdict.
+        for task in failed:
+            if owners[task] == primary:
+                return task.result(), primary
+        return failed[0].result(), owners[failed[0]]
+
+    # -- register ------------------------------------------------------
+
+    async def _handle_register(self, data: dict[str, Any]) -> dict[str, Any]:
+        request_id = data.get("id")
+        payload = data.get("instance")
+        if not isinstance(payload, dict):
+            return error_body(
+                "bad_request", "register needs an 'instance' object",
+                request_id=request_id, op="register",
+            )
+        try:
+            instance_hash, slim = normalize_instance_payload(payload)
+        except ProtocolError as error:
+            return error_body(
+                error.code, str(error), request_id=request_id, op="register"
+            )
+        if self.admission.draining:
+            return error_body(
+                "draining", "router is draining; no new work accepted",
+                request_id=request_id, op="register",
+            )
+        self.registry.put(instance_hash, slim)
+        targets = [
+            state for state in self._shards.values() if state.status != "down"
+        ]
+        responses = await asyncio.gather(*(
+            state.client.request({"op": "register", "instance": slim})
+            for state in targets
+        ))
+        fanout = {
+            state.label: bool(response.get("ok"))
+            for state, response in zip(targets, responses)
+        }
+        for state in self._shards.values():
+            fanout.setdefault(state.label, False)
+        if not any(fanout.values()):
+            return error_body(
+                "unavailable", "no shard accepted the registration",
+                request_id=request_id, op="register",
+            )
+        return {
+            "id": request_id,
+            "ok": True,
+            "op": "register",
+            "instance_hash": instance_hash,
+            "n": slim["n"],
+            "delta": slim["delta"],
+            "shards": fanout,
+        }
+
+    # -- aggregated read ops -------------------------------------------
+
+    async def _shard_bodies(self, op: str) -> dict[str, dict[str, Any]]:
+        labels = [
+            label for label, state in self._shards.items()
+            if state.status != "down"
+        ]
+        responses = await asyncio.gather(*(
+            self._shards[label].client.request(
+                {"op": op}, timeout_s=self.config.probe_timeout_s
+            )
+            for label in labels
+        ))
+        bodies = dict(zip(labels, responses))
+        for label, state in self._shards.items():
+            if label not in bodies:
+                bodies[label] = error_body(
+                    "unavailable", f"shard is {state.status}", op=op
+                )
+        return bodies
+
+    async def _aggregate(self, op: str, data: dict[str, Any]) -> dict[str, Any]:
+        request_id = data.get("id")
+        bodies = await self._shard_bodies(op)
+        for body in bodies.values():
+            body.pop("id", None)
+        if op == "health":
+            if self.admission.draining:
+                status = "draining"
+            elif len(self.ring):
+                status = "ok"
+            else:
+                status = "unavailable"
+            return {
+                "id": request_id,
+                "ok": True,
+                "op": "health",
+                "status": status,
+                "shards": {
+                    label: body.get("status", "unreachable")
+                    for label, body in bodies.items()
+                },
+            }
+        if op == "status":
+            return {
+                "id": request_id,
+                "ok": True,
+                "op": "status",
+                **self._status(),
+                "shards": bodies,
+            }
+        assert op == "metrics"
+        return {
+            "id": request_id,
+            "ok": True,
+            "op": "metrics",
+            "metrics": self._counters(),
+            "server": self._status(),
+            "shards": bodies,
+        }
+
+    def _counters(self) -> dict[str, int]:
+        return {
+            "router.requests": self.requests_total,
+            "router.rerouted": self.rerouted,
+            "router.hedged": self.hedged,
+            "router.hedge_wins": self.hedge_wins,
+            "router.unavailable": self.unavailable,
+            "router.healed_registrations": self.healed,
+            "router.shed": self.admission.shed_total,
+        }
+
+    def _status(self) -> dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        return {
+            "role": "router",
+            "state": self.admission.state(),
+            "uptime_s": round(loop.time() - self._started_at, 3),
+            "depth": self.admission.depth,
+            "admitted_total": self.admission.admitted_total,
+            "shed_total": self.admission.shed_total,
+            "connections": self.connections,
+            "ring": {
+                "members": sorted(self.ring.nodes),
+                "vnodes": self.config.vnodes,
+                "seed": self.config.ring_seed,
+            },
+            "registry": {
+                "size": len(self.registry),
+                "capacity": self.registry.capacity,
+                "evictions": self.registry.evictions,
+            },
+            "counters": self._counters(),
+        }
+
+    # -- the fleet op --------------------------------------------------
+
+    async def _handle_fleet(self, data: dict[str, Any]) -> dict[str, Any]:
+        health = await self.probe_once()
+        ownership = self.ring.ownership()
+        shards: dict[str, Any] = {}
+        for label, state in self._shards.items():
+            breaker = state.client.endpoint_states().get(label, {})
+            shards[label] = {
+                "endpoint": label,
+                "state": health.get(label, state.status),
+                "in_ring": label in self.ring,
+                "ownership": round(ownership.get(label, 0.0), 4),
+                "breaker": breaker.get("breaker"),
+                "breaker_opens": breaker.get("opens"),
+                "latency_ewma_ms": breaker.get("latency_ewma_ms"),
+                "dispatched": state.dispatched,
+                "served": state.served,
+                "failures": state.failures,
+                **state.meta,
+            }
+        return {
+            "id": data.get("id"),
+            "ok": True,
+            "op": "fleet",
+            "state": self.admission.state(),
+            "ring": {
+                "members": sorted(self.ring.nodes),
+                "vnodes": self.config.vnodes,
+                "seed": self.config.ring_seed,
+            },
+            "counters": self._counters(),
+            "shards": shards,
+        }
+
+    # -- drain ---------------------------------------------------------
+
+    async def _handle_drain(
+        self,
+        data: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        self.admission.begin_drain()
+        await self.admission.wait_drained()
+        await self._write(writer, lock, {
+            "id": data.get("id"),
+            "ok": True,
+            "op": "drain",
+            "drained": True,
+            "served": self.admission.admitted_total,
+        })
+        assert self._stopped is not None
+        self._stopped.set()
+
+
+async def run_router(config: RouterConfig) -> FleetRouter:
+    """CLI entry: start, run until drained/stopped, tear down."""
+    router = FleetRouter(config)
+    await router.start()
+    try:
+        await router.wait_stopped()
+    finally:
+        await router.close()
+    return router

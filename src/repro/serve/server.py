@@ -273,6 +273,9 @@ class ServeConfig:
     max_queue: int = 256
     cache_size: int = 1024
     cache_dir: str | None = None
+    #: Byte cap for the on-disk cache tier (oldest-mtime pruning on
+    #: ``put``); ``None`` leaves the directory unbounded.
+    cache_max_bytes: int | None = None
     registry_size: int = 64
     default_deadline_ms: float | None = None
     dispatch_retries: int = 1
@@ -303,7 +306,11 @@ class ColoringServer:
 
     def __init__(self, config: ServeConfig):
         self.config = config
-        self.cache = ResultCache(config.cache_size, disk_dir=config.cache_dir)
+        self.cache = ResultCache(
+            config.cache_size,
+            disk_dir=config.cache_dir,
+            disk_max_bytes=config.cache_max_bytes,
+        )
         self.registry = InstanceRegistry(config.registry_size)
         self.admission = AdmissionController(config.max_queue)
         self.batcher = MicroBatcher(
@@ -513,6 +520,14 @@ class ColoringServer:
                 "metrics": self.collector.registry.as_dict(),
                 "server": self._status(),
             }
+        if op == "fleet":
+            # A single shard has no ring; the router tier answers this.
+            return error_body(
+                "unsupported",
+                "the fleet op is answered by the router tier "
+                "(repro fleet / repro router); this is a single server",
+                request_id=request_id, op="fleet",
+            )
         if op == "register":
             payload = data.get("instance")
             if not isinstance(payload, dict):

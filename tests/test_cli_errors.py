@@ -77,6 +77,9 @@ class TestServeArgs:
         (["serve", "--max-queue", "0"], "--max-queue"),
         (["serve", "--cache-size", "-1"], "--cache-size"),
         (["serve", "--deadline-ms", "0"], "--deadline-ms"),
+        (["serve", "--cache-dir", "/tmp/c", "--cache-max-bytes", "0"],
+         "--cache-max-bytes"),
+        (["serve", "--cache-max-bytes", "1024"], "--cache-dir"),
     ])
     def test_serve_rejects_bad_knobs(self, argv, fragment, capsys):
         assert main(argv) == 1
@@ -107,3 +110,55 @@ class TestLoadgenArgs:
         missing = tmp_path / "nowhere.sock"
         assert main(["loadgen", "--unix", str(missing), "-n", "1"]) == 1
         assert "cannot reach the server" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv, fragment", [
+        (["loadgen", "--unix", "/tmp/x.sock", "--hot-keys", "-1"],
+         "hot_keys"),
+        (["loadgen", "--unix", "/tmp/x.sock", "--hot-keys", "4",
+          "--zipf-s", "0"], "zipf_s"),
+        (["loadgen", "--unix", "/tmp/x.sock", "--hot-keys", "4",
+          "--duplicate-fraction", "0.5"], "not both"),
+    ])
+    def test_loadgen_rejects_bad_zipf_knobs(self, argv, fragment, capsys):
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and fragment in err
+
+
+class TestRouterArgs:
+    def test_router_requires_a_shard(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["router"])
+
+    @pytest.mark.parametrize("argv, fragment", [
+        (["router", "--shard", "unix:/tmp/a.sock", "--vnodes", "0"],
+         "vnodes"),
+        (["router", "--shard", "unix:/tmp/a.sock", "--attempts", "0"],
+         "attempts"),
+        (["router", "--shard", "unix:/tmp/a.sock", "--timeout-ms", "0"],
+         "timeout_ms"),
+        (["router", "--shard", "unix:/tmp/a.sock", "--hedge-ms", "-1"],
+         "hedge_ms"),
+        (["router", "--shard", "unix:/tmp/a.sock", "--max-inflight", "0"],
+         "max_inflight"),
+        (["router", "--shard", "unix:/tmp/a.sock",
+          "--shard", "unix:/tmp/a.sock"], "duplicate"),
+    ])
+    def test_router_rejects_bad_knobs(self, argv, fragment, capsys):
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and fragment in err
+
+
+class TestFleetArgs:
+    @pytest.mark.parametrize("argv, fragment", [
+        (["fleet", "--shards", "0"], "shards"),
+        (["fleet", "--jobs", "-1"], "jobs"),
+        (["fleet", "--drain-timeout", "0"], "drain_timeout"),
+        (["fleet", "--max-restarts", "-1"], "max_restarts"),
+        (["fleet", "--cache-max-bytes", "0"], "cache_max_bytes"),
+    ])
+    def test_fleet_rejects_bad_knobs(self, argv, fragment, capsys):
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and fragment in err

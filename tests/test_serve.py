@@ -216,6 +216,54 @@ class TestResultCache:
         (tmp_path / "cache" / "bad.json").write_text("{torn")
         assert cache.get("bad") is None
 
+    def test_disk_cap_prunes_oldest_entries_on_put(self, tmp_path):
+        import os
+
+        cache = ResultCache(
+            0, disk_dir=tmp_path / "cache", disk_max_bytes=64
+        )
+        blob = {"v": "x" * 20}  # ~30 bytes on disk per entry
+        for index, key in enumerate(("old", "mid", "new")):
+            cache.put(key, blob)
+            # Distinct mtimes make the pruning order deterministic.
+            path = tmp_path / "cache" / f"{key}.json"
+            os.utime(path, (1000 + index, 1000 + index))
+        cache.put("newest", blob)  # over the cap: prunes oldest first
+        files = {p.stem for p in (tmp_path / "cache").glob("*.json")}
+        assert "newest" in files
+        assert "old" not in files
+        assert cache.disk_evictions >= 1
+        _, total = cache.disk_usage()
+        assert total <= 64
+
+    def test_prune_is_a_noop_without_a_cap(self, tmp_path):
+        cache = ResultCache(2, disk_dir=tmp_path / "cache")
+        cache.put("a", {"v": 1})
+        assert cache.prune() == 0
+        assert cache.get("a") == {"v": 1}
+
+    def test_prune_accepts_an_override_cap(self, tmp_path):
+        cache = ResultCache(0, disk_dir=tmp_path / "cache")
+        for index in range(4):
+            cache.put(f"k{index}", {"v": index})
+        removed = cache.prune(max_bytes=1)
+        assert removed == 4
+        assert cache.disk_usage() == (0, 0)
+
+    def test_stats_report_disk_usage_only_with_a_disk_tier(self, tmp_path):
+        plain = ResultCache(2)
+        assert "disk_files" not in plain.stats()
+        cache = ResultCache(2, disk_dir=tmp_path / "cache")
+        cache.put("a", {"v": 1})
+        stats = cache.stats()
+        assert stats["disk_files"] == 1
+        assert stats["disk_bytes"] > 0
+        assert stats["disk_evictions"] == 0
+
+    def test_rejects_nonpositive_disk_cap(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(2, disk_dir=tmp_path / "cache", disk_max_bytes=0)
+
     def test_cache_key_covers_every_dimension(self):
         base = make_cache_key("h", "randomized", 1, 0.25, {})
         assert make_cache_key("h", "randomized", 2, 0.25, {}) != base
