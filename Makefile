@@ -73,10 +73,13 @@ lint:
 # part of the package and needs no third-party tools.
 lint-repro:
 	PYTHONPATH=src python -m repro.cli lint src
+	PYTHONPATH=src python -m repro.cli lint benchmarks scripts --baseline lint-baseline-tools.json
 
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
-		mypy src/repro/types.py src/repro/constants.py src/repro/errors.py src/repro/obs; \
+		mypy src/repro/types.py src/repro/constants.py src/repro/errors.py \
+			src/repro/obs src/repro/serve/protocol.py \
+			src/repro/serve/cache.py src/repro/lint; \
 	else \
 		echo "mypy not installed; skipping typecheck (CI runs it)"; \
 	fi

@@ -146,10 +146,12 @@ def build_parser() -> argparse.ArgumentParser:
             "families: LOC (per-node code must stay inside the LOCAL "
             "model), DET (deterministic paths must be reproducible), "
             "LED (every engine run must reach the RoundLedger), MSG "
-            "(CONGEST message discipline, opt-in via --congest).  "
-            "Suppress single findings with '# repro: lint-exempt[RULE]' "
-            "pragmas; grandfather old ones in a baseline file.  Exits 1 "
-            "when new findings remain."
+            "(CONGEST message discipline, on by default inside core/ "
+            "and subroutines/), ASY (asyncio safety in the serving "
+            "plane), PRV (RNG seeds must derive from the campaign seed "
+            "scheme).  Suppress single findings with "
+            "'# repro: lint-exempt[RULE]' pragmas; grandfather old ones "
+            "in a baseline file.  Exits 1 when new findings remain."
         ),
     )
     lint.add_argument(
@@ -165,14 +167,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--github", action="store_true",
         help="emit GitHub Actions annotations (inline PR-diff findings)",
     )
+    output_format.add_argument(
+        "--sarif", action="store_true",
+        help="emit a SARIF 2.1.0 log (GitHub code scanning, dashboards)",
+    )
     lint.add_argument(
         "--select", action="append", default=None, metavar="RULES",
-        help="comma-separated rule ids or family prefixes (e.g. DET or "
+        help="comma-separated rule ids or family prefixes (e.g. ASY or "
              "DET002,LOC); runs only those rules",
     )
     lint.add_argument(
         "--congest", action="store_true",
-        help="also run the opt-in MSG message-discipline family",
+        help="also run any opt-in rules (kept for back-compat; the MSG "
+             "family is on by default inside core/ and subroutines/)",
     )
     lint.add_argument(
         "--baseline", default=None, metavar="FILE",
@@ -693,6 +700,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         Baseline,
         render_github,
         render_json,
+        render_sarif,
         render_text,
         run_lint,
         select_rules,
@@ -731,6 +739,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(render_json(report))
     elif args.github:
         print(render_github(report))
+    elif args.sarif:
+        print(render_sarif(report))
     else:
         print(render_text(report, verbose=args.verbose))
     return 0 if report.ok else 1

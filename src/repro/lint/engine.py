@@ -53,9 +53,10 @@ def select_rules(
     """Resolve the active rule set.
 
     ``select`` names rule ids or family prefixes (``DET``, ``LOC``,
-    ...) and implies *only* those rules, including default-disabled
-    ones.  Without it, the default set runs, plus the MSG family when
-    ``congest`` is set.
+    ``ASY``, ``PRV``, ...) and implies *only* those rules, including
+    default-disabled ones.  Without it, the default set runs, plus any
+    default-disabled rules when ``congest`` is set (kept for
+    back-compat; the MSG family is default-on inside its scope now).
     """
     if select:
         wanted = {token.strip().upper() for token in select if token.strip()}

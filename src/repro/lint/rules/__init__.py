@@ -6,11 +6,19 @@ canonical ordered list the engine runs.  Ids are grouped by family:
 * ``LOC``: LOCAL-model locality (per-node code sees only local state),
 * ``DET``: determinism (reproducible outputs for fixed inputs/seeds),
 * ``LED``: ledger accounting (no simulated rounds escape telemetry),
-* ``MSG``: message discipline (CONGEST groundwork, opt-in).
+* ``MSG``: message discipline (CONGEST width, on inside core/+subroutines/),
+* ``ASY``: asyncio safety (the serving plane must not wedge its loop),
+* ``PRV``: seed provenance (every RNG derives from the campaign scheme).
 """
 
 from __future__ import annotations
 
+from repro.lint.rules.asyncio_safety import (
+    AwaitUnderSyncLock,
+    BlockingCallInCoroutine,
+    FireAndForgetTask,
+    UnawaitedCoroutine,
+)
 from repro.lint.rules.base import Rule
 from repro.lint.rules.congest import WidePayload
 from repro.lint.rules.determinism import (
@@ -26,6 +34,7 @@ from repro.lint.rules.locality import (
     GlobalGraphRead,
     NetworkCapture,
 )
+from repro.lint.rules.provenance import SharedRngStream, UnderivedSeed
 
 __all__ = ["ALL_RULES", "RULES_BY_ID", "Rule", "default_rules"]
 
@@ -41,6 +50,12 @@ ALL_RULES: tuple[Rule, ...] = (
     DiscardedRunResult(),
     UnaccountedRun(),
     WidePayload(),
+    BlockingCallInCoroutine(),
+    UnawaitedCoroutine(),
+    FireAndForgetTask(),
+    AwaitUnderSyncLock(),
+    UnderivedSeed(),
+    SharedRngStream(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

@@ -1,0 +1,281 @@
+"""Async-safety rules: the serving plane must not wedge its event loop.
+
+The asyncio serving tier (``repro/serve/``) multiplexes every
+connection, probe loop, and batch dispatch over one event-loop thread.
+Four conventions keep it live, and all four are invisible to the
+runtime until they bite:
+
+* *no blocking calls in coroutines* — one ``time.sleep`` or sync
+  ``subprocess.run`` stalls every connection at once (ASY001; the
+  sanctioned escape is ``loop.run_in_executor``);
+* *coroutines must be awaited* — a called-but-unawaited ``async def``
+  silently does nothing and CPython only warns at GC time (ASY002);
+* *spawned tasks must be retained* — the event loop holds only a weak
+  reference to tasks, so a fire-and-forget ``create_task`` can be
+  garbage-collected mid-flight and its exceptions vanish (ASY003);
+* *no ``await`` while holding a sync lock* — a ``threading.Lock`` held
+  across a suspension point blocks every other coroutine that needs it,
+  on the one thread that could release it (ASY004; use
+  ``asyncio.Lock`` + ``async with``).
+
+Scope: all rules key on ``async def`` syntax, so they are inert in the
+purely synchronous packages and need no path scoping.  ASY001 extends
+through the event-loop call graph (:func:`~repro.lint.rules.base.
+event_loop_functions`): a blocking call hidden in a sync helper that a
+coroutine invokes directly is the same bug one inline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import (
+    Rule,
+    async_function_names,
+    dotted_name,
+    event_loop_functions,
+    walk_scope,
+)
+from repro.lint.source import SourceModule
+
+__all__ = [
+    "AwaitUnderSyncLock",
+    "BlockingCallInCoroutine",
+    "FireAndForgetTask",
+    "UnawaitedCoroutine",
+]
+
+#: Calls that block the calling thread outright.
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.getoutput",
+    "os.system",
+    "os.wait",
+    "os.waitpid",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "socket.gethostbyname",
+    "urllib.request.urlopen",
+})
+
+#: Builtin / Path-level synchronous file IO.
+BLOCKING_IO_NAMES = frozenset({"open"})
+BLOCKING_IO_ATTRS = frozenset({
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+})
+
+#: Callables that legitimately consume a coroutine object (ASY002's
+#: whitelist): the coroutine is scheduled or raced, not dropped.
+COROUTINE_CONSUMERS = frozenset({
+    "create_task",
+    "ensure_future",
+    "gather",
+    "wait",
+    "wait_for",
+    "shield",
+    "run",  # asyncio.run at a sync/async boundary
+    "run_until_complete",
+    "run_coroutine_threadsafe",
+})
+
+#: Task-spawning call shapes ASY003 watches.
+TASK_SPAWNERS = frozenset({"create_task", "ensure_future"})
+
+
+class BlockingCallInCoroutine(Rule):
+    """ASY001: a blocking call on the event-loop thread.
+
+    Flags ``time.sleep``, sync ``subprocess`` / ``socket`` / ``urllib``
+    calls, builtin ``open`` / ``Path.read_text``-style file IO, and the
+    ``pool.submit(...).result()`` chain inside ``async def`` bodies —
+    and inside sync helpers a coroutine calls directly (``self.x()`` or
+    bare ``x()``), where the blocking is merely one frame removed.
+    ``task.result()`` *after* an ``await`` is fine and not matched: the
+    rule keys on the chained ``.submit(...).result()`` shape, which
+    synchronously parks the loop until a worker finishes.
+    """
+
+    rule_id = "ASY001"
+    title = "blocking call on the event-loop thread"
+    severity = "error"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for func, origin in event_loop_functions(module):
+            where = (
+                f"'{func.name}'"
+                if func is origin
+                else f"'{func.name}' (called from coroutine '{origin.name}')"
+            )
+            for node in walk_scope(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if name in BLOCKING_CALLS or name in BLOCKING_IO_NAMES:
+                    yield self.finding(
+                        module, node,
+                        f"{where} calls blocking '{name}()' on the "
+                        "event-loop thread — every connection stalls; use "
+                        "'await asyncio.sleep' / 'loop.run_in_executor' "
+                        "instead",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in BLOCKING_IO_ATTRS
+                ):
+                    yield self.finding(
+                        module, node,
+                        f"{where} does synchronous file IO "
+                        f"('.{node.func.attr}()') on the event-loop thread "
+                        "— move it to 'loop.run_in_executor'",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "result"
+                    and isinstance(node.func.value, ast.Call)
+                    and isinstance(node.func.value.func, ast.Attribute)
+                    and node.func.value.func.attr == "submit"
+                ):
+                    yield self.finding(
+                        module, node,
+                        f"{where} blocks on '.submit(...).result()' — the "
+                        "loop parks until the worker finishes; use "
+                        "'await asyncio.wrap_future(pool.submit(...))'",
+                    )
+
+
+class UnawaitedCoroutine(Rule):
+    """ASY002: a known coroutine is called but its result discarded.
+
+    A bare-statement call to a same-module ``async def`` (via
+    ``self.name(...)`` or ``name(...)``) builds a coroutine object and
+    drops it — the body never runs, and CPython's "coroutine was never
+    awaited" warning only surfaces at GC time, far from the bug.  Calls
+    passed to ``create_task`` / ``ensure_future`` / ``gather`` (and
+    friends) are scheduled, not dropped, and stay clean.
+    """
+
+    rule_id = "ASY002"
+    title = "coroutine called but never awaited"
+    severity = "error"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        known_async = async_function_names(module)
+        if not known_async:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Expr):
+                continue
+            call = node.value
+            if not isinstance(call, ast.Call):
+                continue
+            target = call.func
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                called = target.attr
+            elif isinstance(target, ast.Name):
+                called = target.id
+            else:
+                continue
+            if called not in known_async:
+                continue
+            yield self.finding(
+                module, call,
+                f"coroutine '{called}(...)' is called but neither awaited "
+                "nor scheduled — the body never executes; 'await' it or "
+                "wrap it in 'asyncio.create_task(...)' (and retain the "
+                "handle)",
+            )
+
+
+class FireAndForgetTask(Rule):
+    """ASY003: a spawned task's handle is dropped on the floor.
+
+    ``loop.create_task(coro())`` as a bare statement leaves the task
+    referenced only by the event loop's *weak* task set: the GC may
+    collect it mid-flight, and any exception it raises is silently
+    swallowed.  The handle must be stored (assignment, argument,
+    return, await) or given a ``.add_done_callback(...)`` in the same
+    expression.
+    """
+
+    rule_id = "ASY003"
+    title = "fire-and-forget create_task handle"
+    severity = "error"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Expr):
+                continue
+            call = node.value
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr in TASK_SPAWNERS
+            ):
+                continue
+            yield self.finding(
+                module, call,
+                f"'{call.func.attr}(...)' handle is dropped — the event "
+                "loop holds only a weak reference, so the task can be "
+                "garbage-collected mid-flight and its exceptions vanish; "
+                "store the handle (e.g. on self) or chain "
+                "'.add_done_callback(...)'",
+            )
+
+
+class AwaitUnderSyncLock(Rule):
+    """ASY004: ``await`` inside a synchronous ``with <lock>:`` block.
+
+    A ``threading.Lock`` (or any sync lock) held across an ``await``
+    keeps every other coroutine that needs the lock blocked on the one
+    thread that could release it — the single-threaded deadlock.  Locks
+    guarding state touched across suspension points must be
+    ``asyncio.Lock`` acquired with ``async with`` (its own node type,
+    which this rule deliberately does not match).
+    """
+
+    rule_id = "ASY004"
+    title = "await while holding a synchronous lock"
+    severity = "error"
+
+    #: Constructors / dotted-name fragments that identify a lock.
+    _LOCK_MARKER = "lock"
+
+    def _is_lock_expr(self, expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Call):
+            return self._is_lock_expr(expr.func)
+        name = dotted_name(expr)
+        if not name:
+            return False
+        return self._LOCK_MARKER in name.rsplit(".", 1)[-1].lower()
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.With):
+                continue
+            if not any(
+                self._is_lock_expr(item.context_expr) for item in node.items
+            ):
+                continue
+            for sub in walk_scope(node):
+                if isinstance(sub, ast.Await):
+                    yield self.finding(
+                        module, sub,
+                        "'await' while holding a synchronous lock — every "
+                        "coroutine needing the lock deadlocks behind this "
+                        "suspension point; use asyncio.Lock with "
+                        "'async with'",
+                    )
+                    break

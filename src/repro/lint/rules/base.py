@@ -26,9 +26,11 @@ from repro.lint.source import SourceModule
 __all__ = [
     "Rule",
     "SetKinds",
+    "async_function_names",
     "callback_functions",
     "distributed_algorithm_classes",
     "dotted_name",
+    "event_loop_functions",
     "iter_scopes",
     "walk_scope",
 ]
@@ -38,8 +40,9 @@ class Rule:
     """One static-analysis rule.
 
     Subclasses set the class attributes and implement :meth:`check`.
-    ``default_enabled = False`` marks opt-in rules (the CONGEST family)
-    that only run when the caller selects them explicitly.
+    ``default_enabled = False`` marks opt-in rules that only run when
+    the caller selects them explicitly; scoped families instead stay
+    default-on and narrow themselves per module via :meth:`applies`.
     """
 
     rule_id: str = "RULE000"
@@ -227,7 +230,7 @@ class SetKinds:
     reproducibility bug).
     """
 
-    def __init__(self, scope: ast.AST):
+    def __init__(self, scope: ast.AST) -> None:
         self.kinds: dict[str, str] = {}
         # Fixed point: assignments are collected flow-insensitively, so
         # `b = a - x` must see `a`'s kind even when `a` is assigned
@@ -368,3 +371,98 @@ def walk_scope(scope: ast.AST) -> Iterable[ast.AST]:
             if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
             stack.append(child)
+
+
+# ----------------------------------------------------------------------
+# Async reachability (the event-loop call graph)
+# ----------------------------------------------------------------------
+
+def async_function_names(module: SourceModule) -> frozenset[str]:
+    """Names of every ``async def`` in the module (functions + methods).
+
+    Name-keyed on purpose: an AST linter cannot resolve the type of an
+    arbitrary receiver, so rules that consume this restrict themselves
+    to ``self.name(...)`` and bare ``name(...)`` call shapes where a
+    same-module definition is the overwhelmingly likely target.
+    """
+    return frozenset(
+        node.name
+        for node in ast.walk(module.tree)
+        if isinstance(node, ast.AsyncFunctionDef)
+    )
+
+
+def event_loop_functions(
+    module: SourceModule,
+) -> list[tuple[ast.FunctionDef | ast.AsyncFunctionDef, ast.AsyncFunctionDef]]:
+    """Functions whose bodies execute on the event-loop thread.
+
+    Seeds are every ``async def``; the walk then follows
+    ``self.helper()`` and bare ``helper()`` calls into same-module
+    *sync* definitions — the LOC001 transitive-reachability idea lifted
+    from ``DistributedAlgorithm`` classes to the whole module.  A sync
+    helper only ever invoked via ``run_in_executor(...)`` is *not*
+    reached (it is passed as a value, never called), which is exactly
+    the sanctioned way to run blocking code from a coroutine.
+
+    Returns ``(function, origin)`` pairs where ``origin`` is the async
+    def whose execution reaches ``function`` (for diagnostics);
+    ``function is origin`` for the seeds themselves.
+    """
+    top_level = {
+        node.name: node
+        for node in module.tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    methods_of: dict[ast.ClassDef, dict[str, ast.AST]] = {}
+    owner: dict[ast.AST, ast.ClassDef] = {}
+    for class_def in ast.walk(module.tree):
+        if not isinstance(class_def, ast.ClassDef):
+            continue
+        methods = {
+            node.name: node
+            for node in class_def.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        methods_of[class_def] = methods
+        for method in methods.values():
+            owner[method] = class_def
+
+    reached: list[
+        tuple[ast.FunctionDef | ast.AsyncFunctionDef, ast.AsyncFunctionDef]
+    ] = []
+    seen: set[ast.AST] = set()
+    queue: list[tuple[ast.AST, ast.AsyncFunctionDef]] = [
+        (node, node)
+        for node in ast.walk(module.tree)
+        if isinstance(node, ast.AsyncFunctionDef)
+    ]
+    while queue:
+        func, origin = queue.pop()
+        if func in seen:
+            continue
+        seen.add(func)
+        assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+        reached.append((func, origin))
+        owning_class = owner.get(func)
+        local = methods_of[owning_class] if owning_class is not None else {}
+        for node in walk_scope(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee: ast.AST | None = None
+            target = node.func
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                callee = local.get(target.attr)
+            elif isinstance(target, ast.Name):
+                callee = top_level.get(target.id)
+            if (
+                callee is not None
+                and not isinstance(callee, ast.AsyncFunctionDef)
+                and callee not in seen
+            ):
+                queue.append((callee, origin))
+    return reached

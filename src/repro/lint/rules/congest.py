@@ -1,13 +1,16 @@
 """Message-discipline rules: groundwork for a CONGEST mode.
 
-The LOCAL model allows unbounded messages, so these rules are *opt-in*
-(``default_enabled = False``; enable with ``repro lint --congest``).
-When a future CONGEST mode lands, every payload that is not obviously
-``O(log n)`` bits wide must either shrink or carry an explicit
-``# repro: congest-exempt`` pragma naming why the width is acceptable
-— exactly the accounting discipline the [BMN+25]-derived subroutines
-(hyperedge grabbing, degree splitting) already follow dynamically via
-``message_words`` / ``bandwidth_limit``.
+The LOCAL model allows unbounded messages, but the coloring pipeline
+and the subroutine library deliberately keep their payloads word-sized
+— it is what makes the dynamic ``message_words`` / ``bandwidth_limit``
+accounting meaningful and a future CONGEST port tractable.  MSG001 is
+therefore *on by default* inside that perimeter
+(:attr:`SourceModule.congest_scope`: ``core/`` + ``subroutines/``):
+every payload that is not obviously ``O(log n)`` bits wide must either
+shrink or carry an explicit ``# repro: congest-exempt`` pragma naming
+why the width is acceptable.  Outside the perimeter (examples, ad-hoc
+algorithms in scripts) the rule stays census-on-demand via
+``repro lint --select MSG``.
 """
 
 from __future__ import annotations
@@ -33,28 +36,60 @@ SEND_METHODS = frozenset({"send", "broadcast"})
 PAYLOAD_INDEX = {"send": 1, "broadcast": 0}
 
 
-def _is_wide(payload: ast.AST) -> bool:
+def _wide_bindings(method: ast.AST) -> frozenset[str]:
+    """Names bound to an obviously-wide expression anywhere in *method*.
+
+    Catches the laundering idiom ``payload = [c for c in ...];
+    api.send(nbr, payload)`` — the width is the same whether the
+    container is built inline or one statement earlier.  Names rebound
+    to a narrow expression anywhere in the method are given the benefit
+    of the doubt (flow-insensitive, so a narrow rebind anywhere clears
+    the name).
+    """
+    wide: set[str] = set()
+    narrow: set[str] = set()
+    for node in ast.walk(method):
+        if not isinstance(node, ast.Assign):
+            continue
+        bucket = wide if _is_wide(node.value) else narrow
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                bucket.add(target.id)
+    return frozenset(wide - narrow)
+
+
+def _is_wide(payload: ast.AST, wide_names: frozenset[str] = frozenset()) -> bool:
     """True for payload expressions that are not obviously O(1) words.
 
     Wide: comprehensions, ``list``/``dict``/``set``/``tuple`` calls
-    over iterables, and non-constant container displays.  Narrow:
-    scalars, names (sized where they were built), and small constant
-    displays like ``(round, color)``.
+    over iterables, non-constant container displays, and names bound to
+    any of those in the same method.  Narrow: scalars, other names
+    (sized where they were built), and small constant displays like
+    ``(round, color)``.
     """
     if isinstance(payload, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
         return True
+    if isinstance(payload, ast.Name):
+        return payload.id in wide_names
     if isinstance(payload, ast.Call):
         func = payload.func
         if isinstance(func, ast.Name) and func.id in ("list", "dict", "set", "tuple", "sorted"):
             return bool(payload.args)
         return False
     if isinstance(payload, (ast.List, ast.Set)):
-        return any(_is_wide(elt) or isinstance(elt, ast.Starred) for elt in payload.elts)
+        return any(
+            _is_wide(elt, wide_names) or isinstance(elt, ast.Starred)
+            for elt in payload.elts
+        )
     if isinstance(payload, ast.Tuple):
-        return any(_is_wide(elt) or isinstance(elt, ast.Starred) for elt in payload.elts)
+        return any(
+            _is_wide(elt, wide_names) or isinstance(elt, ast.Starred)
+            for elt in payload.elts
+        )
     if isinstance(payload, ast.Dict):
         return any(
-            value is not None and _is_wide(value) for value in payload.values
+            value is not None and _is_wide(value, wide_names)
+            for value in payload.values
         ) or any(key is None for key in payload.keys)
     return False
 
@@ -63,20 +98,27 @@ class WidePayload(Rule):
     """MSG001: a send/broadcast payload is not obviously word-sized.
 
     Fires on payloads built as comprehensions or whole-container
-    conversions inside per-node callbacks.  Such messages are legal in
-    LOCAL but would overflow CONGEST's O(log n)-bit links; each site
-    needs a ``# repro: congest-exempt`` pragma stating the intended
-    width so a future CONGEST mode knows what to re-engineer.
+    conversions inside per-node callbacks — whether passed inline or
+    laundered through a local name.  Such messages are legal in LOCAL
+    but would overflow CONGEST's O(log n)-bit links; each site needs a
+    ``# repro: congest-exempt`` pragma stating the intended width so a
+    future CONGEST mode knows what to re-engineer.
+
+    Default-on inside ``core/`` + ``subroutines/`` (the CONGEST
+    perimeter); opt-in everywhere else via ``--select MSG``.
     """
 
     rule_id = "MSG001"
     title = "send payload not obviously word-sized"
     severity = "warning"
-    default_enabled = False
+
+    def applies(self, module: SourceModule) -> bool:
+        return module.congest_scope
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
         for class_def in distributed_algorithm_classes(module):
             for method in callback_functions(class_def):
+                wide_names = _wide_bindings(method)
                 for node in ast.walk(method):
                     if not (
                         isinstance(node, ast.Call)
@@ -88,7 +130,7 @@ class WidePayload(Rule):
                     if len(node.args) <= index:
                         continue
                     payload = node.args[index]
-                    if _is_wide(payload):
+                    if _is_wide(payload, wide_names):
                         yield self.finding(
                             module, payload,
                             f"{class_def.name}.{method.name} sends a "

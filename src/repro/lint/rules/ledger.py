@@ -43,10 +43,21 @@ CHARGE_METHODS = frozenset({"charge", "charge_result", "merge"})
 #: Attribute reads on a RunResult that propagate its cost.
 COST_ATTRS = frozenset({"rounds", "messages"})
 
+#: Well-known stdlib ``<module>.run(...)`` shapes that execute no
+#: simulator rounds: ``asyncio.run(main())`` at an entrypoint and
+#: ``subprocess.run([...])`` in a harness look identical to
+#: ``network.run(alg)`` by attribute name alone.
+_STDLIB_RUN_OWNERS = frozenset({"asyncio", "subprocess", "trio", "anyio"})
+
 
 def _is_engine_run_call(node: ast.Call) -> bool:
     func = node.func
     if isinstance(func, ast.Attribute) and func.attr in RUN_METHOD_NAMES:
+        if (
+            isinstance(func.value, ast.Name)
+            and func.value.id in _STDLIB_RUN_OWNERS
+        ):
+            return False
         # `<expr>.run(algorithm)`: require at least one argument so that
         # zero-argument .run() calls of unrelated APIs don't trip this.
         return bool(node.args or node.keywords)
@@ -69,7 +80,7 @@ class _LedgerRule(Rule):
     def applies(self, module: SourceModule) -> bool:
         return _module_in_scope(module)
 
-    def _run_calls(self, module: SourceModule):
+    def _run_calls(self, module: SourceModule) -> Iterator[ast.Call]:
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Call) and _is_engine_run_call(node):
                 yield node

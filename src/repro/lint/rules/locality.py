@@ -54,7 +54,9 @@ ENGINE_INTERNAL_ATTRS = frozenset({
 })
 
 
-def _callback_scopes(module: SourceModule):
+def _callback_scopes(
+    module: SourceModule,
+) -> Iterator[tuple[ast.ClassDef, ast.FunctionDef | ast.AsyncFunctionDef]]:
     for class_def in distributed_algorithm_classes(module):
         for method in callback_functions(class_def):
             yield class_def, method

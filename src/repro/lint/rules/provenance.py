@@ -1,0 +1,248 @@
+"""Seed-provenance rules: every RNG must trace back to the seed scheme.
+
+The serving and scheduling layers are exempt from the DET wall-clock
+rules — they measure latency by design — but their *randomness* is
+still contractual.  Chaos fault rolls replay byte-identically offline
+(DESIGN.md §13), retry backoff schedules are asserted equal for equal
+seeds, and campaign cells derive per-cell streams from
+``derive_cell_seed(base_seed, index, label)``.  All of that quietly
+breaks the moment someone writes ``random.Random(42)`` in a connection
+handler or ``random.Random(time.time())`` in a fault plan: the code
+still *runs*, the chaos suite still passes on its own seeds, and the
+replay contract is gone.
+
+Two rules pin the convention:
+
+* PRV001 — a ``random.Random(...)`` whose seed expression is not
+  *derived*: from ``derive_cell_seed``, a function parameter, or an
+  attribute of a seeded plan/config object.  Literal seeds, wall-clock
+  seeds, and the zero-argument (ambient) form are all flagged.
+* PRV002 — an RNG instance shared across call/connection/cell
+  boundaries: a module-level ``random.Random(...)`` binding or one
+  used as a default argument value.  Two connections draw from one
+  stream, so each one's draws depend on the other's scheduling —
+  seeded stream aliasing.
+
+Scope: the provenance-scoped packages (``serve/``, ``runner/``,
+``local/faults.py``) *plus* every deterministic path — a deterministic
+module with an unseeded RNG gets both the DET001 and the sharper PRV
+diagnosis.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule, dotted_name, iter_scopes, walk_scope
+from repro.lint.source import SourceModule
+
+__all__ = ["SharedRngStream", "UnderivedSeed"]
+
+#: The campaign seed-derivation function (DESIGN.md §6): SHA-256 over
+#: ``(base_seed, index, label)``.  Any call to it, however imported or
+#: qualified, is derived provenance.
+DERIVE_FUNCTION = "derive_cell_seed"
+
+
+def _rng_constructor(node: ast.Call) -> bool:
+    """True for ``random.Random(...)`` / bare ``Random(...)`` calls."""
+    name = dotted_name(node.func)
+    return name in ("random.Random", "Random")
+
+
+class _ProvenanceRule(Rule):
+    def applies(self, module: SourceModule) -> bool:
+        return module.provenance_scope
+
+
+def _scope_parameters(
+    scope: ast.AST,
+) -> frozenset[str]:
+    if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return frozenset()
+    args = scope.args
+    names = [
+        arg.arg
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    ]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return frozenset(names)
+
+
+class _SeedOrigins:
+    """Flow-insensitive derived-seed inference for one scope.
+
+    A seed expression is *derived* when its value provably originates
+    from the seed-threading convention: a ``derive_cell_seed(...)``
+    call, a parameter of the enclosing function (the caller threaded
+    it), or an attribute read (``plan.seed``, ``self.seed``,
+    ``config.base_seed`` — a seeded object carrying its stream root).
+    Arithmetic over derived values stays derived; a name assigned a
+    derived expression anywhere in the scope is derived.  Everything
+    else — literals, wall-clock reads, arbitrary calls — is not.
+    """
+
+    def __init__(self, scope: ast.AST) -> None:
+        self.parameters = _scope_parameters(scope)
+        self.derived_names: set[str] = set()
+        # Fixed point over assignments: `a = seed + 1; b = a * 2`.
+        for _ in range(8):
+            before = set(self.derived_names)
+            for node in walk_scope(scope):
+                if isinstance(node, ast.Assign):
+                    if self.derived(node.value):
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                self.derived_names.add(target.id)
+                elif (
+                    isinstance(node, ast.AnnAssign)
+                    and isinstance(node.target, ast.Name)
+                    and node.value is not None
+                    and self.derived(node.value)
+                ):
+                    self.derived_names.add(node.target.id)
+            if self.derived_names == before:
+                break
+
+    def derived(self, expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Call):
+            name = dotted_name(expr.func)
+            return name == DERIVE_FUNCTION or name.endswith(
+                "." + DERIVE_FUNCTION
+            )
+        if isinstance(expr, ast.Attribute):
+            # `plan.seed`, `self.config.base_seed`: an attribute of a
+            # seeded object.  The object's own construction is checked
+            # where *it* builds RNGs; here the provenance chain holds.
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in self.parameters or expr.id in self.derived_names
+        if isinstance(expr, ast.BinOp):
+            return self.derived(expr.left) or self.derived(expr.right)
+        if isinstance(expr, ast.UnaryOp):
+            return self.derived(expr.operand)
+        if isinstance(expr, ast.Tuple):
+            return any(self.derived(elt) for elt in expr.elts)
+        if isinstance(expr, ast.IfExp):
+            # `seed if seed is not None else 0`: a threaded parameter
+            # with a constant fallback is the sanctioned default idiom.
+            # Both branches must be derived-or-constant, and at least
+            # one genuinely derived — `wallclock() if x else 0` stays
+            # flagged.
+            branches = (expr.body, expr.orelse)
+            if not any(self.derived(branch) for branch in branches):
+                return False
+            return all(
+                self.derived(branch) or isinstance(branch, ast.Constant)
+                for branch in branches
+            )
+        return False
+
+
+class UnderivedSeed(_ProvenanceRule):
+    """PRV001: an RNG seed that does not trace back to the seed scheme.
+
+    ``random.Random()`` (ambient), ``random.Random(42)`` (literal), and
+    ``random.Random(time.time())`` (wall clock) all produce streams the
+    chaos-replay and retry-backoff byte-identity contracts cannot
+    reproduce.  Derived forms — ``random.Random(derive_cell_seed(...))``,
+    ``random.Random(seed)`` for a parameter ``seed``, and
+    ``random.Random(plan.seed)`` — are the sanctioned idioms.
+    """
+
+    rule_id = "PRV001"
+    title = "RNG seed not derived from the campaign seed scheme"
+    severity = "error"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for scope in iter_scopes(module):
+            origins: _SeedOrigins | None = None
+            for node in walk_scope(scope):
+                if not (isinstance(node, ast.Call) and _rng_constructor(node)):
+                    continue
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module, node,
+                        "'random.Random()' with no seed draws from ambient "
+                        "entropy — chaos replays and retry schedules become "
+                        "unreproducible; seed it via derive_cell_seed(...) "
+                        "or a threaded seed parameter",
+                    )
+                    continue
+                if not node.args:
+                    continue  # keyword-only construction: not the seed slot
+                if origins is None:
+                    origins = _SeedOrigins(scope)
+                seed = node.args[0]
+                if origins.derived(seed):
+                    continue
+                described = (
+                    f"literal {seed.value!r}"
+                    if isinstance(seed, ast.Constant)
+                    else f"'{ast.unparse(seed)}'"
+                )
+                yield self.finding(
+                    module, node,
+                    f"RNG seeded from {described}, which does not derive "
+                    "from derive_cell_seed(...), a seed parameter, or a "
+                    "seeded plan attribute — the stream cannot be replayed "
+                    "by the byte-identity suites",
+                )
+
+
+class SharedRngStream(_ProvenanceRule):
+    """PRV002: one RNG stream aliased across call/connection boundaries.
+
+    A module-level ``random.Random(...)`` is one Mersenne Twister shared
+    by every connection, cell, and retry loop in the process: each
+    consumer's draws depend on every *other* consumer's scheduling, so
+    per-connection replay is impossible even when the seed itself was
+    derived.  The same aliasing hides in default argument values, which
+    Python evaluates once at definition time.  Construct the RNG inside
+    the per-connection/per-cell scope from its own derived seed instead
+    (``rng_for(connection_index, direction)`` in the chaos proxy is the
+    reference idiom).
+    """
+
+    rule_id = "PRV002"
+    title = "RNG stream shared across connection/cell boundaries"
+    severity = "error"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for statement in module.tree.body:
+            values: list[ast.AST] = []
+            if isinstance(statement, ast.Assign):
+                values.append(statement.value)
+            elif isinstance(statement, ast.AnnAssign) and statement.value:
+                values.append(statement.value)
+            for value in values:
+                if isinstance(value, ast.Call) and _rng_constructor(value):
+                    yield self.finding(
+                        module, value,
+                        "module-level RNG instance is one stream shared by "
+                        "every connection/cell in the process — draws "
+                        "interleave by scheduling order; build a "
+                        "per-consumer RNG from its own derived seed",
+                    )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = [*node.args.defaults, *node.args.kw_defaults]
+            for default in defaults:
+                if (
+                    default is not None
+                    and isinstance(default, ast.Call)
+                    and _rng_constructor(default)
+                ):
+                    yield self.finding(
+                        module, default,
+                        f"default argument of '{node.name}' constructs the "
+                        "RNG once at definition time — every call shares "
+                        "one stream; default to None and build the RNG "
+                        "from a derived seed inside the call",
+                    )

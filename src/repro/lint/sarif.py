@@ -1,0 +1,115 @@
+"""SARIF 2.1.0 output for the lint engine.
+
+SARIF (Static Analysis Results Interchange Format) is the ingestion
+format of GitHub code scanning and most analyzer dashboards.  This
+module emits the minimal valid subset: one ``run`` with the rule
+catalog in ``tool.driver.rules`` and one ``result`` per finding,
+carrying the physical location, the baseline fingerprint, and a
+``baselineState`` that mirrors the engine's new/baselined partition.
+
+The emitted document shape is pinned by ``sarif.schema.json`` next to
+this module — the same dependency-free subset validator used for the
+telemetry schema (:func:`repro.obs.schema.schema_errors`) checks it in
+the test suite, so the structure cannot silently drift away from what
+consumers parse.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.lint.engine import LintReport
+from repro.lint.findings import Finding
+from repro.lint.rules import ALL_RULES
+
+__all__ = ["load_sarif_schema", "render_sarif", "sarif_document"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+
+_SCHEMA_PATH = Path(__file__).resolve().parent / "sarif.schema.json"
+
+#: Lint severities map 1:1 onto SARIF result levels.
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def load_sarif_schema() -> dict[str, Any]:
+    """The checked-in schema pinning the emitted SARIF subset."""
+    return json.loads(_SCHEMA_PATH.read_text())
+
+
+def _rule_descriptor(rule: Any) -> dict[str, Any]:
+    return {
+        "id": rule.rule_id,
+        "name": rule.__class__.__name__,
+        "shortDescription": {"text": rule.title},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }
+
+
+def _result(finding: Finding, baseline_state: str) -> dict[str, Any]:
+    path, rule, line_text = finding.fingerprint()
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        # The engine's baseline identity, exported verbatim so external
+        # dashboards dedup exactly the way the local baseline does.
+        "partialFingerprints": {
+            "reproLintFingerprint/v1": f"{path}:{rule}:{line_text}",
+        },
+        "baselineState": baseline_state,
+    }
+
+
+def sarif_document(report: LintReport) -> dict[str, Any]:
+    """Build the SARIF log object for one lint run."""
+    results = [_result(finding, "new") for finding in report.new]
+    results.extend(
+        _result(finding, "unchanged") for finding in report.baselined
+    )
+    results.sort(
+        key=lambda r: (
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"],
+            r["locations"][0]["physicalLocation"]["region"]["startLine"],
+            r["ruleId"],
+        )
+    )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": [
+                            _rule_descriptor(rule) for rule in ALL_RULES
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport) -> str:
+    """Serialize the report as a SARIF 2.1.0 log (stable key order)."""
+    return json.dumps(sarif_document(report), indent=2, sort_keys=True)

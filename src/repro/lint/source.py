@@ -1,4 +1,4 @@
-"""Parsed source modules and repository scoping.
+"""Parsed source modules and per-rule-family repository scoping.
 
 The rule families do not apply uniformly: wall-clock reads are fine in
 the observability exporters but forbidden in the coloring pipeline, and
@@ -8,6 +8,15 @@ to the parsed AST, its path *relative to the* ``repro`` *package* so
 rules can scope themselves by package prefix.  Files outside the
 package (lint fixtures, ad-hoc scripts) have no relative path and are
 treated as fully in scope — every rule applies.
+
+Scoping is *per rule family*, not per module: a package exempt from one
+contract can still be bound by another.  ``serve/`` is the canonical
+example — it reads clocks and measures latency by design (so the DET
+family skips it), yet every RNG it builds must still derive its seed
+from the campaign scheme (so the PRV family runs there, and nowhere
+stricter rules would drown in noise).  Each family consults its own
+scope predicate below instead of a single blanket "deterministic path"
+bit.
 """
 
 from __future__ import annotations
@@ -15,23 +24,30 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path, PurePosixPath
+from typing import Iterator
 
 from repro.lint.pragmas import parse_pragmas
 
 __all__ = [
+    "CONGEST_SCOPED_PACKAGES",
     "DETERMINISM_EXEMPT_PACKAGES",
     "ENGINE_MODULES",
+    "PROVENANCE_SCOPED_MODULES",
+    "PROVENANCE_SCOPED_PACKAGES",
     "SourceModule",
     "parse_module",
 ]
 
-#: Package prefixes (relative to ``repro/``) where nondeterminism and
-#: wall-clock reads are part of the job: observability timestamps,
-#: campaign scheduling, benchmark harnesses, report generation, and the
-#: linter itself.  Everything else — the coloring pipeline, the
+#: DET-family scope-out: package prefixes (relative to ``repro/``)
+#: where nondeterminism and wall-clock reads are part of the job —
+#: observability timestamps, campaign scheduling, benchmark harnesses,
+#: report generation, the linter itself, and the serving layer's
+#: latency measurements.  Everything else — the coloring pipeline, the
 #: subroutine library, the simulator, graph generators, verifiers — is
 #: a *deterministic path*: same inputs and seeds must give bit-identical
-#: outputs.
+#: outputs.  Note this exempts only the DET rules; the PRV provenance
+#: family below claws back the RNG discipline for the exempted
+#: scheduling/serving code.
 DETERMINISM_EXEMPT_PACKAGES = (
     "obs",
     "runner",
@@ -43,6 +59,31 @@ DETERMINISM_EXEMPT_PACKAGES = (
     # deadlines by design; its *results* stay deterministic because it
     # only ever calls the pipelines with explicit (instance, seed).
     "serve",
+)
+
+#: PRV-family scope: packages whose wall-clock behavior is sanctioned
+#: but whose RNG *provenance* is still contractual — retry backoff,
+#: chaos fault rolls, and workload generation must replay byte-identically
+#: from ``derive_cell_seed``-derived streams (DESIGN.md §7/§13).
+PROVENANCE_SCOPED_PACKAGES = (
+    "serve",
+    "runner",
+)
+
+#: Single modules under PRV scope outside those packages: the fault
+#: injector consumes seeded streams inside the engine loop.
+PROVENANCE_SCOPED_MODULES = (
+    "local/faults.py",
+)
+
+#: MSG-family scope: where the CONGEST message-width discipline runs by
+#: default (ROADMAP: "flip MSG001 on for core/ once clean").  The
+#: coloring pipeline and the subroutine library it drives are the code
+#: a CONGEST port would re-engineer; examples and ad-hoc algorithms
+#: stay census-on-demand via ``--select MSG``.
+CONGEST_SCOPED_PACKAGES = (
+    "core",
+    "subroutines",
 )
 
 #: Engine implementation modules: the only code allowed to own inboxes,
@@ -93,10 +134,34 @@ class SourceModule:
 
     @property
     def deterministic_path(self) -> bool:
-        """True when determinism rules apply to this module."""
+        """True when the DET determinism rules apply to this module."""
         if self.rel is None:
             return True
         return not self.in_package(*DETERMINISM_EXEMPT_PACKAGES)
+
+    @property
+    def provenance_scope(self) -> bool:
+        """True when the PRV seed-provenance rules apply to this module.
+
+        Deterministic-path modules are covered too: an unseeded RNG
+        there is *also* a DET001 finding, but the provenance argument
+        (where did this seed come from?) is its own contract.
+        """
+        if self.rel is None:
+            return True
+        if self.deterministic_path:
+            return True
+        return (
+            self.in_package(*PROVENANCE_SCOPED_PACKAGES)
+            or self.rel in PROVENANCE_SCOPED_MODULES
+        )
+
+    @property
+    def congest_scope(self) -> bool:
+        """True when the MSG message-width rules apply by default."""
+        if self.rel is None:
+            return True
+        return self.in_package(*CONGEST_SCOPED_PACKAGES)
 
     @property
     def engine_module(self) -> bool:
@@ -108,7 +173,7 @@ class SourceModule:
     def parent(self, node: ast.AST) -> ast.AST | None:
         return self._parents.get(node)
 
-    def ancestors(self, node: ast.AST):
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
         """Yield ancestors innermost-first (excluding the node itself)."""
         current = self._parents.get(node)
         while current is not None:

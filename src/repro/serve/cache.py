@@ -228,7 +228,7 @@ class ResultCache:
 class InstanceRegistry:
     """Bounded LRU of slim instance payloads keyed by canonical hash."""
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"registry capacity must be >= 1, got {capacity}")
         self.capacity = capacity

@@ -151,6 +151,7 @@ class FleetSupervisor:
             idle_timeout_s=config.idle_timeout_s,
         ))
         self._monitor_task: asyncio.Task | None = None
+        self._signal_task: asyncio.Task | None = None
         self._stopping = False
 
     # -- shard processes -----------------------------------------------
@@ -258,8 +259,12 @@ class FleetSupervisor:
         return self.router.address
 
     def _on_signal(self) -> None:
-        if not self._stopping:
-            asyncio.get_running_loop().create_task(self._signal_stop())
+        # Retain the task handle (the loop's reference is weak) and
+        # make repeat signals during an in-flight drain a no-op.
+        if not self._stopping and self._signal_task is None:
+            self._signal_task = asyncio.get_running_loop().create_task(
+                self._signal_stop()
+            )
 
     async def _signal_stop(self) -> None:
         self.router.admission.begin_drain()
@@ -317,6 +322,13 @@ class FleetSupervisor:
     async def close(self) -> None:
         """Cascade drain: router first, then shards in reverse order."""
         self._stopping = True
+        if self._signal_task is not None:
+            self._signal_task.cancel()
+            try:
+                await self._signal_task
+            except asyncio.CancelledError:
+                pass
+            self._signal_task = None
         if self._monitor_task is not None:
             self._monitor_task.cancel()
             try:

@@ -83,7 +83,7 @@ METHODS = (
 class ProtocolError(ReproError):
     """A request the server understands well enough to refuse."""
 
-    def __init__(self, code: str, message: str):
+    def __init__(self, code: str, message: str) -> None:
         super().__init__(message)
         self.code = code
 

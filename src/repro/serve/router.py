@@ -271,6 +271,7 @@ class FleetRouter:
         self._server: asyncio.AbstractServer | None = None
         self._stopped: asyncio.Event | None = None
         self._probe_task: asyncio.Task | None = None
+        self._drain_task: asyncio.Task | None = None
         self._started_at = 0.0
 
     # -- lifecycle -----------------------------------------------------
@@ -338,12 +339,23 @@ class FleetRouter:
             self._server = None
         for state in self._shards.values():
             await state.client.close()
+        if self._drain_task is not None:
+            self._drain_task.cancel()
+            try:
+                await self._drain_task
+            except asyncio.CancelledError:
+                pass
+            self._drain_task = None
         if self._stopped is not None:
             self._stopped.set()
 
     def _on_signal(self) -> None:
-        if not self.admission.draining:
-            asyncio.get_running_loop().create_task(self._drain_and_stop())
+        # Retain the task handle (the loop's reference is weak) and
+        # make repeat signals during an in-flight drain a no-op.
+        if not self.admission.draining and self._drain_task is None:
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self._drain_and_stop()
+            )
 
     async def _drain_and_stop(self) -> None:
         self.admission.begin_drain()

@@ -326,6 +326,7 @@ class ColoringServer:
         self._previous_collector: Collector | None = None
         self._server: asyncio.AbstractServer | None = None
         self._stopped: asyncio.Event | None = None
+        self._drain_task: asyncio.Task | None = None
         self._started_at = 0.0
 
     # -- lifecycle -----------------------------------------------------
@@ -394,12 +395,25 @@ class ColoringServer:
                 install(self._previous_collector)
             else:
                 uninstall()
+        if self._drain_task is not None:
+            self._drain_task.cancel()
+            try:
+                await self._drain_task
+            except asyncio.CancelledError:
+                pass
+            self._drain_task = None
         if self._stopped is not None:
             self._stopped.set()
 
     def _on_signal(self) -> None:
-        if not self.admission.draining:
-            asyncio.get_running_loop().create_task(self._drain_and_stop())
+        # Retain the task handle: the event loop only holds a weak
+        # reference, so a bare create_task could be garbage-collected
+        # mid-drain.  The None guard also makes a second signal during
+        # an in-flight drain a no-op instead of a duplicate drain task.
+        if not self.admission.draining and self._drain_task is None:
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self._drain_and_stop()
+            )
 
     async def _drain_and_stop(self) -> None:
         self.admission.begin_drain()

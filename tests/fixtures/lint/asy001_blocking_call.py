@@ -1,0 +1,26 @@
+"""Fixture: blocking calls on the event-loop thread (ASY001)."""
+
+import subprocess
+import time
+
+
+async def handle_request(payload):
+    time.sleep(0.5)  # parks every connection
+    return payload
+
+
+async def read_config(path):
+    return path.read_text()  # sync file IO in a coroutine
+
+
+async def run_job(pool, job):
+    return pool.submit(job).result()  # loop waits for the worker
+
+
+def _warm_cache(path):
+    # Sync helper one frame below the coroutine: same bug, one hop away.
+    subprocess.run(["touch", str(path)])
+
+
+async def prepare(path):
+    _warm_cache(path)

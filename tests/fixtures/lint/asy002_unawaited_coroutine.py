@@ -1,0 +1,17 @@
+"""Fixture: coroutine called but never awaited (ASY002)."""
+
+
+class Session:
+    async def flush(self):
+        pass
+
+    async def close(self):
+        self.flush()  # builds a coroutine object and drops it
+
+
+async def refresh(state):
+    pass
+
+
+async def tick(state):
+    refresh(state)  # never awaited: the body never runs

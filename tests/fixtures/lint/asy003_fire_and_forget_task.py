@@ -1,0 +1,15 @@
+"""Fixture: spawned task handle dropped on the floor (ASY003)."""
+
+import asyncio
+
+
+async def _drain():
+    pass
+
+
+def on_signal():
+    asyncio.get_running_loop().create_task(_drain())  # weakly referenced
+
+
+async def kick_off():
+    asyncio.ensure_future(_drain())  # same hole, older spelling

@@ -1,0 +1,12 @@
+"""Fixture: await while holding a synchronous lock (ASY004)."""
+
+import asyncio
+import threading
+
+_lock = threading.Lock()
+
+
+async def update(state):
+    with _lock:  # sync lock held across a suspension point
+        await asyncio.sleep(0.1)
+        state.bump()

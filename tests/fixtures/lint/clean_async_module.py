@@ -1,0 +1,44 @@
+"""Fixture: idiomatic asyncio code every ASY rule accepts."""
+
+import asyncio
+
+
+class Worker:
+    def __init__(self):
+        self._lock = asyncio.Lock()
+        self._drain_task = None
+        self._tasks = set()
+
+    async def pause(self):
+        await asyncio.sleep(0.1)  # the sanctioned sleep
+
+    async def run_blocking(self, pool, job):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(pool, job)  # sanctioned escape
+
+    async def guarded_update(self, state):
+        async with self._lock:  # async lock across the suspension point
+            await asyncio.sleep(0)
+            state.bump()
+
+    async def submit_and_await(self, pool, job):
+        task = asyncio.wrap_future(pool.submit(job))
+        return await task  # .result() never called synchronously
+
+    def on_signal(self):
+        if self._drain_task is None:
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self.drain()
+            )  # handle retained on self
+
+    def spawn_tracked(self, coro):
+        task = asyncio.get_running_loop().create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    async def drain(self):
+        await self.pause()  # awaited coroutine call
+
+    async def shutdown(self):
+        await asyncio.gather(self.drain(), self.pause())  # scheduled, not dropped

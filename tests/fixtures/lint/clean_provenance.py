@@ -1,0 +1,26 @@
+"""Fixture: RNG construction the PRV provenance rules accept."""
+
+import random
+
+from repro.runner.campaign import derive_cell_seed
+
+
+def cell_rng(base_seed, index, label):
+    return random.Random(derive_cell_seed(base_seed, index, label))
+
+
+def threaded_rng(seed):
+    return random.Random(seed)  # caller threaded the seed down
+
+
+def offset_rng(seed, lane):
+    mixed = seed * 31 + lane
+    return random.Random(mixed)  # arithmetic over a derived value
+
+
+def plan_rng(plan):
+    return random.Random(plan.seed)  # attribute of a seeded plan
+
+
+def default_rng(seed=None):
+    return random.Random(seed if seed is not None else 0)  # default idiom

@@ -1,0 +1,11 @@
+"""Fixture: wide payload laundered through a local name (MSG001)."""
+
+from repro.local.algorithm import DistributedAlgorithm
+
+
+class LaunderedDump(DistributedAlgorithm):
+    name = "laundered-dump"
+
+    def on_round(self, node, api, inbox):
+        payload = [message for _, message in inbox]
+        api.broadcast(payload)

@@ -1,0 +1,19 @@
+"""Fixture: RNG seeds that do not derive from the seed scheme (PRV001)."""
+
+import random
+
+
+def make_backoff_rng():
+    return random.Random(42)  # literal seed: replays cannot control it
+
+
+def make_ambient_rng():
+    return random.Random()  # ambient entropy: unreproducible outright
+
+
+def make_opaque_rng():
+    return random.Random(compute_salt())  # arbitrary call: provenance lost
+
+
+def compute_salt():
+    return 7

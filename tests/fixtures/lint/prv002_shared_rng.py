@@ -1,0 +1,11 @@
+"""Fixture: RNG streams shared across consumer boundaries (PRV002)."""
+
+import random
+
+import settings
+
+_SHARED = random.Random(settings.seed)  # one stream for the whole process
+
+
+def roll(faces, rng=random.Random(settings.seed)):  # evaluated once
+    return rng.randrange(faces)

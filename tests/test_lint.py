@@ -20,11 +20,14 @@ from repro.lint import (
     Baseline,
     BaselineError,
     RULES_BY_ID,
+    load_sarif_schema,
     parse_pragmas,
     render_github,
     render_json,
+    render_sarif,
     render_text,
     run_lint,
+    sarif_document,
     select_rules,
 )
 
@@ -57,6 +60,13 @@ EXPECTED_FINDINGS = {
     "led001_discarded_columnar_run.py": ["LED001"],
     "led002_unaccounted_run.py": ["LED002"],
     "msg001_wide_payload.py": ["MSG001"],
+    "msg001_named_payload.py": ["MSG001"],
+    "asy001_blocking_call.py": ["ASY001"] * 4,
+    "asy002_unawaited_coroutine.py": ["ASY002"] * 2,
+    "asy003_fire_and_forget_task.py": ["ASY003"] * 2,
+    "asy004_await_under_sync_lock.py": ["ASY004"],
+    "prv001_underived_seed.py": ["PRV001"] * 3,
+    "prv002_shared_rng.py": ["PRV002"] * 2,
 }
 
 
@@ -79,6 +89,19 @@ def test_columnar_kernel_idioms_are_clean():
     argsort bucketing, set membership probes) must produce no findings —
     array code is ordered and DET002 has no business firing on it."""
     assert lint_rules(FIXTURES / "clean_columnar_kernel.py") == []
+
+
+def test_clean_async_fixture_has_no_findings():
+    """Idiomatic asyncio — run_in_executor, stored task handles,
+    async-with locks, wrap_future — must pass every ASY rule."""
+    assert lint_rules(FIXTURES / "clean_async_module.py") == []
+
+
+def test_clean_provenance_fixture_has_no_findings():
+    """All sanctioned seed idioms — derive_cell_seed, threaded
+    parameters, plan attributes, arithmetic over derived values, the
+    None-default fallback — must pass both PRV rules."""
+    assert lint_rules(FIXTURES / "clean_provenance.py") == []
 
 
 def test_fixture_directory_is_fully_accounted():
@@ -205,15 +228,60 @@ def test_baseline_survives_line_shifts(tmp_path):
     assert run_lint([bad], baseline=baseline).ok
 
 
+def test_baseline_rename_surfaces_finding_and_stale_entry(tmp_path):
+    # The fingerprint includes the path, so a rename must NOT silently
+    # keep the grandfathering: the finding resurfaces as new at its new
+    # path and the old entry is reported stale — never a quiet pass.
+    bad = tmp_path / "old_name.py"
+    bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+    baseline = Baseline.from_findings(run_lint([bad]).new)
+    renamed = tmp_path / "new_name.py"
+    bad.rename(renamed)
+    report = run_lint([renamed], baseline=baseline)
+    assert [f.rule for f in report.new] == ["DET003"]
+    assert [entry[1] for entry in report.stale_baseline] == ["DET003"]
+    assert "old_name.py" in report.stale_baseline[0][0]
+
+
+def test_update_baseline_never_resurrects_stale_entries(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    bad = tmp_path / "snippet.py"
+    bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+    assert main(["lint", str(bad), "--baseline", str(baseline_path),
+                 "--update-baseline"]) == 0
+    assert len(Baseline.load(baseline_path).counts) == 1
+    # Fix the finding, then regenerate: the stale entry must vanish
+    # rather than ride along forever (or come back on a later update).
+    bad.write_text("def f():\n    return 0\n")
+    assert main(["lint", str(bad), "--baseline", str(baseline_path),
+                 "--update-baseline"]) == 0
+    assert Baseline.load(baseline_path).counts == {}
+    assert main(["lint", str(bad), "--baseline", str(baseline_path),
+                 "--update-baseline"]) == 0
+    assert Baseline.load(baseline_path).counts == {}
+
+
 # ----------------------------------------------------------------------
 # Rule selection and scoping
 # ----------------------------------------------------------------------
 
 
-def test_default_rules_exclude_congest_family():
+def test_default_rules_include_every_family():
+    # MSG001 is default-on since its promotion — it scopes itself to
+    # core/ + subroutines/ via applies() rather than staying opt-in.
     default_ids = {rule.rule_id for rule in select_rules()}
-    assert "MSG001" not in default_ids
-    assert {"LOC001", "DET002", "LED001"} <= default_ids
+    assert {
+        "LOC001", "DET002", "LED001", "MSG001", "ASY001", "PRV001",
+    } <= default_ids
+
+
+def test_select_asy_and_prv_families():
+    asy = select_rules(["ASY"])
+    assert sorted(rule.rule_id for rule in asy) == [
+        "ASY001", "ASY002", "ASY003", "ASY004",
+    ]
+    prv = select_rules(["PRV"])
+    assert sorted(rule.rule_id for rule in prv) == ["PRV001", "PRV002"]
 
 
 def test_select_by_family_prefix():
@@ -258,6 +326,43 @@ def test_real_serve_sources_are_determinism_exempt():
         [REPO_SRC / "repro" / "serve"], rules=select_rules(["DET"])
     )
     assert report.ok
+
+
+def test_msg001_scopes_to_congest_perimeter(tmp_path):
+    # The same wide-payload algorithm is a finding under
+    # repro/subroutines (inside the CONGEST perimeter) and silent under
+    # repro/serve (outside it) — per-family scoping, not per-module.
+    source = (
+        "from repro.local.algorithm import DistributedAlgorithm\n\n\n"
+        "class Dump(DistributedAlgorithm):\n"
+        "    def on_round(self, node, api, inbox):\n"
+        "        api.broadcast([m for _, m in inbox])\n"
+    )
+    inside = tmp_path / "src" / "repro" / "subroutines" / "dump.py"
+    outside = tmp_path / "src" / "repro" / "serve" / "dump.py"
+    for module in (inside, outside):
+        module.parent.mkdir(parents=True)
+        module.write_text(source)
+    flagged = run_lint([inside], rules=select_rules())
+    assert [f.rule for f in flagged.new] == ["MSG001"]
+    assert run_lint([outside], rules=select_rules()).ok
+
+
+def test_prv_rules_claw_back_determinism_exempt_serve(tmp_path):
+    # serve/ is DET-exempt, but an underived RNG seed there is still a
+    # PRV001 finding: provenance scope covers the exempted packages.
+    source = (
+        "import random\n\n\n"
+        "def backoff_rng():\n"
+        "    return random.Random(1234)\n"
+    )
+    serve_mod = tmp_path / "src" / "repro" / "serve" / "retry.py"
+    serve_mod.parent.mkdir(parents=True)
+    serve_mod.write_text(source)
+    report = run_lint([serve_mod], rules=select_rules())
+    assert [f.rule for f in report.new] == ["PRV001"]
+    # ...while the DET family alone stays silent there.
+    assert run_lint([serve_mod], rules=select_rules(["DET"])).ok
 
 
 def test_engine_module_exempt_from_ledger_rules():
@@ -515,6 +620,58 @@ def test_github_output_escapes_newlines_and_commas(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# SARIF output
+# ----------------------------------------------------------------------
+
+
+def test_sarif_document_validates_against_schema():
+    """The emitted SARIF must satisfy the checked-in subset schema —
+    same dependency-free validator the telemetry document uses."""
+    from repro.obs.schema import schema_errors
+
+    report = run_lint([FIXTURES / "det003_wall_clock.py"])
+    document = sarif_document(report)
+    assert schema_errors(document, load_sarif_schema()) == []
+    assert document["version"] == "2.1.0"
+    (run,) = document["runs"]
+    (result,) = run["results"]
+    assert result["ruleId"] == "DET003"
+    assert result["baselineState"] == "new"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("det003_wall_clock.py")
+    assert location["region"]["startLine"] >= 1
+
+
+def test_sarif_rule_catalog_is_complete():
+    report = run_lint([FIXTURES / "clean_module.py"])
+    document = sarif_document(report)
+    descriptors = document["runs"][0]["tool"]["driver"]["rules"]
+    assert {d["id"] for d in descriptors} == set(ALL_RULE_IDS)
+    for descriptor in descriptors:
+        assert descriptor["shortDescription"]["text"]
+        assert descriptor["defaultConfiguration"]["level"] in (
+            "error", "warning",
+        )
+
+
+def test_sarif_marks_baselined_findings_unchanged():
+    fixture = FIXTURES / "det003_wall_clock.py"
+    baseline = Baseline.from_findings(run_lint([fixture]).new)
+    document = sarif_document(run_lint([fixture], baseline=baseline))
+    (result,) = document["runs"][0]["results"]
+    assert result["baselineState"] == "unchanged"
+    assert "reproLintFingerprint/v1" in result["partialFingerprints"]
+
+
+def test_render_sarif_is_valid_json_with_stable_keys():
+    report = run_lint([FIXTURES / "det005_string_hash.py"])
+    text = render_sarif(report)
+    assert json.loads(text)["runs"][0]["results"][0]["ruleId"] == "DET005"
+    # sort_keys: byte-stable output for artifact diffing.
+    assert text == render_sarif(report)
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 
@@ -544,13 +701,25 @@ def test_cli_github_flag(capsys):
     assert "::error file=" in capsys.readouterr().out
 
 
-def test_cli_congest_flag(capsys):
-    clean = main(["lint", str(FIXTURES / "msg001_wide_payload.py"),
-                  "--no-baseline"])
-    assert clean == 0
+def test_cli_flags_wide_payload_by_default(capsys):
+    # MSG001 promotion: fixture files (full-strength scope) fire with
+    # no --congest flag; the flag stays accepted for back-compat.
     flagged = main(["lint", str(FIXTURES / "msg001_wide_payload.py"),
-                    "--congest", "--no-baseline"])
+                    "--no-baseline"])
     assert flagged == 1
+    assert "MSG001" in capsys.readouterr().out
+    still_flagged = main(["lint", str(FIXTURES / "msg001_wide_payload.py"),
+                          "--congest", "--no-baseline"])
+    assert still_flagged == 1
+
+
+def test_cli_sarif_flag(capsys):
+    code = main(["lint", str(FIXTURES / "det001_global_random.py"),
+                 "--sarif", "--no-baseline"])
+    assert code == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == "2.1.0"
+    assert document["runs"][0]["results"][0]["ruleId"] == "DET001"
 
 
 def test_cli_select_flag(capsys):
@@ -605,6 +774,49 @@ def test_core_has_no_lint_exemptions():
             key for key in baseline.counts if "repro/core/" in key[0]
         ]
         assert core_entries == []
+
+
+def test_congest_perimeter_is_bandwidth_clean():
+    """MSG001 is default-on across core/ + subroutines/: zero findings,
+    and zero *unexplained* exemptions — every congest-exempt pragma in
+    the perimeter must carry a `--` justification naming the width."""
+    perimeter = [
+        REPO_SRC / "repro" / "core",
+        REPO_SRC / "repro" / "subroutines",
+    ]
+    report = run_lint(perimeter, rules=select_rules(["MSG"]))
+    assert report.ok, "\n" + render_text(report)
+    for root in perimeter:
+        for path in sorted(root.rglob("*.py")):
+            for number, line in enumerate(path.read_text().splitlines(), 1):
+                if "congest-exempt" in line:
+                    tail = line.split("congest-exempt", 1)[1]
+                    assert "--" in tail, (
+                        f"{path}:{number}: congest-exempt pragma without a "
+                        "justification ('-- <why this width is acceptable>')"
+                    )
+
+
+def test_serve_sources_pass_async_and_provenance_rules():
+    """The serving plane is the code the ASY/PRV families exist for —
+    it must pass them with no pragmas and no baseline grace."""
+    report = run_lint(
+        [REPO_SRC / "repro" / "serve"], rules=select_rules(["ASY", "PRV"])
+    )
+    assert report.ok, "\n" + render_text(report)
+    assert report.suppressed == []
+
+
+def test_tools_tree_is_clean_against_its_baseline(monkeypatch):
+    """benchmarks/ + scripts/ lint clean against the committed tools
+    baseline, with no stale entries riding along.  Fingerprints are
+    repo-relative, so lint from the repo root like CI does."""
+    repo = Path(__file__).parent.parent
+    monkeypatch.chdir(repo)
+    baseline = Baseline.load(repo / "lint-baseline-tools.json")
+    report = run_lint(["benchmarks", "scripts"], baseline=baseline)
+    assert report.ok, "\n" + render_text(report)
+    assert report.stale_baseline == []
 
 
 def test_rule_ids_are_unique_and_stable():

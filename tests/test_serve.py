@@ -835,6 +835,22 @@ class TestServerOverload:
 
         asyncio.run(scenario())
 
+    def test_signal_drain_task_is_retained_and_deduplicated(self, tmp_path):
+        # Regression: the drain task handle must be stored — the event
+        # loop holds only a weak reference, so a bare create_task could
+        # be garbage-collected mid-drain — and a repeat SIGTERM while a
+        # drain is in flight must not spawn a second drain task.
+        async def scenario():
+            async with serving(tmp_path) as (server, _):
+                server._on_signal()
+                first = server._drain_task
+                assert first is not None
+                server._on_signal()
+                assert server._drain_task is first
+                await asyncio.wait_for(server.wait_stopped(), 2)
+
+        asyncio.run(scenario())
+
 
 def crashing_runner(specs, instances):
     import os

@@ -493,6 +493,23 @@ class TestRouterEndToEnd:
 
         asyncio.run(scenario())
 
+    def test_router_signal_drain_task_is_retained_and_deduplicated(
+        self, tmp_path
+    ):
+        # Regression: the SIGTERM drain task handle must be stored (the
+        # event loop only weakly references tasks) and a repeat signal
+        # during an in-flight drain must not spawn a second task.
+        async def scenario():
+            async with routed(tmp_path) as (router, _servers, _client):
+                router._on_signal()
+                first = router._drain_task
+                assert first is not None
+                router._on_signal()
+                assert router._drain_task is first
+                await asyncio.wait_for(router.wait_stopped(), 2.0)
+
+        asyncio.run(scenario())
+
 
 class TestRouterConfig:
     def test_needs_at_least_one_shard(self):
@@ -531,6 +548,31 @@ class TestFleetConfig:
     def test_rejects_bad_knobs(self, overrides):
         with pytest.raises(ReproError):
             FleetConfig(**overrides)
+
+
+class TestFleetSignal:
+    def test_signal_stop_task_is_retained_and_deduplicated(self, tmp_path):
+        # Regression: same weak-reference hazard as the server/router
+        # drain tasks — the supervisor must keep the handle and treat a
+        # repeat signal during the stop cascade as a no-op.  Exercised
+        # without subprocesses: _signal_stop only drains the router's
+        # admission controller, which works pre-start.
+        async def scenario():
+            config = FleetConfig(
+                shards=1,
+                unix_path=str(tmp_path / "router.sock"),
+                runtime_dir=str(tmp_path / "rt"),
+                cache_dir="",
+            )
+            supervisor = FleetSupervisor(config)
+            supervisor._on_signal()
+            first = supervisor._signal_task
+            assert first is not None
+            supervisor._on_signal()
+            assert supervisor._signal_task is first
+            await asyncio.wait_for(first, 2.0)
+
+        asyncio.run(scenario())
 
 
 # ----------------------------------------------------------------------
