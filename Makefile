@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test test-all bench chaos columnar-parity trace serve-smoke chaos-serve fleet-smoke report examples ci lint lint-repro typecheck clean
+.PHONY: install test test-all bench chaos columnar-parity trace serve-smoke chaos-serve fleet-smoke dist-smoke report examples ci lint lint-repro typecheck clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -49,6 +49,13 @@ chaos-serve:
 fleet-smoke:
 	PYTHONPATH=src timeout 300 python scripts/fleet_smoke.py
 
+# Distributed campaign smoke: run_campaign(executor="remote") against a
+# live 2-shard serve fleet — byte-identical to the inline executor, and
+# 100% cell completion with one shard SIGKILLed mid-campaign
+# (DESIGN.md section 15).
+dist-smoke:
+	PYTHONPATH=src timeout 300 python scripts/dist_smoke.py
+
 # Mirrors .github/workflows/ci.yml: tier-1 suite + smokes + lint.
 ci:
 	PYTHONPATH=src python -m pytest -x -q
@@ -57,6 +64,7 @@ ci:
 	$(MAKE) serve-smoke
 	$(MAKE) chaos-serve
 	$(MAKE) fleet-smoke
+	$(MAKE) dist-smoke
 	$(MAKE) lint
 	$(MAKE) lint-repro
 	$(MAKE) typecheck
@@ -79,7 +87,8 @@ typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
 		mypy src/repro/types.py src/repro/constants.py src/repro/errors.py \
 			src/repro/obs src/repro/serve/protocol.py \
-			src/repro/serve/cache.py src/repro/lint; \
+			src/repro/serve/cache.py src/repro/runner/remote.py \
+			src/repro/lint; \
 	else \
 		echo "mypy not installed; skipping typecheck (CI runs it)"; \
 	fi

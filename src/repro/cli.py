@@ -13,7 +13,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro import __version__, delta_color
 from repro.acd import compute_acd
@@ -255,6 +255,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", action="store_true",
         help="attach a deterministic repro.obs phase/metrics summary to "
              "every result row",
+    )
+    campaign.add_argument(
+        "--backends", default=None, metavar="ENDPOINTS",
+        help="comma-separated serve endpoints (host:port or unix:/path); "
+             "dispatch cells to this fleet instead of local processes — "
+             "rows are byte-identical to a local run",
+    )
+    campaign.add_argument(
+        "--straggler-quantile", type=float, default=None, metavar="Q",
+        help="with --backends: re-dispatch cells running longer than "
+             "3x this completion-latency quantile to a second backend, "
+             "first result wins (default 0.75; 0 disables)",
+    )
+    campaign.add_argument(
+        "--remote-window", type=int, default=None, metavar="N",
+        help="with --backends: max concurrent cells per backend "
+             "(default 4)",
     )
 
     serve = commands.add_parser(
@@ -772,6 +789,29 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         cells = cells_from_spec(spec)
         shape = lambda rows: rows  # noqa: E731 - specs keep raw rows
         default_name = spec.get("name", "campaign")
+    backends = None
+    remote_options = None
+    if args.backends:
+        from repro.runner.remote import RemoteOptions
+
+        backends = [
+            item.strip() for item in args.backends.split(",") if item.strip()
+        ]
+        if not backends:
+            raise ReproError("--backends names no endpoints")
+        overrides: dict[str, Any] = {}
+        if args.straggler_quantile is not None:
+            overrides["straggler_quantile"] = (
+                args.straggler_quantile if args.straggler_quantile > 0
+                else None
+            )
+        if args.remote_window is not None:
+            overrides["window"] = args.remote_window
+        remote_options = RemoteOptions(**overrides)
+    elif args.straggler_quantile is not None or args.remote_window is not None:
+        raise ReproError(
+            "--straggler-quantile/--remote-window require --backends"
+        )
     try:
         result = run_campaign(
             cells,
@@ -784,6 +824,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             checkpoint=args.checkpoint,
             resume=args.resume,
             telemetry=args.telemetry,
+            backends=backends,
+            remote_options=remote_options,
         )
     except CampaignInterrupted as interrupt:
         # Flush what completed so the work survives the Ctrl-C; the
@@ -805,10 +847,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     rounds = result.summary("rounds")
     resumed = f", {result.resumed} resumed" if result.resumed else ""
     failed = f", {len(result.failures)} failed" if result.failures else ""
+    remote = ""
+    if result.remote_stats:
+        stats = result.remote_stats
+        remote = (
+            f", {len(stats['backends'])} backends"
+            f" (redispatched {stats['redispatched']},"
+            f" requeued {stats['requeued']},"
+            f" deaths {stats['backend_deaths']})"
+        )
     print(
         f"campaign {default_name}: {len(result.cells)} cells, "
         f"jobs={result.jobs}, {result.elapsed_seconds:.2f}s"
-        f"{resumed}{failed}"
+        f"{resumed}{failed}{remote}"
         + (
             f", rounds {rounds['min']}..{rounds['max']} "
             f"(mean {rounds['mean']:.1f})"

@@ -20,12 +20,20 @@ from repro.runner.campaign import (
     CampaignInterrupted,
     CampaignResult,
     CellTimeout,
+    cell_from_json,
+    cell_to_json,
     cells_from_spec,
     derive_cell_seed,
     load_journal,
     run_campaign,
     run_cell,
+    run_cell_on_network,
 )
+
+# NOTE: repro.runner.remote (the distributed executor) is deliberately
+# not imported here — it pulls in the serve client stack, whose package
+# init imports back into repro.runner.campaign.  run_campaign imports
+# it lazily; users import RemoteOptions from repro.runner.remote.
 from repro.runner.pool import WorkerPool
 from repro.runner.presets import (
     PRESETS,
@@ -44,6 +52,8 @@ __all__ = [
     "CellTimeout",
     "PRESETS",
     "WorkerPool",
+    "cell_from_json",
+    "cell_to_json",
     "cells_from_spec",
     "derive_cell_seed",
     "load_journal",
@@ -55,4 +65,5 @@ __all__ = [
     "preset_cells",
     "run_campaign",
     "run_cell",
+    "run_cell_on_network",
 ]

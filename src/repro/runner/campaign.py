@@ -75,11 +75,14 @@ __all__ = [
     "CampaignInterrupted",
     "CampaignResult",
     "CellTimeout",
+    "cell_from_json",
+    "cell_to_json",
     "cells_from_spec",
     "derive_cell_seed",
     "load_journal",
     "run_campaign",
     "run_cell",
+    "run_cell_on_network",
 ]
 
 #: Fields of a cell that may be swept by a spec ``grid``.
@@ -182,14 +185,58 @@ def run_cell(cell: CampaignCell) -> dict[str, Any]:
     function of the cell, which is what makes checkpoint/resume
     byte-identical (see the module docstring).
     """
-    from repro.bench.workloads import bench_params, workload_acd
+    from repro.bench.workloads import workload_acd
+
+    instance = _build_instance(cell)
+
+    def acd_for(epsilon: float) -> Any:
+        return workload_acd(
+            cell.num_cliques, cell.delta, epsilon, cell.graph_seed,
+            cell.easy_fraction,
+        )
+
+    return _execute_cell(cell, instance.network, instance.delta, acd_for)
+
+
+def run_cell_on_network(
+    cell: CampaignCell,
+    network: Any,
+    delta: int,
+    acd_for: Callable[[float], Any] | None = None,
+) -> dict[str, Any]:
+    """Execute one cell against an already-built network.
+
+    The serve backends run remote-dispatched cells through this entry:
+    the graph ships once by canonical instance hash (register-then-hash)
+    and the workload builders never run server-side.  ``acd_for`` lets a
+    batch executor share the ACD across batch mates; the default
+    computes it fresh — :func:`repro.acd.compute_acd` is deterministic,
+    so either way the row byte-matches :func:`run_cell` for the same
+    cell (the executor-equivalence suite pins this).
+    """
+    if acd_for is None:
+        from repro.acd import compute_acd
+
+        def acd_for(epsilon: float, _network: Any = network) -> Any:
+            return compute_acd(_network, epsilon=epsilon)
+
+    return _execute_cell(cell, network, delta, acd_for)
+
+
+def _execute_cell(
+    cell: CampaignCell,
+    network: Any,
+    delta: int,
+    acd_for: Callable[[float], Any],
+) -> dict[str, Any]:
+    """Shared cell-execution core: every executor's rows come from here."""
+    from repro.bench.workloads import bench_params
     from repro.core.deterministic import delta_color_deterministic
     from repro.core.randomized import delta_color_randomized
     from repro.core.sparse import delta_color_general
     from repro.local.columnar import engine_scope
     from repro.obs import Collector, observed, telemetry_summary
 
-    instance = _build_instance(cell)
     params = bench_params(cell.epsilon)
     options = cell.option_dict()
     # The telemetry collector samples no rounds and records no events:
@@ -204,25 +251,17 @@ def run_cell(cell: CampaignCell) -> dict[str, Any]:
     )
     with context, engine_scope(cell.engine):
         if cell.method == "randomized":
-            acd = workload_acd(
-                cell.num_cliques, cell.delta, cell.epsilon, cell.graph_seed,
-                cell.easy_fraction,
-            )
             result = delta_color_randomized(
-                instance.network, params=params, acd=acd, seed=cell.seed,
-                **options,
+                network, params=params, acd=acd_for(cell.epsilon),
+                seed=cell.seed, **options,
             )
         elif cell.method == "deterministic":
-            acd = workload_acd(
-                cell.num_cliques, cell.delta, cell.epsilon, cell.graph_seed,
-                cell.easy_fraction,
-            )
             result = delta_color_deterministic(
-                instance.network, params=params, acd=acd, **options
+                network, params=params, acd=acd_for(cell.epsilon), **options
             )
         elif cell.method == "general":
             result = delta_color_general(
-                instance.network, params=params, seed=cell.seed, **options
+                network, params=params, seed=cell.seed, **options
             )
         else:
             raise ReproError(f"unknown campaign method {cell.method!r}")
@@ -231,8 +270,8 @@ def run_cell(cell: CampaignCell) -> dict[str, Any]:
         "label": cell.label,
         "seed": cell.seed,
         "algorithm": result.algorithm,
-        "n": result.stats.get("n", instance.network.n),
-        "delta": result.stats.get("delta", instance.delta),
+        "n": result.stats.get("n", network.n),
+        "delta": result.stats.get("delta", delta),
         "rounds": result.rounds,
         "messages": result.messages,
         "breakdown": result.phase_rounds(),
@@ -254,6 +293,8 @@ class CampaignResult:
     elapsed_seconds: float
     failures: list[dict[str, str]] = field(default_factory=list)
     resumed: int = 0
+    #: Dispatch statistics from the remote executor (None otherwise).
+    remote_stats: dict[str, Any] | None = None
 
     def save(self, name: str) -> Path:
         """Write the rows as a ``benchmarks/artifacts`` JSON artifact."""
@@ -287,28 +328,45 @@ class CampaignResult:
 def load_journal(path: str | Path) -> dict[int, dict[str, Any]]:
     """Read a checkpoint journal; index -> record.
 
-    Tolerates a truncated final line (the footprint of a process killed
-    mid-append) and blank lines; anything unparseable is simply treated
-    as not journaled, so the corresponding cell re-runs.
+    Tolerates trailing unparseable lines (the footprint of a process
+    killed mid-append is one truncated final line) and blank lines; the
+    corresponding cells simply re-run.  A bad line *followed by valid
+    records* is not a truncation — it is mid-file corruption, and
+    silently skipping it would resume from a journal whose surviving
+    records no longer mean what their indices claim.  That raises
+    :class:`ReproError` instead.
     """
     path = Path(path)
     records: dict[int, dict[str, Any]] = {}
     if not path.exists():
         return records
-    for line in path.read_text().splitlines():
+    bad: tuple[int, str] | None = None
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
         line = line.strip()
         if not line:
             continue
+        reason = None
+        record: Any = None
         try:
             record = json.loads(line)
         except json.JSONDecodeError:
-            continue
-        if (
+            reason = "not valid JSON"
+        if reason is None and (
             not isinstance(record, dict)
             or "index" not in record
             or "row" not in record
         ):
+            reason = "not a journal record (expected 'index' and 'row')"
+        if reason is not None:
+            if bad is None:
+                bad = (number, reason)
             continue
+        if bad is not None:
+            raise ReproError(
+                f"checkpoint journal {path} is corrupt: line {bad[0]} is "
+                f"{bad[1]} but valid records follow it; only a truncated "
+                "final line (a kill mid-append) is tolerated"
+            )
         records[int(record["index"])] = record
     return records
 
@@ -331,6 +389,9 @@ def run_campaign(
     resume: str | Path | None = None,
     cell_runner: Callable[[CampaignCell], dict[str, Any]] | None = None,
     telemetry: bool = False,
+    executor: str | None = None,
+    backends: Sequence[str] | None = None,
+    remote_options: Any | None = None,
 ) -> CampaignResult:
     """Run every cell; fan out over a process pool when ``jobs > 1``.
 
@@ -379,6 +440,18 @@ def run_campaign(
         carries a deterministic ``repro.obs`` phase/metrics summary
         (see :func:`repro.obs.telemetry_summary`); report builders use
         it for E7-style round-decomposition tables.
+    executor:
+        ``"inline"``, ``"pool"``, or ``"remote"``.  ``None`` (default)
+        keeps the legacy inference: ``backends`` selects remote,
+        otherwise ``jobs > 1`` or a ``timeout`` selects the pool.
+        Whatever the executor, the same cells produce byte-identical
+        rows — the dispatch plane never touches row content.
+    backends:
+        Serve endpoints (``host:port`` / ``unix:/path``) for the remote
+        executor; see :mod:`repro.runner.remote`.
+    remote_options:
+        A :class:`repro.runner.remote.RemoteOptions` tuning dispatch
+        windows, straggler re-dispatch, and health probing.
 
     Raises
     ------
@@ -386,6 +459,29 @@ def run_campaign(
         On Ctrl-C; carries the partial result, and the journal (if any)
         is flushed through the last completed cell.
     """
+    if executor not in (None, "inline", "pool", "remote"):
+        raise ReproError(f"unknown executor {executor!r}")
+    if executor is None:
+        executor = (
+            "remote" if backends
+            else "pool" if jobs > 1 or timeout is not None
+            else "inline"
+        )
+    if executor == "remote":
+        if not backends:
+            raise ReproError("executor='remote' requires backends")
+        if cell_runner is not None:
+            raise ReproError(
+                "cell_runner applies to the inline/pool executors only"
+            )
+    elif backends:
+        raise ReproError(f"backends require executor='remote', not {executor!r}")
+    elif executor == "inline" and timeout is not None:
+        raise ReproError(
+            "timeout requires the pool or remote executor "
+            "(an in-process cell cannot be killed)"
+        )
+
     resolved = [
         cell if cell.seed is not None or cell.method == "deterministic"
         else replace(cell, seed=derive_cell_seed(base_seed, index, cell.label))
@@ -482,9 +578,22 @@ def run_campaign(
         if report:
             report(done_count, total, resolved[index].label)
 
-    use_pool = pending and (jobs > 1 or timeout is not None)
+    remote_stats: dict[str, Any] | None = None
     try:
-        if not use_pool:
+        if not pending:
+            pass
+        elif executor == "remote":
+            # Imported lazily: repro.runner.remote pulls in the serve
+            # client stack, which campaigns without backends never need.
+            from repro.runner.remote import run_remote
+
+            remote_stats = run_remote(
+                resolved, pending, finish,
+                backends=list(backends or ()),
+                timeout=timeout, retries=retries,
+                base_seed=base_seed, options=remote_options,
+            )
+        elif executor == "inline":
             for index in pending:
                 try:
                     row = runner(resolved[index])
@@ -519,6 +628,7 @@ def run_campaign(
         elapsed_seconds=time.perf_counter() - started,
         failures=failures,
         resumed=len(replayed),
+        remote_stats=remote_stats,
     )
 
 
@@ -738,6 +848,39 @@ def cell_to_json(cell: CampaignCell) -> dict[str, Any]:
     data = asdict(cell)
     data["options"] = dict(data["options"])
     return data
+
+
+def cell_from_json(data: dict[str, Any]) -> CampaignCell:
+    """Rebuild a :class:`CampaignCell` from :func:`cell_to_json` output.
+
+    This is the wire decoder for the serve ``cell`` op: options are
+    re-sorted into the canonical tuple form, so encode → decode →
+    encode is a fixed point and the decoded cell runs byte-identically.
+    """
+    if not isinstance(data, dict):
+        raise ReproError("cell spec must be an object")
+    fields = dict(data)
+    options = fields.pop("options", {}) or {}
+    if not isinstance(options, dict):
+        raise ReproError("cell 'options' must be an object")
+    label = fields.pop("label", None)
+    if not isinstance(label, str) or not label:
+        raise ReproError("cell 'label' must be a non-empty string")
+    known = {
+        "workload", "num_cliques", "delta", "easy_fraction", "graph_seed",
+        "epsilon", "method", "seed", "telemetry", "engine",
+    }
+    unknown = set(fields) - known
+    if unknown:
+        raise ReproError(f"unknown cell fields: {sorted(unknown)}")
+    try:
+        return CampaignCell(
+            label=label,
+            options=tuple(sorted(options.items())),
+            **fields,
+        )
+    except TypeError as error:
+        raise ReproError(f"bad cell spec: {error}") from None
 
 
 def load_spec(path: str | Path) -> dict[str, Any]:

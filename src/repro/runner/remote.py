@@ -1,0 +1,625 @@
+"""The distributed campaign plane: dispatch cells to serve backends.
+
+:func:`run_remote` is the ``executor="remote"`` arm of
+:func:`repro.runner.campaign.run_campaign`.  It ships
+:class:`~repro.runner.campaign.CampaignCell`\\ s to a set of registered
+serve backends over the NDJSON ``cell`` op and records rows through the
+same ``finish`` callback the inline and pool executors use — so strict
+mode, retries, the fsynced checkpoint journal, resume, and telemetry
+all behave identically, and the artifact bytes are identical too
+(server-side execution runs the same
+:func:`~repro.runner.campaign.run_cell_on_network` core).
+
+Dispatch mechanics
+------------------
+* **Register-then-hash.**  Each distinct workload graph is built once
+  locally, registered once per backend, and every cell afterwards
+  references it by canonical instance hash — a steady-state cell
+  request is a few hundred bytes regardless of graph size.  A backend
+  answering ``unknown_instance`` (a restarted shard lost its registry)
+  is healed by re-registering and retrying once.
+* **Windows and health scoring.**  Each backend runs at most
+  ``window`` concurrent cells.  Backend choice prefers the emptiest
+  window, then lowest reported pressure (the ``serve.in_flight`` +
+  ``serve.queue_depth`` gauges from periodic ``metrics`` probes), then
+  the client's latency EWMA.
+* **Straggler re-dispatch.**  Once enough cells have completed, a cell
+  running longer than ``straggler_factor`` × the
+  ``straggler_quantile`` completion latency is hedged on a second
+  backend; the first returned row wins.  Sound because cells are
+  deterministic: both attempts are entitled to byte-identical rows,
+  so recording whichever lands first changes nothing.
+* **Backend loss.**  A transport-dead backend (``unavailable`` after
+  the resilient client's own retries, or repeated probe failures) has
+  its in-flight cells cancelled and re-queued elsewhere, charged one
+  attempt each — mirroring the pool executor's crash accounting — and
+  is only failed (kind ``"crash"``) once its charges exceed
+  ``retries``.  The ``done`` guard ensures a late row from a
+  half-dead backend can never double-record a cell.
+
+Everything here talks to sockets and reads the event-loop clock, so the
+module lives in the determinism-exempt ``runner`` package; the *rows*
+it records remain pure functions of their cells.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ReproError
+from repro.runner.campaign import (
+    CampaignCell,
+    CellTimeout,
+    _build_instance,
+    cell_to_json,
+)
+from repro.serve.client import Endpoint, ResilientClient, RetryPolicy
+
+__all__ = ["RemoteExecutor", "RemoteOptions", "run_remote"]
+
+
+@dataclass(frozen=True)
+class RemoteOptions:
+    """Tuning knobs for the remote campaign executor."""
+
+    #: Max concurrent cells per backend.
+    window: int = 4
+    #: Completion-latency quantile that arms straggler re-dispatch
+    #: (None disables hedging).
+    straggler_quantile: float | None = 0.75
+    #: A cell is a straggler after ``factor`` × the quantile latency.
+    straggler_factor: float = 3.0
+    #: Never hedge before this many seconds have elapsed.
+    straggler_min_s: float = 1.0
+    #: Completions required before the quantile is trusted.
+    straggler_min_samples: int = 5
+    #: Seconds between ``metrics`` probes of every backend.
+    probe_interval_s: float = 1.0
+    #: Per-probe transport timeout.
+    probe_timeout_s: float = 2.0
+    #: Consecutive failed probes (or losses) before a backend is
+    #: declared dead and its in-flight cells re-queued.
+    probe_strikes: int = 2
+    #: Transport timeout per cell attempt (None: rely on the campaign
+    #: timeout and straggler hedging instead).
+    request_timeout_s: float | None = None
+    #: Transport timeout for instance registration.
+    register_timeout_s: float | None = 30.0
+    #: With every backend dead, how long to wait for a probe revival
+    #: before failing the stranded cells.
+    no_backend_grace_s: float = 10.0
+    #: Dispatch-loop bookkeeping cadence.
+    tick_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ReproError(f"window must be >= 1, got {self.window}")
+        quantile = self.straggler_quantile
+        if quantile is not None and not 0 < quantile <= 1:
+            raise ReproError(
+                f"straggler_quantile must be in (0, 1], got {quantile}"
+            )
+
+
+@dataclass
+class _Backend:
+    """One serve endpoint plus the executor's view of its health."""
+
+    label: str
+    client: ResilientClient
+    window: int
+    registered: set[str] = field(default_factory=set)
+    #: Serializes instance registration: without it, concurrent first
+    #: attempts would each ship the graph (it must cross the wire once).
+    register_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    inflight: set["asyncio.Task[tuple[str, Any]]"] = field(
+        default_factory=set
+    )
+    alive: bool = True
+    strikes: int = 0
+    #: in_flight + queue_depth from the last successful metrics probe.
+    pressure: float = 0.0
+    completed: int = 0
+    losses: int = 0
+
+    def latency_ewma_ms(self) -> float:
+        states = self.client.endpoint_states()
+        state = next(iter(states.values()))
+        ewma = state.get("latency_ewma_ms")
+        return float(ewma) if ewma is not None else 0.0
+
+    def rank(self) -> tuple[float, float, str]:
+        """Lower is better: window fill + probed pressure, then EWMA."""
+        return (
+            len(self.inflight) + self.pressure,
+            self.latency_ewma_ms(),
+            self.label,
+        )
+
+
+@dataclass
+class _Attempt:
+    """Bookkeeping for one dispatched (backend, cell) attempt."""
+
+    index: int
+    backend: _Backend
+    started: float
+    hedge: bool
+
+
+def _error_text(body: dict[str, Any]) -> str:
+    error = body.get("error") or {}
+    code = error.get("code", "unknown")
+    message = error.get("message", "no detail")
+    return f"{code}: {message}"
+
+
+def _quantile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (position - low)
+
+
+class RemoteExecutor:
+    """Dispatch loop state; one instance drives one campaign."""
+
+    def __init__(
+        self,
+        resolved: list[CampaignCell],
+        pending: list[int],
+        finish: Callable[..., None],
+        *,
+        backends: list[str],
+        timeout: float | None,
+        retries: int,
+        base_seed: int,
+        options: RemoteOptions,
+    ) -> None:
+        if not backends:
+            raise ReproError("the remote executor needs at least one backend")
+        self._resolved = resolved
+        self._finish = finish
+        self._timeout = timeout
+        self._retries = retries
+        self._options = options
+        self._backends = [
+            _Backend(
+                label=Endpoint.parse(spec).label,
+                client=ResilientClient(
+                    endpoints=[Endpoint.parse(spec)],
+                    retry=RetryPolicy(seed=base_seed),
+                    request_timeout_s=options.request_timeout_s,
+                ),
+                window=options.window,
+            )
+            for spec in backends
+        ]
+        if len({backend.label for backend in self._backends}) != len(
+            self._backends
+        ):
+            raise ReproError(f"duplicate backends in {backends!r}")
+        self._queue: deque[int] = deque(pending)
+        self._done: set[int] = set()
+        self._attempts: dict[int, int] = {}
+        self._meta: dict["asyncio.Task[tuple[str, Any]]", _Attempt] = {}
+        self._active: dict[int, set["asyncio.Task[tuple[str, Any]]"]] = {}
+        self._latencies: list[float] = []
+        self._instances: dict[
+            tuple[Any, ...], tuple[str, dict[str, Any]]
+        ] = {}
+        self._no_backend_since: float | None = None
+        #: Rebound to the event loop's clock in :meth:`run`.
+        self._now: Callable[[], float] = time.monotonic
+        self._dispatched = 0
+        self._redispatched = 0
+        self._requeued = 0
+        self._cache_hits = 0
+        self._deaths = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def run(self) -> dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        self._now = loop.time
+        probe = loop.create_task(self._probe_loop())
+        try:
+            await self._drive(loop)
+        finally:
+            probe.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await probe
+            for task in list(self._meta):
+                task.cancel()
+            if self._meta:
+                await asyncio.gather(
+                    *self._meta, return_exceptions=True
+                )
+            for backend in self._backends:
+                await backend.client.close()
+        return self.stats()
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "executor": "remote",
+            "dispatched": self._dispatched,
+            "completed": len(self._latencies),
+            "redispatched": self._redispatched,
+            "requeued": self._requeued,
+            "cache_hits": self._cache_hits,
+            "backend_deaths": self._deaths,
+            "backends": {
+                backend.label: {
+                    "completed": backend.completed,
+                    "losses": backend.losses,
+                    "alive": backend.alive,
+                }
+                for backend in self._backends
+            },
+        }
+
+    # -- the dispatch loop ---------------------------------------------
+
+    async def _drive(self, loop: asyncio.AbstractEventLoop) -> None:
+        while self._queue or self._meta:
+            if any(backend.alive for backend in self._backends):
+                self._no_backend_since = None
+            self._expire_timeouts()
+            self._hedge_stragglers()
+            self._fill(loop)
+            if not self._meta:
+                if not self._queue:
+                    return
+                self._check_stranded()
+                await asyncio.sleep(self._options.tick_s)
+                continue
+            finished, _ = await asyncio.wait(
+                set(self._meta),
+                timeout=self._options.tick_s,
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            for task in finished:
+                self._settle(task)
+
+    def _fill(self, loop: asyncio.AbstractEventLoop) -> None:
+        while self._queue:
+            backend = self._pick_backend()
+            if backend is None:
+                return
+            index = self._queue.popleft()
+            if index in self._done:
+                continue
+            self._launch(loop, backend, index, hedge=False)
+
+    def _pick_backend(
+        self, exclude: frozenset[str] = frozenset()
+    ) -> _Backend | None:
+        candidates = [
+            backend
+            for backend in self._backends
+            if backend.alive
+            and backend.label not in exclude
+            and len(backend.inflight) < backend.window
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=_Backend.rank)
+
+    def _launch(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        backend: _Backend,
+        index: int,
+        *,
+        hedge: bool,
+    ) -> None:
+        task = loop.create_task(self._attempt(backend, index))
+        self._meta[task] = _Attempt(
+            index=index, backend=backend, started=self._now(), hedge=hedge
+        )
+        backend.inflight.add(task)
+        self._active.setdefault(index, set()).add(task)
+        self._dispatched += 1
+        if hedge:
+            self._redispatched += 1
+
+    # -- one attempt ---------------------------------------------------
+
+    def _instance_for(self, cell: CampaignCell) -> tuple[str, dict[str, Any]]:
+        key = (
+            cell.workload, cell.num_cliques, cell.delta,
+            cell.easy_fraction, cell.graph_seed,
+        )
+        entry = self._instances.get(key)
+        if entry is None:
+            instance = _build_instance(cell)
+            payload = {
+                "n": instance.network.n,
+                "edges": [list(edge) for edge in instance.network.edges()],
+                "delta": instance.delta,
+                "uids": list(instance.network.uids),
+            }
+            entry = (instance.canonical_hash(), payload)
+            self._instances[key] = entry
+        return entry
+
+    async def _register(
+        self, backend: _Backend, instance_hash: str, payload: dict[str, Any]
+    ) -> str | None:
+        """Register ``payload`` with ``backend``; error text on failure."""
+        body = await backend.client.request(
+            {"op": "register", "instance": payload},
+            timeout_s=self._options.register_timeout_s,
+        )
+        if not body.get("ok"):
+            return _error_text(body)
+        backend.registered.add(instance_hash)
+        return None
+
+    async def _attempt(
+        self, backend: _Backend, index: int
+    ) -> tuple[str, Any]:
+        """Run one cell on one backend.
+
+        Returns ``("row", response)``, ``("error", detail)`` for a
+        server-reported cell failure (deterministic — retrying is
+        pointless), or ``("lost", detail)`` for a transport/overload
+        outcome that justifies re-queueing elsewhere.
+        """
+        cell = self._resolved[index]
+        instance_hash, payload = self._instance_for(cell)
+        if instance_hash not in backend.registered:
+            async with backend.register_lock:
+                if instance_hash not in backend.registered:
+                    failure = await self._register(
+                        backend, instance_hash, payload
+                    )
+                    if failure is not None:
+                        return ("lost", f"register failed ({failure})")
+        request = {
+            "op": "cell",
+            "cell": cell_to_json(cell),
+            "instance_hash": instance_hash,
+        }
+        body = await backend.client.request(request)
+        if body.get("ok"):
+            return ("row", body)
+        code = (body.get("error") or {}).get("code")
+        if code == "unknown_instance":
+            # A restarted shard lost its registry: heal and retry once.
+            backend.registered.discard(instance_hash)
+            failure = await self._register(backend, instance_hash, payload)
+            if failure is None:
+                body = await backend.client.request(request)
+                if body.get("ok"):
+                    return ("row", body)
+                code = (body.get("error") or {}).get("code")
+        if code in ("unavailable", "shed", "draining", "unknown_instance"):
+            return ("lost", _error_text(body))
+        return ("error", _error_text(body))
+
+    # -- settlement ----------------------------------------------------
+
+    def _settle(self, task: "asyncio.Task[tuple[str, Any]]") -> None:
+        meta = self._meta.pop(task)
+        meta.backend.inflight.discard(task)
+        active = self._active.get(meta.index)
+        if active is not None:
+            active.discard(task)
+            if not active:
+                del self._active[meta.index]
+        if task.cancelled():
+            status, detail = "lost", "attempt cancelled (backend declared dead)"
+        else:
+            error = task.exception()
+            if error is not None:
+                raise error  # an executor bug, not a backend failure
+            status, detail = task.result()
+        if meta.index in self._done:
+            return  # first result already won, or the cell timed out
+        if status == "row":
+            self._done.add(meta.index)
+            self._cancel_attempts(meta.index)
+            self._latencies.append(self._now() - meta.started)
+            meta.backend.completed += 1
+            meta.backend.strikes = 0
+            if detail.get("cached"):
+                self._cache_hits += 1
+            self._finish(meta.index, None, detail["row"])
+        elif status == "error":
+            self._done.add(meta.index)
+            self._cancel_attempts(meta.index)
+            self._finish(
+                meta.index,
+                ReproError(
+                    f"cell {self._resolved[meta.index].label!r} failed on "
+                    f"backend {meta.backend.label}: {detail}"
+                ),
+                None,
+            )
+        else:
+            self._note_loss(meta, str(detail))
+
+    def _cancel_attempts(self, index: int) -> None:
+        for task in list(self._active.get(index, ())):
+            task.cancel()
+
+    def _note_loss(self, meta: _Attempt, detail: str) -> None:
+        meta.backend.losses += 1
+        meta.backend.strikes += 1
+        if (
+            meta.backend.alive
+            and meta.backend.strikes >= self._options.probe_strikes
+        ):
+            self._declare_dead(meta.backend)
+        if self._active.get(meta.index):
+            return  # a hedge mate is still running; it owns the cell
+        charged = self._attempts.get(meta.index, 0) + 1
+        self._attempts[meta.index] = charged
+        if charged <= self._retries:
+            self._requeued += 1
+            self._queue.appendleft(meta.index)
+        else:
+            self._done.add(meta.index)
+            self._finish(
+                meta.index,
+                ReproError(
+                    f"cell {self._resolved[meta.index].label!r} lost on "
+                    f"backend {meta.backend.label} ({detail}) after "
+                    f"{charged} attempts"
+                ),
+                None,
+                kind="crash",
+            )
+
+    def _declare_dead(self, backend: _Backend) -> None:
+        backend.alive = False
+        # A restarted shard starts with an empty registry.
+        backend.registered.clear()
+        self._deaths += 1
+        for task in list(backend.inflight):
+            task.cancel()
+
+    def _check_stranded(self) -> None:
+        """Fail queued cells once every backend has been dead too long."""
+        if any(backend.alive for backend in self._backends):
+            return
+        if self._no_backend_since is None:
+            self._no_backend_since = self._now()
+            return
+        if (
+            self._now() - self._no_backend_since
+            <= self._options.no_backend_grace_s
+        ):
+            return
+        labels = ", ".join(backend.label for backend in self._backends)
+        while self._queue:
+            index = self._queue.popleft()
+            if index in self._done:
+                continue
+            self._done.add(index)
+            self._finish(
+                index,
+                ReproError(
+                    f"cell {self._resolved[index].label!r} stranded: no "
+                    f"live backend among {labels} for "
+                    f"{self._options.no_backend_grace_s:g}s"
+                ),
+                None,
+                kind="crash",
+            )
+
+    # -- deadlines and stragglers --------------------------------------
+
+    def _expire_timeouts(self) -> None:
+        if self._timeout is None:
+            return
+        now = self._now()
+        for index, tasks in list(self._active.items()):
+            if index in self._done:
+                continue
+            oldest = min(self._meta[task].started for task in tasks)
+            if now - oldest <= self._timeout:
+                continue
+            self._done.add(index)
+            self._cancel_attempts(index)
+            self._finish(
+                index,
+                CellTimeout(
+                    f"cell {self._resolved[index].label!r} exceeded "
+                    f"its {self._timeout}s timeout"
+                ),
+                None,
+                kind="timeout",
+            )
+
+    def _hedge_stragglers(self) -> None:
+        quantile = self._options.straggler_quantile
+        if (
+            quantile is None
+            or len(self._latencies) < self._options.straggler_min_samples
+        ):
+            return
+        threshold = max(
+            self._options.straggler_min_s,
+            self._options.straggler_factor
+            * _quantile(self._latencies, quantile),
+        )
+        now = self._now()
+        loop = asyncio.get_running_loop()
+        for index, tasks in list(self._active.items()):
+            if index in self._done or len(tasks) != 1:
+                continue
+            (task,) = tasks
+            meta = self._meta[task]
+            if now - meta.started <= threshold:
+                continue
+            backend = self._pick_backend(
+                exclude=frozenset({meta.backend.label})
+            )
+            if backend is None:
+                continue
+            self._launch(loop, backend, index, hedge=True)
+
+    # -- health probing ------------------------------------------------
+
+    async def _probe_loop(self) -> None:
+        while True:
+            for backend in self._backends:
+                body = await backend.client.request(
+                    {"op": "metrics"},
+                    timeout_s=self._options.probe_timeout_s,
+                )
+                if body.get("ok"):
+                    metrics = body.get("metrics") or {}
+                    gauges = metrics.get("gauges") or {}
+                    server = body.get("server") or {}
+                    backend.pressure = float(
+                        gauges.get("serve.in_flight", server.get("depth", 0))
+                    ) + float(
+                        gauges.get(
+                            "serve.queue_depth", server.get("queued", 0)
+                        )
+                    )
+                    backend.strikes = 0
+                    backend.alive = True
+                else:
+                    backend.pressure = 0.0
+                    backend.strikes += 1
+                    if (
+                        backend.alive
+                        and backend.strikes >= self._options.probe_strikes
+                    ):
+                        self._declare_dead(backend)
+            await asyncio.sleep(self._options.probe_interval_s)
+
+
+def run_remote(
+    resolved: list[CampaignCell],
+    pending: list[int],
+    finish: Callable[..., None],
+    *,
+    backends: list[str],
+    timeout: float | None = None,
+    retries: int = 1,
+    base_seed: int = 0,
+    options: RemoteOptions | None = None,
+) -> dict[str, Any]:
+    """Run ``pending`` cells on ``backends``; record via ``finish``.
+
+    The synchronous entry :func:`repro.runner.campaign.run_campaign`
+    calls — it owns the event loop for the duration of the campaign.
+    Returns the executor's dispatch statistics.
+    """
+    executor = RemoteExecutor(
+        resolved, pending, finish,
+        backends=backends, timeout=timeout, retries=retries,
+        base_seed=base_seed, options=options or RemoteOptions(),
+    )
+    return asyncio.run(executor.run())

@@ -23,7 +23,12 @@ retry after ambiguous failures).
 
 from repro.serve.admission import AdmissionController
 from repro.serve.batching import BatcherClosed, MicroBatcher, PendingRequest
-from repro.serve.cache import InstanceRegistry, ResultCache, make_cache_key
+from repro.serve.cache import (
+    InstanceRegistry,
+    ResultCache,
+    make_cache_key,
+    make_cell_cache_key,
+)
 from repro.serve.chaos import (
     ChaosPlan,
     ChaosProxy,
@@ -46,11 +51,14 @@ from repro.serve.client import (
 from repro.serve.fleet import FleetConfig, FleetSupervisor, run_fleet
 from repro.serve.loadgen import LoadgenConfig, run_loadgen
 from repro.serve.protocol import (
+    CELL_METHODS,
     METHODS,
     OPS,
+    CellRequest,
     ColorRequest,
     ProtocolError,
     normalize_instance_payload,
+    parse_cell_request,
     parse_color_request,
     parse_request,
 )
@@ -64,6 +72,7 @@ from repro.serve.server import (
 )
 
 __all__ = [
+    "CELL_METHODS",
     "DEFAULT_IDLE_TIMEOUT_S",
     "METHODS",
     "OPS",
@@ -71,6 +80,7 @@ __all__ = [
     "AdmissionController",
     "BatcherClosed",
     "BreakerConfig",
+    "CellRequest",
     "ChaosPlan",
     "ChaosProxy",
     "ChunkFault",
@@ -99,7 +109,9 @@ __all__ = [
     "execute_batch",
     "fault_schedule",
     "make_cache_key",
+    "make_cell_cache_key",
     "normalize_instance_payload",
+    "parse_cell_request",
     "parse_color_request",
     "parse_request",
     "run_chaos_proxy",

@@ -39,7 +39,12 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any
 
-__all__ = ["InstanceRegistry", "ResultCache", "make_cache_key"]
+__all__ = [
+    "InstanceRegistry",
+    "ResultCache",
+    "make_cache_key",
+    "make_cell_cache_key",
+]
 
 
 def make_cache_key(
@@ -56,6 +61,29 @@ def make_cache_key(
         "seed": seed,
         "epsilon": epsilon,
         "options": dict(sorted((options or {}).items())),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def make_cell_cache_key(instance_hash: str, cell: dict[str, Any]) -> str:
+    """Canonical cache key for one campaign-cell execution.
+
+    Keyed on the full wire cell (a cell's row is a pure function of the
+    cell — including its ``label``, which the row embeds) plus the
+    instance hash.  Namespaced under ``"op": "cell"`` so a cell result
+    can never collide with a ``color`` result in the shared disk tier.
+    """
+    payload = {
+        "op": "cell",
+        "instance": instance_hash,
+        "cell": {
+            key: (
+                dict(sorted(value.items()))
+                if isinstance(value, dict) else value
+            )
+            for key, value in sorted(cell.items())
+        },
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()

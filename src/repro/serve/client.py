@@ -36,9 +36,10 @@ for the ops in :data:`RETRY_SAFE_OPS` — ambiguous in-flight failures
 are deterministic*: a re-sent ``color`` is cache-keyed on
 ``(instance hash, method, seed, epsilon, options)`` and is entitled to
 a byte-identical response, so executing it twice is indistinguishable
-from executing it once (DESIGN.md §13).  ``drain`` is never retried
-after an ambiguous write: a duplicate drain on a second endpoint would
-stop a healthy server.
+from executing it once (DESIGN.md §13).  ``cell`` is in the set for the
+same reason: a campaign cell's row is a pure function of the cell.
+``drain`` is never retried after an ambiguous write: a duplicate drain
+on a second endpoint would stop a healthy server.
 """
 
 from __future__ import annotations
@@ -48,7 +49,7 @@ import json
 import random
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.errors import ReproError
@@ -343,7 +344,7 @@ class CircuitBreaker:
 #: ⇒ same canonical hash ⇒ same registry entry).  ``drain`` is absent
 #: on purpose.
 RETRY_SAFE_OPS = frozenset(
-    {"color", "register", "health", "status", "metrics", "fleet"}
+    {"color", "cell", "register", "health", "status", "metrics", "fleet"}
 )
 
 #: Error responses the server sends *instead of* doing work — always
@@ -383,6 +384,7 @@ class _EndpointState:
     draining: bool = False
     successes: int = 0
     failures: int = 0
+    connect_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
 
     def score(self) -> float:
         """Lower is better: latency EWMA plus a drain penalty."""
@@ -604,13 +606,19 @@ class ResilientClient:
         return None
 
     async def _ensure_connection(self, state: _EndpointState) -> _Connection:
-        if state.connection is None or state.connection.closed:
-            if state.connection is not None:
-                await state.connection.close()
-                self.reconnects += 1
-            connection = _Connection(state.endpoint)
-            await connection.open()
-            state.connection = connection
+        if state.connection is not None and not state.connection.closed:
+            return state.connection
+        # Serialized per endpoint: concurrent attempts racing here would
+        # each open their own connection, and every loser would leak an
+        # unclosed socket plus its reader task.
+        async with state.connect_lock:
+            if state.connection is None or state.connection.closed:
+                if state.connection is not None:
+                    await state.connection.close()
+                    self.reconnects += 1
+                connection = _Connection(state.endpoint)
+                await connection.open()
+                state.connection = connection
         return state.connection
 
     # -- health probing ------------------------------------------------

@@ -47,14 +47,21 @@ from repro.obs.metrics import metric_count, metric_observe
 from repro.runner.pool import WorkerPool
 from repro.serve.admission import AdmissionController
 from repro.serve.batching import BatcherClosed, MicroBatcher, PendingRequest
-from repro.serve.cache import InstanceRegistry, ResultCache, make_cache_key
+from repro.serve.cache import (
+    InstanceRegistry,
+    ResultCache,
+    make_cache_key,
+    make_cell_cache_key,
+)
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
+    CellRequest,
     ColorRequest,
     ProtocolError,
     encode,
     error_body,
     normalize_instance_payload,
+    parse_cell_request,
     parse_color_request,
     parse_request,
 )
@@ -180,10 +187,18 @@ def execute_batch(
     spec fails independently: a :class:`~repro.errors.ReproError` from
     one pipeline run becomes that spec's error entry, never its batch
     mates'.
+
+    Two spec kinds ride the same batches: ``color`` specs (the default)
+    and ``cell`` specs (``kind == "cell"``), which decode a campaign
+    cell and run it through :func:`repro.runner.campaign.run_cell_on_network`
+    — the exact executor core inline/pool campaigns use, sharing this
+    batch's network and ACD.  That shared core is the byte-identity
+    argument for the distributed campaign plane.
     """
     from repro.acd.decomposition import compute_acd
     from repro.graphs.validation import assert_no_delta_plus_one_clique
     from repro.local.network import Network
+    from repro.runner.campaign import cell_from_json, run_cell_on_network
 
     networks: dict[str, Any] = {}
     acds: dict[tuple[str, float], Any] = {}
@@ -218,9 +233,17 @@ def execute_batch(
                     assert_no_delta_plus_one_clique(_net)
                     validations[_hash] = True
 
-            result = _run_spec(spec, network, acd_for, validated)
-            result["colors_sha256"] = _colors_digest(result["colors"])
-            out.append({"key": spec["key"], "result": result})
+            if spec.get("kind") == "cell":
+                cell = cell_from_json(spec["cell"])
+                row = run_cell_on_network(
+                    cell, network, instances[instance_hash]["delta"],
+                    acd_for=acd_for,
+                )
+                out.append({"key": spec["key"], "result": {"row": row}})
+            else:
+                result = _run_spec(spec, network, acd_for, validated)
+                result["colors_sha256"] = _colors_digest(result["colors"])
+                out.append({"key": spec["key"], "result": result})
         except ReproError as error:
             out.append({
                 "key": spec["key"],
@@ -477,6 +500,10 @@ class ColoringServer:
                     task = loop.create_task(
                         self._handle_color(data, writer, lock)
                     )
+                elif op == "cell":
+                    task = loop.create_task(
+                        self._handle_cell(data, writer, lock)
+                    )
                 elif op == "drain":
                     task = loop.create_task(
                         self._handle_drain(data, writer, lock)
@@ -527,11 +554,20 @@ class ColoringServer:
                 **self._status(),
             }
         if op == "metrics":
+            # Pressure gauges are sampled at answer time (the admission
+            # controller and batcher already track them) so remote
+            # health scorers see backend load, not just latency.
+            # Written through the server's own registry, not the
+            # process-global collector: several servers can share one
+            # process (tests, fleets) without crosstalk.
+            registry = self.collector.registry
+            registry.gauge("serve.in_flight", float(self.admission.depth))
+            registry.gauge("serve.queue_depth", float(self.batcher.queued))
             return {
                 "id": request_id,
                 "ok": True,
                 "op": "metrics",
-                "metrics": self.collector.registry.as_dict(),
+                "metrics": registry.as_dict(),
                 "server": self._status(),
             }
         if op == "fleet":
@@ -759,6 +795,128 @@ class ColoringServer:
             "cached": cached_result,
             "instance_hash": instance_hash,
             "result": result,
+        }
+
+    # -- the cell op ---------------------------------------------------
+
+    async def _handle_cell(
+        self,
+        data: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        """Run one campaign cell: the distributed campaign plane's op.
+
+        Same admission / batching / caching path as ``color``; the spec
+        carries the full wire cell and the graph arrives by registered
+        hash only (the campaign executor ships each graph once per
+        backend).  The response row is what the inline executor's
+        :func:`repro.runner.campaign.run_cell` would produce — cells are
+        deterministic, so serving one is cacheable and retry-safe.
+        """
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        try:
+            request = parse_cell_request(data)
+        except ProtocolError as error:
+            metric_count("serve.bad_request")
+            await self._write(writer, lock, error_body(
+                error.code, str(error), request_id=data.get("id"), op="cell"
+            ))
+            return
+        payload = self.registry.get(request.instance_hash)
+        if payload is None:
+            metric_count("serve.unknown_instance")
+            await self._write(writer, lock, error_body(
+                "unknown_instance",
+                f"no registered instance with hash "
+                f"{request.instance_hash!r}; register it first",
+                request_id=request.id, op="cell",
+            ))
+            return
+
+        key = make_cell_cache_key(request.instance_hash, request.cell)
+        cached = self.cache.get(key)
+        if cached is not None:
+            metric_count("serve.cache_hit")
+            await self._write(writer, lock, self._cell_body(
+                request, cached["row"], cached_result=True
+            ))
+            return
+        metric_count("serve.cache_miss")
+
+        refusal = self.admission.try_admit()
+        if refusal is not None:
+            metric_count(f"serve.{refusal}")
+            detail = (
+                f"queue depth {self.admission.max_depth} at bound; retry later"
+                if refusal == "shed"
+                else "server is draining; no new work accepted"
+            )
+            await self._write(writer, lock, error_body(
+                refusal, detail, request_id=request.id, op="cell"
+            ))
+            return
+
+        try:
+            item = PendingRequest(
+                key=key,
+                instance_hash=request.instance_hash,
+                payload=payload,
+                spec={
+                    "kind": "cell",
+                    "key": key,
+                    "instance_hash": request.instance_hash,
+                    "cell": request.cell,
+                },
+                future=loop.create_future(),
+                deadline=None,
+            )
+            try:
+                self.batcher.submit(item)
+            except BatcherClosed:
+                metric_count("serve.draining")
+                await self._write(writer, lock, error_body(
+                    "draining", "server is draining; no new work accepted",
+                    request_id=request.id, op="cell",
+                ))
+                return
+            outcome = await item.future
+            if "error" in outcome:
+                error = outcome["error"]
+                metric_count(f"serve.{error['code']}")
+                body = error_body(
+                    error["code"], error["message"],
+                    request_id=request.id, op="cell",
+                )
+                if "type" in error:
+                    body["error"]["type"] = error["type"]
+                await self._write(writer, lock, body)
+            else:
+                metric_observe(
+                    "serve.latency_ms", (loop.time() - started) * 1000.0
+                )
+                metric_count("serve.completed")
+                await self._write(writer, lock, self._cell_body(
+                    request, outcome["result"]["row"], cached_result=False
+                ))
+        finally:
+            self.admission.release()
+
+    def _cell_body(
+        self,
+        request: CellRequest,
+        row: dict[str, Any],
+        *,
+        cached_result: bool,
+    ) -> dict[str, Any]:
+        return {
+            "id": request.id,
+            "ok": True,
+            "op": "cell",
+            "cached": cached_result,
+            "instance_hash": request.instance_hash,
+            "row": row,
         }
 
     # -- batch dispatch ------------------------------------------------

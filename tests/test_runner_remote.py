@@ -1,0 +1,491 @@
+"""Executor equivalence and failure drills for the remote campaign plane.
+
+The contract under test: ``run_campaign(executor="remote", ...)`` must
+produce rows *byte-identical* to the inline and pool executors — under
+clean runs, checkpoint/resume, straggler hedging, and killed backends —
+because server-side cells run the exact same
+:func:`repro.runner.campaign.run_cell_on_network` core.
+
+Most tests use :class:`FakeBackend`: an in-process NDJSON listener that
+answers the serve protocol (register / cell / health / metrics) by
+calling the real :func:`repro.serve.execute_batch`, so the wire path is
+exercised without subprocess spin-up.  One test drives a real
+two-subprocess ``repro serve`` fleet end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runner import CampaignCell, load_journal, run_campaign
+from repro.runner.remote import RemoteOptions
+from repro.serve import execute_batch, normalize_instance_payload
+
+#: Small-but-real cells: big enough to exercise run_cell, fast enough
+#: for a test suite.
+SMALL = dict(workload="hard", num_cliques=16, delta=8, epsilon=0.25)
+
+#: Probe/tick cadence tuned for tests (the defaults pace real fleets).
+FAST = dict(probe_interval_s=0.1, probe_timeout_s=0.5, tick_s=0.01)
+
+#: Serializes telemetry-collector installation across fake-backend
+#: threads (the repro.obs collector slot is process-global).
+EXEC_LOCK = threading.Lock()
+
+
+def small_cells(count: int = 6, **extra) -> list[CampaignCell]:
+    methods = ("randomized", "deterministic")
+    return [
+        CampaignCell(
+            label=f"c{i}", seed=i, method=methods[i % 2], **SMALL, **extra
+        )
+        for i in range(count)
+    ]
+
+
+def row_bytes(result) -> bytes:
+    return json.dumps(result.rows, sort_keys=True).encode()
+
+
+class FakeBackend:
+    """An in-process serve stand-in speaking the NDJSON protocol.
+
+    Runs its own event loop in a daemon thread on a UNIX socket and
+    executes ``cell`` requests through the real
+    :func:`repro.serve.execute_batch` — so a row from a fake backend is
+    the same bytes a real shard would return.  Knobs:
+
+    delay:
+        label -> seconds to sleep (non-blocking) before answering that
+        cell; models a straggling shard.
+    fail_labels:
+        labels answered with a deterministic ``internal`` error.
+    die_after:
+        after serving this many cells, the next cell request aborts
+        every connection and stops listening — a SIGKILL stand-in.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        delay: dict[str, float] | None = None,
+        fail_labels: tuple[str, ...] = (),
+        die_after: int | None = None,
+    ) -> None:
+        self.path = str(path)
+        self.spec = f"unix:{self.path}"
+        self.delay = dict(delay or {})
+        self.fail_labels = set(fail_labels)
+        self.die_after = die_after
+        self.instances: dict[str, dict] = {}
+        self.cells = 0
+        self.registers = 0
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._stop: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._main, daemon=True)
+
+    def __enter__(self) -> "FakeBackend":
+        self._thread.start()
+        assert self._ready.wait(10), "fake backend did not start"
+        return self
+
+    def __exit__(self, *exc) -> None:
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None and loop.is_running():
+            loop.call_soon_threadsafe(stop.set)
+        self._thread.join(timeout=10)
+
+    def _main(self) -> None:
+        asyncio.run(self._serve())
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._server = await asyncio.start_unix_server(
+            self._on_connection, path=self.path
+        )
+        self._ready.set()
+        await self._stop.wait()
+        self._kill()
+
+    def _kill(self) -> None:
+        """Abort every connection and stop listening (no draining)."""
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._writers):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                task = asyncio.ensure_future(
+                    self._handle(json.loads(line), writer, lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _handle(
+        self,
+        data: dict,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        body = await self._respond(data)
+        if body is None:
+            return  # killed mid-request: dead processes say nothing
+        async with lock:
+            try:
+                writer.write(json.dumps(body).encode() + b"\n")
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(self, data: dict) -> dict | None:
+        op = data.get("op")
+        rid = data.get("id")
+        if op == "health":
+            return {"id": rid, "ok": True, "op": "health", "status": "ok"}
+        if op == "metrics":
+            return {
+                "id": rid, "ok": True, "op": "metrics",
+                "metrics": {"gauges": {
+                    "serve.in_flight": 0.0, "serve.queue_depth": 0.0,
+                }},
+                "server": {},
+            }
+        if op == "register":
+            self.registers += 1
+            instance_hash, slim = normalize_instance_payload(
+                data["instance"]
+            )
+            self.instances[instance_hash] = slim
+            return {
+                "id": rid, "ok": True, "op": "register",
+                "instance_hash": instance_hash,
+                "n": slim["n"], "delta": slim["delta"],
+            }
+        if op == "cell":
+            return await self._respond_cell(data, rid)
+        return {
+            "id": rid, "ok": False,
+            "error": {"code": "unsupported", "message": f"op {op!r}"},
+        }
+
+    async def _respond_cell(self, data: dict, rid) -> dict | None:
+        cell = data["cell"]
+        label = cell.get("label")
+        delay = self.delay.get(label, 0.0)
+        if delay:
+            await asyncio.sleep(delay)
+        if self.die_after is not None and self.cells >= self.die_after:
+            self._kill()
+            return None
+        self.cells += 1
+        instance_hash = data["instance_hash"]
+        if instance_hash not in self.instances:
+            return {
+                "id": rid, "ok": False, "op": "cell",
+                "error": {
+                    "code": "unknown_instance",
+                    "message": f"no instance {instance_hash!r}",
+                },
+            }
+        if label in self.fail_labels:
+            return {
+                "id": rid, "ok": False, "op": "cell",
+                "error": {
+                    "code": "internal", "message": "injected failure",
+                },
+            }
+        spec = {
+            "kind": "cell", "key": 0,
+            "instance_hash": instance_hash, "cell": cell,
+        }
+        with EXEC_LOCK:
+            (entry,) = execute_batch(
+                [spec], {instance_hash: self.instances[instance_hash]}
+            )
+        if "error" in entry:
+            return {
+                "id": rid, "ok": False, "op": "cell",
+                "error": entry["error"],
+            }
+        return {
+            "id": rid, "ok": True, "op": "cell", "cached": False,
+            "instance_hash": instance_hash,
+            "row": entry["result"]["row"],
+        }
+
+
+class TestExecutorEquivalence:
+    def test_remote_rows_byte_identical_to_inline_and_pool(self, tmp_path):
+        cells = small_cells()
+        inline = run_campaign(cells)
+        pool = run_campaign(cells, jobs=2)
+        with FakeBackend(tmp_path / "a.sock") as a, \
+                FakeBackend(tmp_path / "b.sock") as b:
+            remote = run_campaign(
+                cells, backends=[a.spec, b.spec],
+                remote_options=RemoteOptions(**FAST),
+            )
+        assert row_bytes(inline) == row_bytes(pool) == row_bytes(remote)
+        assert remote.remote_stats is not None
+        assert remote.remote_stats["executor"] == "remote"
+        assert remote.remote_stats["completed"] == len(cells)
+        assert inline.remote_stats is None
+
+    def test_telemetry_rows_identical(self, tmp_path):
+        cells = small_cells(2, telemetry=True)
+        inline = run_campaign(cells)
+        with FakeBackend(tmp_path / "a.sock") as a:
+            remote = run_campaign(
+                cells, backends=[a.spec],
+                remote_options=RemoteOptions(**FAST),
+            )
+        assert row_bytes(inline) == row_bytes(remote)
+        assert "telemetry" in remote.rows[0]
+
+
+class TestDispatch:
+    def test_work_spreads_and_each_graph_ships_once(self, tmp_path):
+        cells = small_cells(8)  # one shared graph across all cells
+        with FakeBackend(tmp_path / "a.sock") as a, \
+                FakeBackend(tmp_path / "b.sock") as b:
+            result = run_campaign(
+                cells, backends=[a.spec, b.spec],
+                remote_options=RemoteOptions(window=2, **FAST),
+            )
+            assert a.cells >= 1 and b.cells >= 1
+            assert a.cells + b.cells == len(cells)
+            assert a.registers == 1 and b.registers == 1
+        assert len(result.rows) == len(cells)
+
+    def test_server_reported_cell_error_is_not_retried(self, tmp_path):
+        cells = [*small_cells(2), CampaignCell(label="doomed", **SMALL)]
+        with FakeBackend(
+            tmp_path / "a.sock", fail_labels=("doomed",)
+        ) as a:
+            result = run_campaign(
+                cells, backends=[a.spec], strict=False,
+                remote_options=RemoteOptions(**FAST),
+            )
+            # Deterministic failure: exactly one attempt, no requeue.
+            assert a.cells == len(cells)
+        (failure,) = result.failures
+        assert failure["label"] == "doomed"
+        assert "injected failure" in failure["error"]
+        assert result.rows[2]["status"] == "error"
+
+    def test_executor_validation(self):
+        cells = small_cells(1)
+        with pytest.raises(ReproError, match="requires backends"):
+            run_campaign(cells, executor="remote")
+        with pytest.raises(ReproError, match="unknown executor"):
+            run_campaign(cells, executor="bogus")
+        with pytest.raises(ReproError, match="backends"):
+            run_campaign(cells, executor="inline", backends=["unix:/nope"])
+        with pytest.raises(ReproError, match="cell_runner"):
+            run_campaign(
+                cells, backends=["unix:/nope"],
+                cell_runner=lambda c: {"label": c.label},
+            )
+
+
+class TestJournalCorruption:
+    """load_journal tolerates a torn final line — nothing else."""
+
+    def _journal(self, tmp_path, lines: list[str]) -> Path:
+        journal = tmp_path / "run.jsonl"
+        journal.write_text("".join(line + "\n" for line in lines))
+        return journal
+
+    def test_midfile_garbage_raises(self, tmp_path):
+        journal = self._journal(tmp_path, [
+            '{"index": 0, "label": "a", "row": {}}',
+            '{"index": 1, "label": "b", "ro',
+            '{"index": 2, "label": "c", "row": {}}',
+        ])
+        with pytest.raises(ReproError, match="line 2 is not valid JSON"):
+            load_journal(journal)
+
+    def test_midfile_wrong_schema_raises(self, tmp_path):
+        journal = self._journal(tmp_path, [
+            '{"index": 0, "label": "a", "row": {}}',
+            '{"note": "not a journal record"}',
+            '{"index": 2, "label": "c", "row": {}}',
+        ])
+        with pytest.raises(ReproError, match="corrupt: line 2"):
+            load_journal(journal)
+
+    def test_trailing_torn_line_still_tolerated(self, tmp_path):
+        journal = self._journal(tmp_path, [
+            '{"index": 0, "label": "a", "row": {}}',
+            '{"index": 1, "label": "b", "ro',
+        ])
+        assert sorted(load_journal(journal)) == [0]
+
+
+class TestCheckpointResume:
+    def test_remote_resume_is_byte_identical(self, tmp_path):
+        cells = small_cells()
+        reference = run_campaign(cells)
+        journal = tmp_path / "run.jsonl"
+        with FakeBackend(tmp_path / "a.sock") as a:
+            run_campaign(
+                cells[:3], backends=[a.spec], checkpoint=journal,
+                remote_options=RemoteOptions(**FAST),
+            )
+        assert sorted(load_journal(journal)) == [0, 1, 2]
+        with FakeBackend(tmp_path / "b.sock") as b:
+            resumed = run_campaign(
+                cells, backends=[b.spec], resume=journal,
+                remote_options=RemoteOptions(**FAST),
+            )
+            # Only the three unjournaled cells crossed the wire.
+            assert b.cells == 3
+        assert resumed.resumed == 3
+        assert row_bytes(resumed) == row_bytes(reference)
+
+
+class TestBackendLoss:
+    def test_killed_backend_cells_requeued_and_complete(self, tmp_path):
+        cells = small_cells(8)
+        reference = run_campaign(cells)
+        with FakeBackend(tmp_path / "a.sock") as a, \
+                FakeBackend(tmp_path / "b.sock", die_after=1) as b:
+            # retries=3: a cell may be charged more than one loss while
+            # the dying backend is still being convicted.
+            remote = run_campaign(
+                cells, backends=[a.spec, b.spec], retries=3,
+                remote_options=RemoteOptions(window=2, **FAST),
+            )
+        assert row_bytes(remote) == row_bytes(reference)
+        stats = remote.remote_stats
+        assert stats["backend_deaths"] >= 1
+        assert stats["requeued"] >= 1
+        assert stats["backends"][f"unix:{tmp_path}/b.sock"]["alive"] is False
+
+    def test_no_live_backend_strands_cells_as_crashes(self, tmp_path):
+        cells = small_cells(3)
+        result = run_campaign(
+            cells, backends=[f"unix:{tmp_path}/ghost.sock"],
+            strict=False, retries=0,
+            remote_options=RemoteOptions(
+                probe_strikes=1, no_backend_grace_s=0.3, **FAST
+            ),
+        )
+        assert len(result.failures) == len(cells)
+        assert all(f["kind"] == "crash" for f in result.failures)
+        assert all(row["status"] == "error" for row in result.rows)
+
+    def test_strict_kill_raises(self, tmp_path):
+        cells = small_cells(2)
+        with pytest.raises(ReproError, match="stranded|lost"):
+            run_campaign(
+                cells, backends=[f"unix:{tmp_path}/ghost.sock"],
+                retries=0,
+                remote_options=RemoteOptions(
+                    probe_strikes=1, no_backend_grace_s=0.3, **FAST
+                ),
+            )
+
+
+class TestStragglerHedging:
+    def test_straggler_hedged_first_result_wins(self, tmp_path):
+        # "slow" is queued first; with both backends idle the picker
+        # tie-breaks on label, so it deterministically lands on a —
+        # which stalls it for 30s.  The fast cells build the latency
+        # sample, the hedger re-dispatches "slow" to b, and b's row
+        # wins; rows stay byte-identical to an inline run.
+        cells = [CampaignCell(label="slow", **SMALL), *small_cells(5)]
+        reference = run_campaign(cells)
+        with FakeBackend(tmp_path / "a.sock", delay={"slow": 30.0}) as a, \
+                FakeBackend(tmp_path / "b.sock") as b:
+            started = time.monotonic()
+            remote = run_campaign(
+                cells, backends=[a.spec, b.spec],
+                remote_options=RemoteOptions(
+                    straggler_quantile=0.5, straggler_factor=1.5,
+                    straggler_min_s=0.2, straggler_min_samples=3, **FAST
+                ),
+            )
+            elapsed = time.monotonic() - started
+        assert row_bytes(remote) == row_bytes(reference)
+        assert remote.remote_stats["redispatched"] >= 1
+        assert elapsed < 20, "first-result-wins should beat the straggler"
+
+
+@pytest.mark.slow
+class TestRealFleet:
+    """One end-to-end pass through real ``repro serve`` subprocesses."""
+
+    def _start(self, sock: str) -> subprocess.Popen:
+        root = Path(__file__).resolve().parent.parent
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--unix", sock,
+             "-j", "1", "--idle-timeout", "120"],
+            env={**os.environ, "PYTHONPATH": str(root / "src")},
+            cwd=root, stdout=subprocess.DEVNULL,
+            stderr=subprocess.STDOUT,
+        )
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if os.path.exists(sock):
+                try:
+                    probe = socket.socket(socket.AF_UNIX)
+                    probe.connect(sock)
+                    probe.close()
+                    return proc
+                except OSError:
+                    pass
+            time.sleep(0.1)
+        proc.kill()
+        raise AssertionError(f"serve on {sock} did not come up")
+
+    def test_two_shard_fleet_rows_byte_identical(self, tmp_path):
+        cells = small_cells(4)
+        reference = run_campaign(cells)
+        socks = [str(tmp_path / "s0.sock"), str(tmp_path / "s1.sock")]
+        procs = [self._start(sock) for sock in socks]
+        try:
+            remote = run_campaign(
+                cells, backends=[f"unix:{sock}" for sock in socks],
+                remote_options=RemoteOptions(**FAST),
+            )
+        finally:
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                proc.wait(timeout=10)
+        assert row_bytes(remote) == row_bytes(reference)
+        assert remote.remote_stats["completed"] == len(cells)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import threading
 import time
 from contextlib import asynccontextmanager
 
@@ -23,6 +24,7 @@ from repro.serve import (
     ResultCache,
     ServeClient,
     ServeConfig,
+    execute_batch,
     make_cache_key,
     normalize_instance_payload,
     parse_color_request,
@@ -901,6 +903,54 @@ class TestOps:
                 counters = metrics["metrics"]["counters"]
                 assert counters["serve.completed"] == 1
                 assert counters["serve.cache_miss"] == 1
+                # Pressure gauges: sampled at answer time, so an idle
+                # server reports zero for both, and the gauges always
+                # mirror the status fields they are sampled from.
+                gauges = metrics["metrics"]["gauges"]
+                assert gauges["serve.in_flight"] == 0.0
+                assert gauges["serve.queue_depth"] == 0.0
+                assert gauges["serve.in_flight"] == float(
+                    metrics["server"]["depth"]
+                )
+                assert gauges["serve.queue_depth"] == float(
+                    metrics["server"]["queued"]
+                )
+
+        asyncio.run(scenario())
+
+    def test_metrics_in_flight_gauge_sees_pressure(self, tmp_path, payload):
+        """The in_flight gauge reflects admitted-but-unfinished work."""
+        release = threading.Event()
+
+        def stalling_runner(specs, instances):
+            release.wait(timeout=10.0)
+            return execute_batch(specs, instances)
+
+        async def scenario():
+            async with serving(
+                tmp_path, batch_runner=stalling_runner
+            ) as (_, client):
+                task = asyncio.create_task(client.request({
+                    "op": "color", "method": "deterministic",
+                    "epsilon": EPSILON, "instance": payload,
+                }))
+                try:
+                    for _ in range(200):
+                        metrics = await client.request({"op": "metrics"})
+                        gauges = metrics["metrics"]["gauges"]
+                        if gauges.get("serve.in_flight", 0.0) >= 1.0:
+                            break
+                        await asyncio.sleep(0.01)
+                    else:
+                        raise AssertionError(
+                            "in_flight gauge never saw the stalled request"
+                        )
+                finally:
+                    release.set()
+                response = await task
+                assert response["ok"] is True
+                metrics = await client.request({"op": "metrics"})
+                assert metrics["metrics"]["gauges"]["serve.in_flight"] == 0.0
 
         asyncio.run(scenario())
 
